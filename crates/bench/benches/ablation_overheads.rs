@@ -1,0 +1,119 @@
+//! Ablation — tf-Darshan overhead knobs (paper §VII: "the profiler can be
+//! optimized to reduce the overhead; for instance, detailed timeline
+//! tracing can be optionally discarded if not required"):
+//!
+//! * DXT timeline export on/off;
+//! * Darshan record-memory cap (records dropped vs data completeness);
+//! * in-situ (tf-Darshan) vs post-mortem (classic Darshan log) analysis.
+
+use darshan_sim::{DarshanConfig, DarshanLibrary};
+use posix_sim::OpenFlags;
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Workload};
+
+fn main() {
+    bench::header("Ablation", "Overhead knobs: DXT export, record cap, in-situ vs post-mortem");
+    let scale = bench::scale(0.2);
+
+    // -- DXT on/off ---------------------------------------------------------
+    let wall_of = |full: bool| {
+        let mut cfg = RunConfig::paper(Workload::Malware, scale);
+        cfg.batch = 128;
+        cfg.steps = 10;
+        cfg.profiling = Profiling::TfDarshan { full_export: full };
+        run(Workload::Malware, cfg).wall.as_secs_f64()
+    };
+    let base = {
+        let mut cfg = RunConfig::paper(Workload::Malware, scale);
+        cfg.batch = 128;
+        cfg.steps = 10;
+        run(Workload::Malware, cfg).wall.as_secs_f64()
+    };
+    let with_dxt = wall_of(true);
+    let without_dxt = wall_of(false);
+    println!("\n-- DXT timeline export --");
+    bench::row(
+        "overhead with full export",
+        "(Fig. 5 band)",
+        &bench::pct((with_dxt - base) / base * 100.0),
+        with_dxt > base,
+    );
+    bench::row(
+        "overhead with timelines discarded",
+        "lower (paper §VII)",
+        &bench::pct((without_dxt - base) / base * 100.0),
+        without_dxt < with_dxt,
+    );
+
+    // -- Darshan record-memory cap -------------------------------------------
+    println!("\n-- Darshan record-memory cap (files tracked vs dropped) --");
+    let sim = simrt::Sim::new();
+    let m = workloads::greendog();
+    for i in 0..100u64 {
+        m.stack
+            .create_synthetic(&format!("/data/hdd/cap/{i}"), 10_000, i)
+            .unwrap();
+    }
+    let p = m.process.clone();
+    let h = m.sim.spawn("cap-probe", move || {
+        let mut rows = Vec::new();
+        for cap in [10usize, 50, 200] {
+            let lib = DarshanLibrary::new(DarshanConfig {
+                max_records_per_module: cap,
+                ..Default::default()
+            });
+            lib.attach(&p).unwrap();
+            for i in 0..100u64 {
+                let fd = p
+                    .open(&format!("/data/hdd/cap/{i}"), OpenFlags::rdonly())
+                    .unwrap();
+                p.pread(fd, 0, 10_000, None).unwrap();
+                p.close(fd).unwrap();
+            }
+            let snap = lib.runtime().snapshot();
+            rows.push((cap, snap.posix.len(), snap.posix_partial));
+            lib.detach(&p).unwrap();
+        }
+        rows
+    });
+    m.sim.run();
+    drop(sim);
+    for (cap, tracked, partial) in h.join() {
+        println!(
+            "cap {cap:>4}: tracked {tracked:>4}/100 files, partial flag = {partial}"
+        );
+    }
+
+    // -- in-situ vs post-mortem ------------------------------------------------
+    // In-situ: window stats available DURING the run (time-to-insight =
+    // profiling stop). Post-mortem: classic Darshan writes its log at
+    // process exit; insight needs the whole application to finish first.
+    println!("\n-- in-situ vs post-mortem analysis --");
+    let mut cfg = RunConfig::paper(Workload::Malware, scale);
+    cfg.batch = 128;
+    cfg.steps = 40;
+    cfg.threads = Parallelism::Fixed(1);
+    cfg.profiling = Profiling::ManualWindows { every_steps: 5 };
+    let out = run(Workload::Malware, cfg);
+    let first_insight = out
+        .bandwidth_points
+        .first()
+        .map(|(t, _)| *t)
+        .unwrap_or(f64::NAN);
+    let app_end = out.wall.as_secs_f64();
+    bench::row(
+        "first bandwidth insight (in-situ)",
+        "during execution",
+        &format!("{first_insight:.1}s of {app_end:.1}s run"),
+        first_insight < app_end * 0.5,
+    );
+    bench::save_json(
+        "ablation_overheads",
+        &serde_json::json!({
+            "dxt_on_pct": (with_dxt - base) / base * 100.0,
+            "dxt_off_pct": (without_dxt - base) / base * 100.0,
+            "first_insight_s": first_insight,
+            "app_end_s": app_end,
+        }),
+    );
+}

@@ -1,0 +1,91 @@
+//! Ablation — staging policy (extends Fig. 11b):
+//!
+//! 1. threshold sweep: stage files below 0.5/1/2/4/8 MB and measure
+//!    bandwidth vs fast-tier bytes consumed;
+//! 2. the paper's §V.B counterfactual: given the *same byte budget* the
+//!    2 MB threshold consumes (~3.7 GB), stage the **largest** files
+//!    instead — "one might intuitively stage the larger files … which in
+//!    the end may not provide a big improvement to performance as a large
+//!    number of smaller reads remain".
+
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Workload};
+
+fn bandwidth(stage_below: Option<u64>, stage_largest: Option<u64>, scale: workloads::Scale) -> (f64, f64) {
+    let mut cfg = RunConfig::paper(Workload::Malware, scale);
+    cfg.threads = Parallelism::Fixed(1);
+    cfg.profiling = Profiling::TfDarshan { full_export: false };
+    cfg.stage_below = stage_below;
+    cfg.stage_largest_budget = stage_largest;
+    let out = run(Workload::Malware, cfg);
+    let staged = out.staged.map(|p| p.staged_bytes).unwrap_or(0);
+    (
+        out.report
+            .map(|r| r.io.read_bandwidth_mibps)
+            .unwrap_or(0.0),
+        staged as f64 / 1e9,
+    )
+}
+
+fn main() {
+    bench::header(
+        "Ablation",
+        "Staging policy: threshold sweep + largest-files counterfactual",
+    );
+    let scale = bench::scale(0.2);
+    let (base, _) = bandwidth(None, None, scale);
+    println!("baseline (all on HDD): {}\n", bench::mibps(base));
+
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "policy", "fast-tier GB", "bandwidth", "gain"
+    );
+    let mut out = Vec::new();
+    let mut budget_2mb = 0.0f64;
+    for thr_mb in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let thr = (thr_mb * 1024.0 * 1024.0) as u64;
+        let (bw, staged_gb) = bandwidth(Some(thr), None, scale);
+        if (thr_mb - 2.0).abs() < 1e-9 {
+            budget_2mb = staged_gb;
+        }
+        let gain = (bw - base) / base * 100.0;
+        println!(
+            "{:>9.1}MB {:>14.2} {:>14} {:>+8.1}%",
+            thr_mb,
+            staged_gb,
+            bench::mibps(bw),
+            gain
+        );
+        out.push(serde_json::json!({
+            "policy": format!("below_{thr_mb}MB"),
+            "staged_gb": staged_gb,
+            "bandwidth": bw,
+            "gain_pct": gain,
+        }));
+    }
+
+    // Counterfactual with the 2 MB threshold's byte budget.
+    let budget = (budget_2mb * 1e9) as u64;
+    let (bw_large, staged_gb) = bandwidth(None, Some(budget), scale);
+    let gain_large = (bw_large - base) / base * 100.0;
+    println!(
+        "{:>12} {:>14.2} {:>14} {:>+8.1}%",
+        "largest", staged_gb, bench::mibps(bw_large), gain_large
+    );
+    let (bw_small, _) = bandwidth(Some(2 << 20), None, scale);
+    let gain_small = (bw_small - base) / base * 100.0;
+    println!();
+    bench::row(
+        "small-files policy beats largest-files",
+        "yes (paper's argument)",
+        &format!("{gain_small:+.1}% vs {gain_large:+.1}%"),
+        gain_small > gain_large,
+    );
+    out.push(serde_json::json!({
+        "policy": "largest_same_budget",
+        "staged_gb": staged_gb,
+        "bandwidth": bw_large,
+        "gain_pct": gain_large,
+    }));
+    bench::save_json("ablation_staging", &serde_json::json!(out));
+}

@@ -1,0 +1,140 @@
+//! Ablation — TFRecord data containers (paper §VII: "One way to improve
+//! bandwidth performance is to use data containers such as TFRecord…
+//! However, the preparation of such containers still requires a separate
+//! preprocessing step with I/O for each sample.").
+//!
+//! Compares reading the ImageNet dataset as 12.8k individual small files
+//! (one Lustre MDS open each) against the same bytes packed into 128 MB
+//! TFRecord shards (a handful of opens, large sequential reads), with
+//! tf-Darshan profiling both; then quantifies the packing cost.
+
+use tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper};
+use tfsim::{Dataset, Parallelism, ProfilerOptions, TfRecordDataset};
+use workloads::{dataset, kebnekaise, models, mounts};
+
+fn main() {
+    bench::header(
+        "Ablation",
+        "TFRecord containers vs individual files (ImageNet on Lustre)",
+    );
+    let scale = bench::scale(0.05);
+
+    // -- per-file baseline ----------------------------------------------------
+    let m = kebnekaise();
+    let ds = dataset::imagenet(&m.stack, mounts::LUSTRE, scale);
+    let n_files = ds.len();
+    let wrapper = TfDarshanWrapper::install(m.process.clone(), TfDarshanConfig::default());
+    let tfd = DarshanTracerFactory::register(&m.rt, wrapper);
+    let rt = m.rt.clone();
+    let files = ds.files.clone();
+    let tfd2 = tfd.clone();
+    let h = m.sim.spawn("per-file", move || {
+        let pipeline = Dataset::from_files(files)
+            .map(models::imagenet_capture(), Parallelism::Fixed(4))
+            .batch(256)
+            .prefetch(10);
+        rt.profiler_start(ProfilerOptions::default()).unwrap();
+        let mut it = pipeline.iterate(&rt);
+        while it.next().is_some() {}
+        rt.profiler_stop().unwrap();
+        tfd2.last_report().unwrap()
+    });
+    m.sim.run();
+    let per_file = h.join();
+
+    // -- TFRecord variant -------------------------------------------------------
+    let m = kebnekaise();
+    let ds = dataset::imagenet(&m.stack, mounts::LUSTRE, scale);
+    let shards = dataset::pack_untimed(&m.stack, &ds, 128 << 20, "/scratch/tfrecords");
+    let n_shards = shards.len();
+    let wrapper = TfDarshanWrapper::install(m.process.clone(), TfDarshanConfig::default());
+    let tfd = DarshanTracerFactory::register(&m.rt, wrapper);
+    let rt = m.rt.clone();
+    let tfd2 = tfd.clone();
+    let h = m.sim.spawn("tfrecord", move || {
+        let pipeline = TfRecordDataset::new(shards)
+            .parallel_reads(4)
+            .decode_cost(models::imagenet_decode_cost)
+            .decode_parallelism(16)
+            .batch(256)
+            .prefetch(10);
+        rt.profiler_start(ProfilerOptions::default()).unwrap();
+        let mut it = pipeline.iterate(&rt);
+        while it.next().is_some() {}
+        rt.profiler_stop().unwrap();
+        tfd2.last_report().unwrap()
+    });
+    m.sim.run();
+    let packed = h.join();
+
+    println!("\n{n_files} files vs {n_shards} shards of ≤128 MB:");
+    bench::row(
+        "per-file POSIX opens",
+        &format!("{n_files}"),
+        &per_file.io.opens.to_string(),
+        per_file.io.opens as usize == n_files,
+    );
+    bench::row(
+        "TFRecord POSIX opens",
+        &format!("{n_shards} (one per shard)"),
+        &packed.io.opens.to_string(),
+        packed.io.opens as usize == n_shards,
+    );
+    bench::row(
+        "per-file bandwidth",
+        "metadata-bound (~MB/s)",
+        &bench::mibps(per_file.io.read_bandwidth_mibps),
+        per_file.io.read_bandwidth_mibps < 30.0,
+    );
+    bench::row(
+        "TFRecord bandwidth",
+        "large sequential reads",
+        &bench::mibps(packed.io.read_bandwidth_mibps),
+        packed.io.read_bandwidth_mibps > per_file.io.read_bandwidth_mibps * 3.0,
+    );
+    let speedup = packed.io.read_bandwidth_mibps / per_file.io.read_bandwidth_mibps;
+    bench::row(
+        "container speedup",
+        ">3x (paper's motivation)",
+        &format!("{speedup:.1}x"),
+        speedup > 3.0,
+    );
+    bench::row(
+        "TFRecord reads mostly ≥100KB",
+        "yes",
+        &format!(
+            "{}/{} in 100KB-1M bucket",
+            packed.io.read_size_hist[4], packed.io.reads
+        ),
+        packed.io.read_size_hist[4] * 2 > packed.io.reads,
+    );
+
+    // -- packing cost (the caveat) ----------------------------------------------
+    let m = kebnekaise();
+    let ds = dataset::imagenet(&m.stack, mounts::LUSTRE, workloads::Scale::of(0.01));
+    let rt = m.rt.clone();
+    let files = ds.files.clone();
+    let h = m.sim.spawn("packer", move || {
+        let t0 = simrt::now();
+        let shards = tfsim::pack_files(&rt, &files, 128 << 20, "/scratch/packed").unwrap();
+        (simrt::now() - t0, shards.len())
+    });
+    m.sim.run();
+    let (pack_time, _) = h.join();
+    let per_sample = pack_time.as_secs_f64() / ds.len() as f64;
+    bench::row(
+        "packing cost per sample (one read + one write each)",
+        "a separate I/O pass",
+        &format!("{:.1} ms ({:.0}s for {} files)", per_sample * 1e3, pack_time.as_secs_f64(), ds.len()),
+        per_sample > 0.0,
+    );
+    bench::save_json(
+        "ablation_tfrecord",
+        &serde_json::json!({
+            "per_file": {"opens": per_file.io.opens, "bandwidth": per_file.io.read_bandwidth_mibps},
+            "tfrecord": {"opens": packed.io.opens, "bandwidth": packed.io.read_bandwidth_mibps},
+            "speedup": speedup,
+            "pack_seconds": pack_time.as_secs_f64(),
+        }),
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 3 — STREAM(ImageNet) bandwidth over time: dstat sampled every
+//! second (line) vs tf-Darshan derived every five batches (dots), batch
+//! 128, 16 I/O threads, prefetch 10. Validates that tf-Darshan's derived
+//! bandwidth tracks the ground truth.
+
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Workload};
+
+fn main() {
+    bench::header(
+        "Fig. 3",
+        "STREAM(ImageNet) bandwidth: dstat vs tf-Darshan (5-batch windows)",
+    );
+    let scale = bench::scale(0.5);
+    let mut cfg = RunConfig::paper(Workload::StreamImageNet, scale);
+    cfg.threads = Parallelism::Fixed(16);
+    cfg.profiling = Profiling::ManualWindows { every_steps: 5 };
+    cfg.dstat = true;
+    let out = run(Workload::StreamImageNet, cfg);
+
+    let dstat: Vec<(f64, f64)> = out
+        .dstat_samples
+        .iter()
+        .map(|s| {
+            (
+                s.t.as_secs_f64(),
+                s.read_mib_per_s(std::time::Duration::from_secs(1)),
+            )
+        })
+        .collect();
+    bench::series("dstat (per-second)", &dstat, "MiB/s");
+    bench::series("tf-Darshan (per 5 batches)", &out.bandwidth_points, "MiB/s");
+
+    // Validation: mean absolute relative error between each tf-Darshan
+    // point and the dstat mean of the matching interval.
+    let mut errs = Vec::new();
+    let mut prev = 0.0f64;
+    for (t, bw) in &out.bandwidth_points {
+        let in_range: Vec<f64> = out
+            .dstat_samples
+            .iter()
+            .filter(|s| s.t.as_secs_f64() > prev && s.t.as_secs_f64() <= t + 1.0)
+            .map(|s| s.read_mib_per_s(std::time::Duration::from_secs(1)))
+            .collect();
+        if !in_range.is_empty() && *bw > 0.0 {
+            let dstat_mean = in_range.iter().sum::<f64>() / in_range.len() as f64;
+            if dstat_mean > 0.0 {
+                errs.push(((bw - dstat_mean) / dstat_mean).abs());
+            }
+        }
+        prev = *t;
+    }
+    let mare = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+    let overall = out.mean_read_mibps();
+    println!();
+    bench::row(
+        "overall bandwidth (small files on HDD)",
+        "~10-15 MiB/s",
+        &bench::mibps(overall),
+        (5.0..=25.0).contains(&overall),
+    );
+    bench::row(
+        "tf-Darshan vs dstat agreement (MARE)",
+        "high accuracy",
+        &bench::pct(mare * 100.0),
+        mare < 0.15,
+    );
+    bench::save_json(
+        "fig03",
+        &serde_json::json!({
+            "dstat": dstat,
+            "tfdarshan_points": out.bandwidth_points,
+            "mean_abs_rel_err": mare,
+            "overall_mibps": overall,
+        }),
+    );
+}

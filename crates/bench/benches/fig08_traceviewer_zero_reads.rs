@@ -1,0 +1,87 @@
+//! Fig. 8 — TraceViewer extract for ImageNet: each file's timeline shows a
+//! single one-off read consuming the whole file, followed by a zero-length
+//! read — explaining the "2× reads vs opens" of Fig. 7a (TensorFlow's
+//! ReadFile loops on `pread` until it returns zero).
+
+use tfdarshan::DXT_PLANE;
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Workload};
+
+fn main() {
+    bench::header("Fig. 8", "TraceViewer timelines: trailing zero-length reads");
+    let mut cfg = RunConfig::paper(Workload::ImageNet, bench::scale(0.02));
+    cfg.steps = 4;
+    cfg.threads = Parallelism::Fixed(4);
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::ImageNet, cfg);
+    let space = out.space.expect("trace collected");
+    let plane = space.plane(DXT_PLANE).expect("DXT plane");
+
+    // Analyze every file timeline: count the one-off + zero-probe pattern.
+    let mut total = 0usize;
+    let mut pattern = 0usize;
+    for line in &plane.lines {
+        let reads: Vec<(u64, u64)> = line
+            .events
+            .iter()
+            .filter(|e| e.name == "pread")
+            .map(|e| {
+                let get = |k: &str| -> u64 {
+                    e.stats
+                        .iter()
+                        .find(|s| s.name == k)
+                        .and_then(|s| s.value.parse().ok())
+                        .unwrap_or(0)
+                };
+                (get("offset"), get("length"))
+            })
+            .collect();
+        total += 1;
+        // One-off full read at offset 0 followed by a zero-length read at
+        // the file end.
+        if reads.len() == 2 && reads[0].0 == 0 && reads[0].1 > 0 && reads[1].1 == 0 {
+            pattern += 1;
+        }
+    }
+    bench::row(
+        "file timelines in TraceViewer",
+        "(one per file)",
+        &total.to_string(),
+        total > 0,
+    );
+    let frac = pattern as f64 / total.max(1) as f64;
+    bench::row(
+        "timelines = one-off read + zero-length read",
+        "all",
+        &bench::pct(frac * 100.0),
+        frac > 0.99,
+    );
+
+    // Print a few timelines the way TraceViewer would show them.
+    println!("\nsample timelines (offset,length @ start..end):");
+    for line in plane.lines.iter().take(5) {
+        print!("  {}:", line.name);
+        for e in &line.events {
+            let get = |k: &str| {
+                e.stats
+                    .iter()
+                    .find(|s| s.name == k)
+                    .map(|s| s.value.clone())
+                    .unwrap_or_default()
+            };
+            print!(
+                "  [{} off={} len={} @{:.3}ms+{:.3}ms]",
+                e.name,
+                get("offset"),
+                get("length"),
+                e.start_ns as f64 / 1e6,
+                e.dur_ns as f64 / 1e6
+            );
+        }
+        println!();
+    }
+    bench::save_json(
+        "fig08",
+        &serde_json::json!({"timelines": total, "one_off_plus_zero": pattern}),
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig. 12 — Background dstat while the three malware configurations run:
+//! naive (1 thread, HDD), 16 threads (HDD), and staged (1 thread,
+//! HDD+Optane). The staged configuration sustains the highest aggregate
+//! bandwidth and finishes first; 16 threads finishes last. Vertical
+//! markers = end of model.fit(). Paper ordering of ends:
+//! staged (~432 s) < naive (~522 s) < 16 threads (~632 s).
+
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Workload};
+
+struct Config {
+    label: &'static str,
+    threads: usize,
+    stage: Option<u64>,
+    paper_end: f64,
+}
+
+fn main() {
+    bench::header("Fig. 12", "dstat during the three malware configurations");
+    let scale = bench::scale(0.3);
+    let configs = [
+        Config {
+            label: "HDD (Naive)",
+            threads: 1,
+            stage: None,
+            paper_end: 522.0,
+        },
+        Config {
+            label: "HDD (16 Threads)",
+            threads: 16,
+            stage: None,
+            paper_end: 632.0,
+        },
+        Config {
+            label: "HDD+Optane",
+            threads: 1,
+            stage: Some(2 << 20),
+            paper_end: 432.0,
+        },
+    ];
+    let mut ends = Vec::new();
+    let mut out_json = Vec::new();
+    for c in &configs {
+        let mut cfg = RunConfig::paper(Workload::Malware, scale);
+        cfg.threads = Parallelism::Fixed(c.threads);
+        cfg.profiling = Profiling::None;
+        cfg.stage_below = c.stage;
+        cfg.dstat = true;
+        let out = run(Workload::Malware, cfg);
+        let series: Vec<(f64, f64)> = out
+            .dstat_samples
+            .iter()
+            .map(|s| {
+                (
+                    s.t.as_secs_f64(),
+                    (s.total_read() + s.total_write()) as f64 / (1024.0 * 1024.0),
+                )
+            })
+            .collect();
+        let shown: Vec<(f64, f64)> = series
+            .iter()
+            .step_by((series.len() / 25).max(1))
+            .copied()
+            .collect();
+        let end = out.wall.as_secs_f64();
+        println!(
+            "\n== {} — end of model.fit() at {:.0}s (paper ~{:.0}s × scale {:.2} = {:.0}s) ==",
+            c.label,
+            end,
+            c.paper_end,
+            scale.files,
+            c.paper_end * scale.files,
+        );
+        bench::series("disk MiB transferred per second", &shown, "MiB/s");
+        ends.push((c.label, end));
+        out_json.push(serde_json::json!({
+            "config": c.label,
+            "end_s": end,
+            "series": series,
+        }));
+    }
+    println!();
+    let naive = ends[0].1;
+    let threaded = ends[1].1;
+    let staged = ends[2].1;
+    bench::row(
+        "ordering of completion",
+        "staged < naive < 16 threads",
+        &format!("{staged:.0}s < {naive:.0}s < {threaded:.0}s"),
+        staged < naive && naive < threaded,
+    );
+    bench::save_json("fig12", &serde_json::json!(out_json));
+}

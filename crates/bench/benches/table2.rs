@@ -1,0 +1,109 @@
+//! Table II — Characteristics of datasets and configurations used in the
+//! test cases. Regenerates every dataset and prints the achieved
+//! count/total/median next to the paper's numbers.
+
+use workloads::{dataset, greendog, mounts, Workload};
+
+struct Row {
+    workload: Workload,
+    paper_files: f64,
+    paper_total_gb: f64,
+    paper_median: f64,
+    threads: &'static str,
+    system: &'static str,
+    character: &'static str,
+}
+
+fn main() {
+    bench::header("Table II", "Dataset characteristics and configurations");
+    let scale = bench::scale(1.0);
+    let rows = [
+        Row {
+            workload: Workload::StreamImageNet,
+            paper_files: 12_800.0,
+            paper_total_gb: 1.0,
+            paper_median: 76e3,
+            threads: "16",
+            system: "Greendog",
+            character: "No preprocessing, bandwidth validation",
+        },
+        Row {
+            workload: Workload::StreamMalware,
+            paper_files: 6_400.0,
+            paper_total_gb: 35.0,
+            paper_median: 7.3e6,
+            threads: "16",
+            system: "Greendog",
+            character: "No preprocessing, bandwidth validation",
+        },
+        Row {
+            workload: Workload::Malware,
+            paper_files: 10_868.0,
+            paper_total_gb: 48.0,
+            paper_median: 4e6,
+            threads: "1, 16",
+            system: "Greendog",
+            character: "Large individual files",
+        },
+        Row {
+            workload: Workload::ImageNet,
+            paper_files: 128_000.0,
+            paper_total_gb: 11.6,
+            paper_median: 88e3,
+            threads: "1, 28",
+            system: "Kebnekaise",
+            character: "Large number of small files",
+        },
+    ];
+
+    let mut out = Vec::new();
+    for r in rows {
+        // Generate on a throwaway machine (all Table II numbers are
+        // properties of the dataset, not the platform).
+        let m = greendog();
+        let ds = match r.workload {
+            Workload::ImageNet => dataset::imagenet(&m.stack, mounts::HDD, scale),
+            Workload::Malware => dataset::malware(&m.stack, mounts::HDD, scale),
+            Workload::StreamImageNet => dataset::stream_imagenet(&m.stack, mounts::HDD, scale),
+            Workload::StreamMalware => dataset::stream_malware(&m.stack, mounts::HDD, scale),
+        };
+        let (batch, steps, prefetch) = r.workload.table2();
+        println!(
+            "\n{} — batch {}, steps {}, threads {}, prefetch {}, {}: {}",
+            r.workload.name(),
+            batch,
+            (steps as f64 * scale.files).round(),
+            r.threads,
+            prefetch,
+            r.system,
+            r.character
+        );
+        let paper_files = r.paper_files * scale.files;
+        let paper_total = r.paper_total_gb * 1e9 * scale.files;
+        bench::row(
+            "files",
+            &format!("{paper_files:.0}"),
+            &format!("{}", ds.len()),
+            bench::close(ds.len() as f64, paper_files, 0.02),
+        );
+        bench::row(
+            "total size",
+            &format!("{:.2} GB", paper_total / 1e9),
+            &format!("{:.2} GB", ds.total_bytes() as f64 / 1e9),
+            bench::close(ds.total_bytes() as f64, paper_total, 0.05),
+        );
+        bench::row(
+            "median size",
+            &format!("{:.0} KB", r.paper_median / 1e3),
+            &format!("{:.0} KB", ds.median_size() as f64 / 1e3),
+            bench::close(ds.median_size() as f64, r.paper_median, 0.5),
+        );
+        out.push(serde_json::json!({
+            "workload": r.workload.name(),
+            "files": ds.len(),
+            "total_bytes": ds.total_bytes(),
+            "median": ds.median_size(),
+        }));
+    }
+    bench::save_json("table2", &serde_json::json!(out));
+}

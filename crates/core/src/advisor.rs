@@ -1,0 +1,380 @@
+//! Rule-based optimization advice from a tf-Darshan report — the paper's
+//! central value proposition ("we show how the information from tf-Darshan
+//! can guide optimization", §V) expressed as executable rules:
+//!
+//! * metadata-latency-bound small-file pipelines → raise
+//!   `num_parallel_calls` and/or pack into containers (case study §V.A,
+//!   the §VII TFRecord remark);
+//! * contention-bound large-file pipelines on rotational storage → lower
+//!   `num_parallel_calls` (Fig. 11a);
+//! * a small-file population holding few bytes → stage below a threshold
+//!   to the fast tier (case study §V.B);
+//! * zero-length-read-heavy traces → the ReadFile EOF-probe signature
+//!   (informational; an application-level fix in TensorFlow).
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::IoStats;
+use crate::report::TfDarshanReport;
+use crate::staging::plan_by_threshold;
+
+/// The storage class behind the profiled mount (the advisor needs to know
+/// whether interleaved streams pay seeks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageClass {
+    /// Rotational disk: interleaving costs seeks.
+    Rotational,
+    /// Flash (SSD/NVMe): parallel small reads scale.
+    Flash,
+    /// Parallel filesystem client: per-open metadata RPCs dominate small
+    /// files; concurrency is capped by RPC slots.
+    ParallelFs,
+}
+
+/// Context the report alone cannot know.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdvisorContext {
+    /// Storage class of the dataset's tier.
+    pub storage: StorageClass,
+    /// Current `num_parallel_calls`.
+    pub threads: usize,
+    /// Bytes available on a faster tier (0 = none).
+    pub fast_tier_budget: u64,
+}
+
+/// One recommendation, strongest expected impact first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Recommendation {
+    /// Raise `num_parallel_calls` to ~`to` (latency-bound pipeline).
+    IncreaseParallelism {
+        /// Suggested setting.
+        to: usize,
+        /// Why.
+        rationale: String,
+    },
+    /// Lower `num_parallel_calls` to ~`to` (head contention).
+    DecreaseParallelism {
+        /// Suggested setting.
+        to: usize,
+        /// Why.
+        rationale: String,
+    },
+    /// Stage files smaller than `threshold` to the fast tier.
+    StageSmallFiles {
+        /// Size threshold in bytes.
+        threshold: u64,
+        /// Bytes that would move.
+        staged_bytes: u64,
+        /// Fraction of dataset bytes that would move.
+        byte_fraction: f64,
+        /// Why.
+        rationale: String,
+    },
+    /// Pack samples into container files (TFRecord).
+    UseContainers {
+        /// Why.
+        rationale: String,
+    },
+    /// Informational: the trailing zero-length-read signature.
+    ZeroReadSignature {
+        /// Fraction of reads that were EOF probes.
+        fraction: f64,
+    },
+}
+
+fn small_read_fraction(io: &IoStats) -> f64 {
+    if io.reads == 0 {
+        return 0.0;
+    }
+    // Buckets up to 100 KB, excluding the zero probes.
+    let small: u64 = io.read_size_hist[..4].iter().sum::<u64>() - io.zero_reads.min(io.reads);
+    small as f64 / io.reads as f64
+}
+
+/// Produce recommendations from a profiling report plus context.
+pub fn recommend(report: &TfDarshanReport, ctx: &AdvisorContext) -> Vec<Recommendation> {
+    let io = &report.io;
+    let mut out = Vec::new();
+    let meta_heavy = io.meta_time > io.read_time * 0.5;
+    let small_files = small_read_fraction(io) > 0.4 || meta_heavy;
+
+    match ctx.storage {
+        StorageClass::ParallelFs => {
+            if small_files && ctx.threads < 8 {
+                out.push(Recommendation::IncreaseParallelism {
+                    to: 8.max(ctx.threads * 8).min(32),
+                    rationale: format!(
+                        "per-file metadata latency dominates ({:.0}% of I/O time is \
+                         metadata; {} files at {:.2} MiB/s): more concurrent pipelines \
+                         overlap the RPCs",
+                        100.0 * io.meta_time / (io.meta_time + io.read_time).max(1e-9),
+                        io.files_opened,
+                        io.read_bandwidth_mibps
+                    ),
+                });
+            }
+            if small_files {
+                out.push(Recommendation::UseContainers {
+                    rationale: format!(
+                        "{} opens for {} bytes means one metadata round-trip per \
+                         ~{} KB; containers amortize opens over many samples",
+                        io.opens,
+                        io.bytes_read,
+                        io.bytes_read / io.opens.max(1) / 1024
+                    ),
+                });
+            }
+        }
+        StorageClass::Rotational => {
+            let large_sequential = io.seq_fraction() > 0.8 && small_read_fraction(io) < 0.4;
+            if large_sequential && ctx.threads > 2 {
+                out.push(Recommendation::DecreaseParallelism {
+                    to: 1,
+                    rationale: format!(
+                        "{} threads interleave {} sequential streams on a rotational \
+                         disk: every ~1 MB segment pays a seek",
+                        ctx.threads, ctx.threads
+                    ),
+                });
+            }
+            if ctx.fast_tier_budget > 0 {
+                // Pick the knee of the size distribution: the largest
+                // threshold whose staged set is still a small byte
+                // fraction (seeks removed per byte spent on the fast
+                // tier stay high) and fits the budget.
+                let mut threshold = 0u64;
+                let mut t = 64 * 1024u64;
+                while t <= 1 << 32 {
+                    let p = plan_by_threshold(&report.files, t);
+                    if !p.files.is_empty()
+                        && p.staged_bytes <= ctx.fast_tier_budget
+                        && p.byte_fraction() <= 0.25
+                    {
+                        threshold = t;
+                    }
+                    t *= 2;
+                }
+                let plan = plan_by_threshold(&report.files, threshold);
+                if !plan.files.is_empty() && plan.byte_fraction() < 0.5 {
+                    out.push(Recommendation::StageSmallFiles {
+                        threshold,
+                        staged_bytes: plan.staged_bytes,
+                        byte_fraction: plan.byte_fraction(),
+                        rationale: format!(
+                            "{} files ({:.0}% of files) hold only {:.1}% of bytes but \
+                             cost a seek each; staging them frees the disk for \
+                             sequential streaming",
+                            plan.files.len(),
+                            100.0 * plan.file_fraction(),
+                            100.0 * plan.byte_fraction()
+                        ),
+                    });
+                }
+            }
+        }
+        StorageClass::Flash => {
+            if small_files && ctx.threads < 4 {
+                out.push(Recommendation::IncreaseParallelism {
+                    to: 8,
+                    rationale: "flash serves concurrent small reads in parallel".into(),
+                });
+            }
+        }
+    }
+
+    if io.zero_read_fraction() > 0.3 {
+        out.push(Recommendation::ZeroReadSignature {
+            fraction: io.zero_read_fraction(),
+        });
+    }
+    out
+}
+
+/// Render recommendations as a human-readable block.
+pub fn render(recs: &[Recommendation]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if recs.is_empty() {
+        out.push_str("no recommendations: the pipeline looks well matched to its storage\n");
+        return out;
+    }
+    for (i, r) in recs.iter().enumerate() {
+        let _ = match r {
+            Recommendation::IncreaseParallelism { to, rationale } => writeln!(
+                out,
+                "{}. raise num_parallel_calls to ~{to} — {rationale}",
+                i + 1
+            ),
+            Recommendation::DecreaseParallelism { to, rationale } => writeln!(
+                out,
+                "{}. lower num_parallel_calls to ~{to} — {rationale}",
+                i + 1
+            ),
+            Recommendation::StageSmallFiles {
+                threshold,
+                staged_bytes,
+                byte_fraction,
+                rationale,
+            } => writeln!(
+                out,
+                "{}. stage files < {} KB to the fast tier ({:.2} GB, {:.1}% of bytes) — {rationale}",
+                i + 1,
+                threshold / 1024,
+                *staged_bytes as f64 / 1e9,
+                byte_fraction * 100.0
+            ),
+            Recommendation::UseContainers { rationale } => {
+                writeln!(out, "{}. pack samples into TFRecord shards — {rationale}", i + 1)
+            }
+            Recommendation::ZeroReadSignature { fraction } => writeln!(
+                out,
+                "{}. note: {:.0}% of reads are zero-length EOF probes (TensorFlow's \
+                 ReadFile loops on pread until 0) — harmless but inflates op counts",
+                i + 1,
+                fraction * 100.0
+            ),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileActivity;
+
+    fn imagenet_like() -> TfDarshanReport {
+        let mut io = IoStats {
+            window_secs: 100.0,
+            opens: 1000,
+            reads: 2000,
+            zero_reads: 1000,
+            seq_reads: 2000,
+            bytes_read: 1000 * 88_000,
+            read_bandwidth_mibps: 3.0,
+            files_opened: 1000,
+            read_time: 8.0,
+            meta_time: 13.0,
+            ..Default::default()
+        };
+        io.read_size_hist[0] = 1000; // probes
+        io.read_size_hist[3] = 1000; // 88 KB data reads
+        TfDarshanReport {
+            window: (0.0, 100.0),
+            io,
+            stdio: Default::default(),
+            files: vec![],
+        }
+    }
+
+    fn malware_like(files: Vec<FileActivity>) -> TfDarshanReport {
+        let mut io = IoStats {
+            window_secs: 100.0,
+            opens: 1000,
+            reads: 6000,
+            zero_reads: 1000,
+            seq_reads: 6000,
+            consec_reads: 5000,
+            bytes_read: 48_000_000_000,
+            read_bandwidth_mibps: 77.0,
+            files_opened: 1000,
+            read_time: 90.0,
+            meta_time: 5.0,
+            ..Default::default()
+        };
+        io.read_size_hist[0] = 1000;
+        io.read_size_hist[4] = 5000; // 100K-1M segments
+        TfDarshanReport {
+            window: (0.0, 100.0),
+            io,
+            stdio: Default::default(),
+            files,
+        }
+    }
+
+    #[test]
+    fn lustre_small_files_get_threads_and_containers() {
+        let recs = recommend(
+            &imagenet_like(),
+            &AdvisorContext {
+                storage: StorageClass::ParallelFs,
+                threads: 1,
+                fast_tier_budget: 0,
+            },
+        );
+        assert!(matches!(
+            recs[0],
+            Recommendation::IncreaseParallelism { to, .. } if to >= 8
+        ));
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r, Recommendation::UseContainers { .. })));
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r, Recommendation::ZeroReadSignature { fraction } if *fraction > 0.45)));
+    }
+
+    #[test]
+    fn hdd_threaded_large_files_get_backoff_and_staging() {
+        let files: Vec<FileActivity> = (0..100)
+            .map(|i| FileActivity {
+                path: format!("/hdd/f{i}"),
+                reads: 6,
+                bytes_read: if i < 40 { 800_000 } else { 7_000_000 },
+                apparent_size: if i < 40 { 800_000 } else { 7_000_000 },
+                read_time: 0.05,
+            })
+            .collect();
+        let recs = recommend(
+            &malware_like(files),
+            &AdvisorContext {
+                storage: StorageClass::Rotational,
+                threads: 16,
+                fast_tier_budget: 100_000_000,
+            },
+        );
+        assert!(matches!(
+            recs[0],
+            Recommendation::DecreaseParallelism { to: 1, .. }
+        ));
+        let stage = recs
+            .iter()
+            .find_map(|r| match r {
+                Recommendation::StageSmallFiles { byte_fraction, .. } => Some(*byte_fraction),
+                _ => None,
+            })
+            .expect("staging advice");
+        assert!(stage < 0.2, "staged bytes are a small fraction: {stage}");
+    }
+
+    #[test]
+    fn one_thread_on_hdd_gets_no_backoff() {
+        let recs = recommend(
+            &malware_like(vec![]),
+            &AdvisorContext {
+                storage: StorageClass::Rotational,
+                threads: 1,
+                fast_tier_budget: 0,
+            },
+        );
+        assert!(!recs
+            .iter()
+            .any(|r| matches!(r, Recommendation::DecreaseParallelism { .. })));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let recs = recommend(
+            &imagenet_like(),
+            &AdvisorContext {
+                storage: StorageClass::ParallelFs,
+                threads: 1,
+                fast_tier_budget: 0,
+            },
+        );
+        let text = render(&recs);
+        assert!(text.contains("raise num_parallel_calls"));
+        assert!(text.contains("TFRecord"));
+        assert!(render(&[]).contains("no recommendations"));
+    }
+}

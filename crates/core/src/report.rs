@@ -1,0 +1,300 @@
+//! The TensorBoard-style report: the textual/JSON equivalent of the
+//! paper's extended Input-Pipeline Analysis panels (Figs. 6, 7, 9) —
+//! POSIX bandwidth, operation counts, read-size distribution, file-size
+//! distribution, access pattern, and the STDIO (checkpoint) view.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{histogram_rows, FileActivity, IoStats, StdioStats};
+
+/// Everything one profiling session learned from Darshan.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TfDarshanReport {
+    /// Darshan-relative window `[start, stop]` in seconds.
+    pub window: (f64, f64),
+    /// POSIX aggregates.
+    pub io: IoStats,
+    /// STDIO aggregates.
+    pub stdio: StdioStats,
+    /// Per-file activity table.
+    pub files: Vec<FileActivity>,
+}
+
+impl TfDarshanReport {
+    /// Serialize to pretty JSON (what the TensorBoard plugin would load).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Render the panels as ASCII (the stand-in for the TensorBoard web
+    /// UI screenshots in the paper's figures).
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let io = &self.io;
+        let _ = writeln!(out, "== tf-Darshan: Input-pipeline analysis extension ==");
+        let _ = writeln!(
+            out,
+            "profiling window: {:.3}s .. {:.3}s ({:.3}s)",
+            self.window.0, self.window.1, io.window_secs
+        );
+        if io.partial {
+            let _ = writeln!(out, "!! Darshan ran out of record memory; data is partial");
+        }
+        let _ = writeln!(out, "\n-- POSIX bandwidth --");
+        let _ = writeln!(
+            out,
+            "read:  {:>10.2} MiB/s  ({} bytes)",
+            io.read_bandwidth_mibps, io.bytes_read
+        );
+        let _ = writeln!(
+            out,
+            "write: {:>10.2} MiB/s  ({} bytes)",
+            io.write_bandwidth_mibps, io.bytes_written
+        );
+        let _ = writeln!(out, "\n-- POSIX operation counts --");
+        let _ = writeln!(
+            out,
+            "opens {} | reads {} | writes {} | seeks {} | stats {}",
+            io.opens, io.reads, io.writes, io.seeks, io.stats
+        );
+        let _ = writeln!(out, "files opened: {}", io.files_opened);
+        let _ = writeln!(out, "\n-- POSIX access pattern --");
+        let _ = writeln!(
+            out,
+            "sequential reads:  {:>8} ({:.1}%)",
+            io.seq_reads,
+            100.0 * io.seq_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "consecutive reads: {:>8} ({:.1}%)",
+            io.consec_reads,
+            100.0 * io.consec_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "zero-length reads: {:>8} ({:.1}%)",
+            io.zero_reads,
+            100.0 * io.zero_read_fraction()
+        );
+        let _ = writeln!(out, "\n-- POSIX read size distribution --");
+        out.push_str(&render_hist(&io.read_size_hist));
+        let _ = writeln!(out, "\n-- File size distribution (files read) --");
+        out.push_str(&render_hist(&io.file_size_hist));
+        if !io.common_read_sizes.is_empty() {
+            let _ = writeln!(out, "\n-- Most common read sizes --");
+            for (size, count) in &io.common_read_sizes {
+                let _ = writeln!(out, "{size:>12} B × {count}");
+            }
+        }
+        if self.stdio.opens + self.stdio.writes + self.stdio.reads > 0 {
+            let _ = writeln!(out, "\n-- STDIO layer --");
+            let _ = writeln!(
+                out,
+                "fopens {} | fwrites {} ({} bytes) | freads {} ({} bytes) | fflushes {}",
+                self.stdio.opens,
+                self.stdio.writes,
+                self.stdio.bytes_written,
+                self.stdio.reads,
+                self.stdio.bytes_read,
+                self.stdio.flushes
+            );
+        }
+        out
+    }
+}
+
+fn render_hist(hist: &[u64; 10]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let max = hist.iter().copied().max().unwrap_or(0).max(1);
+    for (label, count) in histogram_rows(hist) {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((count * 40) / max).max(1) as usize);
+        let _ = writeln!(out, "{label:>9}: {count:>10} {bar}");
+    }
+    if out.is_empty() {
+        out.push_str("  (no operations)\n");
+    }
+    out
+}
+
+impl TfDarshanReport {
+    /// Render a self-contained HTML page with the same panels — the
+    /// stand-in for the modified TensorBoard Profile plugin's web view
+    /// (tables and textual histograms; no external assets).
+    pub fn render_html(&self) -> String {
+        let io = &self.io;
+        let esc = |s: &str| s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+        let hist_pre = |hist: &[u64; 10]| -> String {
+            esc(&super::report::render_hist_for_html(hist))
+        };
+        let mut files_rows = String::new();
+        for f in self.files.iter().take(50) {
+            files_rows.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.4}</td></tr>\n",
+                esc(&f.path),
+                f.reads,
+                f.bytes_read,
+                f.apparent_size,
+                f.read_time
+            ));
+        }
+        format!(
+            r#"<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>tf-Darshan report</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; }}
+ table {{ border-collapse: collapse; margin: 1em 0; }}
+ td, th {{ border: 1px solid #999; padding: 4px 10px; text-align: right; }}
+ th {{ background: #eee; }} td:first-child {{ text-align: left; }}
+ pre {{ background: #f6f6f6; padding: 1em; }}
+ .warn {{ color: #a00; font-weight: bold; }}
+</style></head><body>
+<h1>tf-Darshan — Input-pipeline analysis extension</h1>
+<p>profiling window: {:.3}s … {:.3}s ({:.3}s){}</p>
+<h2>POSIX bandwidth</h2>
+<table><tr><th></th><th>MiB/s</th><th>bytes</th></tr>
+<tr><td>read</td><td>{:.2}</td><td>{}</td></tr>
+<tr><td>write</td><td>{:.2}</td><td>{}</td></tr></table>
+<h2>POSIX operation counts</h2>
+<table><tr><th>opens</th><th>reads</th><th>writes</th><th>seeks</th><th>stats</th><th>files</th></tr>
+<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr></table>
+<h2>Access pattern</h2>
+<table><tr><th>sequential reads</th><th>consecutive reads</th><th>zero-length reads</th></tr>
+<tr><td>{} ({:.1}%)</td><td>{} ({:.1}%)</td><td>{} ({:.1}%)</td></tr></table>
+<h2>POSIX read size distribution</h2><pre>{}</pre>
+<h2>File size distribution</h2><pre>{}</pre>
+<h2>Per-file activity (top 50)</h2>
+<table><tr><th>file</th><th>reads</th><th>bytes read</th><th>size</th><th>read time (s)</th></tr>
+{}</table>
+</body></html>
+"#,
+            self.window.0,
+            self.window.1,
+            io.window_secs,
+            if io.partial {
+                r#" <span class="warn">— PARTIAL (Darshan record memory exhausted)</span>"#
+            } else {
+                ""
+            },
+            io.read_bandwidth_mibps,
+            io.bytes_read,
+            io.write_bandwidth_mibps,
+            io.bytes_written,
+            io.opens,
+            io.reads,
+            io.writes,
+            io.seeks,
+            io.stats,
+            io.files_opened,
+            io.seq_reads,
+            100.0 * io.seq_fraction(),
+            io.consec_reads,
+            100.0 * io.consec_fraction(),
+            io.zero_reads,
+            100.0 * io.zero_read_fraction(),
+            hist_pre(&io.read_size_hist),
+            hist_pre(&io.file_size_hist),
+            files_rows,
+        )
+    }
+}
+
+pub(crate) fn render_hist_for_html(hist: &[u64; 10]) -> String {
+    render_hist(hist)
+}
+
+/// The TF-Profiler overview line tf-Darshan extends: combines the
+/// TensorFlow-level step breakdown with Darshan's system-level numbers.
+pub fn overview(input_bound_fraction: f64, io: &IoStats) -> String {
+    format!(
+        "step time breakdown: {:.1}% waiting for input data | POSIX read bandwidth {:.2} MiB/s over {} files",
+        input_bound_fraction * 100.0,
+        io.read_bandwidth_mibps,
+        io.files_opened,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TfDarshanReport {
+        let mut io = IoStats {
+            window_secs: 10.0,
+            opens: 100,
+            reads: 200,
+            zero_reads: 100,
+            seq_reads: 200,
+            consec_reads: 100,
+            bytes_read: 100 * 88_000,
+            read_bandwidth_mibps: 0.84,
+            files_opened: 100,
+            ..Default::default()
+        };
+        io.read_size_hist[0] = 100;
+        io.read_size_hist[3] = 100;
+        io.file_size_hist[3] = 100;
+        io.common_read_sizes = vec![(88_000, 100), (0, 100)];
+        TfDarshanReport {
+            window: (0.0, 10.0),
+            io,
+            stdio: StdioStats {
+                opens: 10,
+                writes: 1400,
+                bytes_written: 2_330_000_000,
+                ..Default::default()
+            },
+            files: vec![],
+        }
+    }
+
+    #[test]
+    fn ascii_panels_contain_key_numbers() {
+        let text = sample().render_ascii();
+        assert!(text.contains("0.84 MiB/s"));
+        assert!(text.contains("opens 100 | reads 200"));
+        assert!(text.contains("zero-length reads:      100 (50.0%)"));
+        assert!(text.contains("10K-100K"));
+        assert!(text.contains("fwrites 1400"));
+        assert!(text.contains("88000 B × 100"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let back = TfDarshanReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.io.reads, 200);
+        assert_eq!(back.stdio.writes, 1400);
+        assert_eq!(back.io.common_read_sizes, r.io.common_read_sizes);
+    }
+
+    #[test]
+    fn html_report_contains_panels() {
+        let html = sample().render_html();
+        assert!(html.contains("<h1>tf-Darshan"));
+        assert!(html.contains("0.84"));
+        assert!(html.contains("zero-length reads"));
+        assert!(html.contains("10K-100K"));
+        assert!(!html.contains("PARTIAL"));
+        let mut partial = sample();
+        partial.io.partial = true;
+        assert!(partial.render_html().contains("PARTIAL"));
+    }
+
+    #[test]
+    fn overview_line() {
+        let s = overview(0.96, &sample().io);
+        assert!(s.contains("96.0% waiting"));
+        assert!(s.contains("100 files"));
+    }
+}

@@ -1,0 +1,172 @@
+//! `DarshanTracer`: the TensorFlow-profiler plugin (paper Fig. 1's
+//! "DarshanTracer" box) and its factory.
+//!
+//! Lifecycle per profiling session:
+//! 1. the TensorFlow runtime creates the tracer via
+//!    [`DarshanTracerFactory`] → the wrapper attaches (first time) and
+//!    takes the **start** snapshot;
+//! 2. `stop()` takes the **stop** snapshot;
+//! 3. `collect()` diffs the snapshots, runs the in-situ analysis, charges
+//!    the analysis/export costs, and writes both the statistics and the
+//!    per-file DXT timelines into the session's `XSpace`.
+
+use std::sync::Arc;
+
+use darshan_sim::DxtOp;
+use parking_lot::Mutex;
+use simrt::sleep;
+use tfsim::{ProfilerOptions, Tracer, TracerFactory, TfRuntime, XEvent, XSpace};
+
+use crate::analysis::{analyze, diff, per_file};
+use crate::report::TfDarshanReport;
+use crate::wrapper::TfDarshanWrapper;
+
+/// Plane name of the Darshan statistics.
+pub const ANALYSIS_PLANE: &str = "/darshan:analysis";
+/// Plane name of the per-file DXT timelines (TraceViewer lines, Fig. 8/10).
+pub const DXT_PLANE: &str = "/darshan:POSIX";
+
+/// The tracer created per profiling session.
+pub struct DarshanTracer {
+    wrapper: Arc<TfDarshanWrapper>,
+    /// Report of the last collected session (shared with the factory).
+    report_slot: Arc<Mutex<Option<TfDarshanReport>>>,
+}
+
+impl Tracer for DarshanTracer {
+    fn name(&self) -> &str {
+        "darshan"
+    }
+
+    fn stop(&self) {
+        self.wrapper.mark_stop();
+    }
+
+    fn collect(&self, space: &mut XSpace) {
+        let Some((start, stop)) = self.wrapper.session_snapshots() else {
+            return;
+        };
+        let cfg = self.wrapper.config().clone();
+        let d = diff(&start, &stop);
+        if !cfg.diff_cost_per_record.is_zero() && !d.posix.is_empty() {
+            sleep(cfg.diff_cost_per_record * d.posix.len() as u32);
+        }
+        // Bandwidth-only mode (paper §VII: "detailed timeline tracing can
+        // be optionally discarded"): skip the DXT walk and the per-record
+        // in-situ analysis; only the counter diff is paid for.
+        let dxt = if cfg.full_export {
+            self.wrapper.session_dxt()
+        } else {
+            Vec::new()
+        };
+        if cfg.full_export && !cfg.analyze_cost_per_record.is_zero() && !d.posix.is_empty() {
+            sleep(cfg.analyze_cost_per_record * d.posix.len() as u32);
+        }
+        let (io, stdio) = analyze(&d, &dxt);
+        let files = per_file(&d);
+        let report = TfDarshanReport {
+            window: d.window,
+            io: io.clone(),
+            stdio,
+            files,
+        };
+
+        // Statistics plane: one summary event carrying the headline stats.
+        let init = self.wrapper.library().runtime().init_time();
+        let abs = |secs: f64| init.as_nanos() + (secs * 1e9) as u64;
+        {
+            let plane = space.plane_mut(ANALYSIS_PLANE);
+            let line = plane.line_mut("summary");
+            let ev = XEvent::new(
+                "tf-darshan",
+                abs(d.window.0),
+                ((d.window.1 - d.window.0).max(0.0) * 1e9) as u64,
+            )
+            .with_stat("posix_read_bw_mibps", format!("{:.3}", io.read_bandwidth_mibps))
+            .with_stat("posix_opens", io.opens)
+            .with_stat("posix_reads", io.reads)
+            .with_stat("posix_writes", io.writes)
+            .with_stat("zero_reads", io.zero_reads)
+            .with_stat("seq_reads", io.seq_reads)
+            .with_stat("consec_reads", io.consec_reads)
+            .with_stat("bytes_read", io.bytes_read)
+            .with_stat("files_opened", io.files_opened);
+            line.events.push(ev);
+        }
+
+        // DXT timelines: one line per file, as TraceViewer shows them.
+        if cfg.full_export && !dxt.is_empty() {
+            if !cfg.export_cost_per_segment.is_zero() {
+                sleep(cfg.export_cost_per_segment * dxt.len() as u32);
+            }
+            let names = &d.names;
+            let plane = space.plane_mut(DXT_PLANE);
+            for (rec, seg) in &dxt {
+                let file = names
+                    .get(rec)
+                    .cloned()
+                    .unwrap_or_else(|| format!("<{rec:#x}>"));
+                let ev = XEvent::new(
+                    match seg.op {
+                        DxtOp::Read => "pread",
+                        DxtOp::Write => "pwrite",
+                    },
+                    abs(seg.start),
+                    ((seg.end - seg.start).max(0.0) * 1e9) as u64,
+                )
+                .with_stat("offset", seg.offset)
+                .with_stat("length", seg.length);
+                plane.line_mut(&file).events.push(ev);
+            }
+        }
+
+        *self.report_slot.lock() = Some(report);
+    }
+}
+
+/// Registers tf-Darshan with the TensorFlow profiler. Holds the wrapper;
+/// attachment happens lazily at the first session (runtime attachment —
+/// Table I "Runtime start/stop: yes").
+pub struct DarshanTracerFactory {
+    wrapper: Arc<TfDarshanWrapper>,
+    report_slot: Arc<Mutex<Option<TfDarshanReport>>>,
+}
+
+impl DarshanTracerFactory {
+    /// Create the factory and register it with the runtime. Returns the
+    /// factory handle, which doubles as the report access point.
+    pub fn register(rt: &TfRuntime, wrapper: Arc<TfDarshanWrapper>) -> Arc<Self> {
+        let f = Arc::new(DarshanTracerFactory {
+            wrapper,
+            report_slot: Arc::new(Mutex::new(None)),
+        });
+        rt.register_tracer_factory(f.clone());
+        f
+    }
+
+    /// The wrapper.
+    pub fn wrapper(&self) -> &Arc<TfDarshanWrapper> {
+        &self.wrapper
+    }
+
+    /// The report of the most recently collected session.
+    pub fn last_report(&self) -> Option<TfDarshanReport> {
+        self.report_slot.lock().clone()
+    }
+}
+
+impl TracerFactory for DarshanTracerFactory {
+    fn create(
+        &self,
+        _rt: &Arc<TfRuntime>,
+        _options: &ProfilerOptions,
+    ) -> Option<Arc<dyn Tracer>> {
+        if self.wrapper.mark_start().is_err() {
+            return None;
+        }
+        Some(Arc::new(DarshanTracer {
+            wrapper: self.wrapper.clone(),
+            report_slot: self.report_slot.clone(),
+        }))
+    }
+}

@@ -1,0 +1,37 @@
+//! `darshan-parser` — decode a Darshan-sim binary log from disk and print
+//! the per-counter rows plus the job summary (the classic offline
+//! workflow of Table I's left column).
+//!
+//! ```text
+//! cargo run -p darshan-sim --bin darshan-parser -- results/classic.darshan
+//! ```
+
+use darshan_sim::{DarshanLog, JobSummary};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: darshan-parser <logfile>");
+            eprintln!("(produce one with: cargo run --release --example darshan_classic)");
+            std::process::exit(2);
+        }
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("darshan-parser: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let log = match DarshanLog::decode(&bytes) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("darshan-parser: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", log.summary());
+    println!();
+    print!("{}", JobSummary::from_log(&log, 10).render());
+}

@@ -1,0 +1,163 @@
+//! Cross-rank record reduction — what parallel Darshan does at
+//! `MPI_Finalize`: records for files shared across ranks are merged into a
+//! single job-level record (counters sum, extrema min/max), so the log
+//! stays compact regardless of the process count (paper §III: "The
+//! parallel version of Darshan uses the PMPI profiling interface…").
+
+use std::collections::HashMap;
+
+use crate::counters::{PosixCounter as P, PosixFCounter as PF, PosixRecord};
+
+/// Counters that reduce with `max` instead of `+`.
+const MAX_COUNTERS: &[P] = &[P::POSIX_MAX_BYTE_READ, P::POSIX_MAX_BYTE_WRITTEN];
+
+/// Merge per-rank records of the **same file** into one shared record.
+///
+/// Semantics follow darshan-runtime's POSIX reduction operator: additive
+/// counters sum; byte extrema take the max; the common-access slots are
+/// re-derived from the per-rank slots; first timestamps take the earliest
+/// non-zero value, last timestamps the latest; cumulative times sum.
+pub fn merge_posix_records(records: &[PosixRecord]) -> Option<PosixRecord> {
+    let first = records.first()?;
+    debug_assert!(records.iter().all(|r| r.rec_id == first.rec_id));
+    let mut out = PosixRecord::new(first.rec_id);
+
+    for r in records {
+        for c in P::ALL {
+            let i = c as usize;
+            if MAX_COUNTERS.contains(&c) {
+                out.counters[i] = out.counters[i].max(r.counters[i]);
+            } else if !is_access_slot(c) {
+                out.counters[i] += r.counters[i];
+            }
+        }
+        // Re-accumulate common access sizes from the per-rank top-4 slots.
+        for (a, cnt) in [
+            (P::POSIX_ACCESS1_ACCESS, P::POSIX_ACCESS1_COUNT),
+            (P::POSIX_ACCESS2_ACCESS, P::POSIX_ACCESS2_COUNT),
+            (P::POSIX_ACCESS3_ACCESS, P::POSIX_ACCESS3_COUNT),
+            (P::POSIX_ACCESS4_ACCESS, P::POSIX_ACCESS4_COUNT),
+        ] {
+            let count = r.get(cnt);
+            if count > 0 {
+                for _ in 0..count {
+                    out.access_sizes.add(r.get(a) as u64);
+                }
+            }
+        }
+        // Timestamps: first-start = min nonzero, last-end = max; times sum.
+        for (start, end) in [
+            (PF::POSIX_F_OPEN_START_TIMESTAMP, PF::POSIX_F_OPEN_END_TIMESTAMP),
+            (PF::POSIX_F_READ_START_TIMESTAMP, PF::POSIX_F_READ_END_TIMESTAMP),
+            (
+                PF::POSIX_F_WRITE_START_TIMESTAMP,
+                PF::POSIX_F_WRITE_END_TIMESTAMP,
+            ),
+            (
+                PF::POSIX_F_CLOSE_START_TIMESTAMP,
+                PF::POSIX_F_CLOSE_END_TIMESTAMP,
+            ),
+        ] {
+            let s = r.fget(start);
+            if s > 0.0 {
+                let cur = out.fget(start);
+                *out.fget_mut(start) = if cur == 0.0 { s } else { cur.min(s) };
+            }
+            let e = r.fget(end);
+            *out.fget_mut(end) = out.fget(end).max(e);
+        }
+        for t in [PF::POSIX_F_READ_TIME, PF::POSIX_F_WRITE_TIME, PF::POSIX_F_META_TIME] {
+            *out.fget_mut(t) += r.fget(t);
+        }
+        for t in [PF::POSIX_F_MAX_READ_TIME, PF::POSIX_F_MAX_WRITE_TIME] {
+            *out.fget_mut(t) = out.fget(t).max(r.fget(t));
+        }
+    }
+    out.reduce_common_accesses();
+    Some(out)
+}
+
+fn is_access_slot(c: P) -> bool {
+    matches!(
+        c,
+        P::POSIX_ACCESS1_ACCESS
+            | P::POSIX_ACCESS2_ACCESS
+            | P::POSIX_ACCESS3_ACCESS
+            | P::POSIX_ACCESS4_ACCESS
+            | P::POSIX_ACCESS1_COUNT
+            | P::POSIX_ACCESS2_COUNT
+            | P::POSIX_ACCESS3_COUNT
+            | P::POSIX_ACCESS4_COUNT
+    )
+}
+
+/// Reduce full per-rank record sets into the job view: records of files
+/// touched by several ranks merge; rank-private files pass through.
+pub fn reduce_job(per_rank: &[Vec<PosixRecord>]) -> Vec<PosixRecord> {
+    let mut by_id: HashMap<u64, Vec<PosixRecord>> = HashMap::new();
+    for rank in per_rank {
+        for r in rank {
+            by_id.entry(r.rec_id).or_default().push(r.clone());
+        }
+    }
+    let mut out: Vec<PosixRecord> = by_id
+        .into_values()
+        .filter_map(|v| merge_posix_records(&v))
+        .collect();
+    out.sort_by_key(|r| r.rec_id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, reads: i64, bytes: i64, max_byte: i64, t0: f64, t1: f64) -> PosixRecord {
+        let mut r = PosixRecord::new(id);
+        *r.get_mut(P::POSIX_READS) = reads;
+        *r.get_mut(P::POSIX_BYTES_READ) = bytes;
+        *r.get_mut(P::POSIX_MAX_BYTE_READ) = max_byte;
+        *r.fget_mut(PF::POSIX_F_READ_START_TIMESTAMP) = t0;
+        *r.fget_mut(PF::POSIX_F_READ_END_TIMESTAMP) = t1;
+        *r.fget_mut(PF::POSIX_F_READ_TIME) = t1 - t0;
+        *r.get_mut(P::POSIX_ACCESS1_ACCESS) = 4096;
+        *r.get_mut(P::POSIX_ACCESS1_COUNT) = reads;
+        r
+    }
+
+    #[test]
+    fn merge_sums_and_extremizes() {
+        let merged = merge_posix_records(&[
+            rec(9, 10, 1_000, 999, 1.0, 2.0),
+            rec(9, 5, 500, 5_000, 0.5, 3.0),
+        ])
+        .unwrap();
+        assert_eq!(merged.get(P::POSIX_READS), 15);
+        assert_eq!(merged.get(P::POSIX_BYTES_READ), 1_500);
+        assert_eq!(merged.get(P::POSIX_MAX_BYTE_READ), 5_000);
+        assert_eq!(merged.fget(PF::POSIX_F_READ_START_TIMESTAMP), 0.5);
+        assert_eq!(merged.fget(PF::POSIX_F_READ_END_TIMESTAMP), 3.0);
+        assert!((merged.fget(PF::POSIX_F_READ_TIME) - 3.5).abs() < 1e-12);
+        // Common access slots re-reduced: 15 × 4096.
+        assert_eq!(merged.get(P::POSIX_ACCESS1_ACCESS), 4096);
+        assert_eq!(merged.get(P::POSIX_ACCESS1_COUNT), 15);
+    }
+
+    #[test]
+    fn merge_empty_is_none() {
+        assert!(merge_posix_records(&[]).is_none());
+    }
+
+    #[test]
+    fn reduce_job_merges_shared_keeps_private() {
+        let rank0 = vec![rec(1, 1, 100, 99, 1.0, 2.0), rec(2, 2, 200, 199, 1.0, 2.0)];
+        let rank1 = vec![rec(1, 3, 300, 299, 2.0, 4.0)];
+        let job = reduce_job(&[rank0, rank1]);
+        assert_eq!(job.len(), 2);
+        let shared = job.iter().find(|r| r.rec_id == 1).unwrap();
+        assert_eq!(shared.get(P::POSIX_READS), 4);
+        assert_eq!(shared.get(P::POSIX_BYTES_READ), 400);
+        let private = job.iter().find(|r| r.rec_id == 2).unwrap();
+        assert_eq!(private.get(P::POSIX_READS), 2);
+    }
+}

@@ -1,0 +1,809 @@
+//! The Darshan runtime: module record buffers, DXT tracing, name records,
+//! and the runtime-extraction API that tf-Darshan adds (paper §III.C).
+//!
+//! Mirrors darshan-runtime's shape: a core that owns *name records*
+//! (record-id → path) and per-module record buffers with bounded memory;
+//! modules update counters inline on every instrumented call; statistics
+//! reduction (e.g. folding the common-access-size tracker into the
+//! `ACCESS1..4` counters) happens at shutdown — or, new here, whenever a
+//! snapshot is taken, because tf-Darshan needs analyzable buffers *during*
+//! execution, not only post-mortem.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simrt::{sleep, SimTime, TaskId};
+
+use crate::counters::{
+    record_id, size_bucket, PosixCounter as P, PosixFCounter as PF, PosixRecord, StdioCounter as S,
+    StdioFCounter as SF, StdioRecord,
+};
+
+/// Configuration of the Darshan runtime (environment variables in real
+/// Darshan: `DARSHAN_MODMEM`, `DXT_ENABLE_IO_TRACE`, ...).
+#[derive(Clone, Debug)]
+pub struct DarshanConfig {
+    /// Maximum file records per module; further files set the partial flag
+    /// and are not tracked (Darshan's module memory limit).
+    pub max_records_per_module: usize,
+    /// Whether DXT (extended tracing) records per-operation segments.
+    pub dxt_enabled: bool,
+    /// Maximum DXT segments across all files; beyond this, tracing stops
+    /// and the truncated flag is set.
+    pub dxt_max_segments: usize,
+    /// Instrumentation cost charged per wrapped operation.
+    pub per_op_overhead: Duration,
+    /// Extra cost the first time a file is seen (record allocation + name
+    /// registration).
+    pub new_record_overhead: Duration,
+    /// Cost per record of a runtime buffer extraction (deep copy). With
+    /// the snapshot cost and the per-stop analysis, this is why the
+    /// paper's Fig. 5 overhead correlates with the number of files
+    /// processed.
+    pub snapshot_cost_per_record: Duration,
+}
+
+impl Default for DarshanConfig {
+    fn default() -> Self {
+        DarshanConfig {
+            max_records_per_module: 1 << 20,
+            dxt_enabled: true,
+            dxt_max_segments: 1 << 22,
+            per_op_overhead: Duration::from_nanos(120),
+            new_record_overhead: Duration::from_micros(2),
+            snapshot_cost_per_record: Duration::from_micros(90),
+        }
+    }
+}
+
+/// DXT operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DxtOp {
+    /// A read segment.
+    Read,
+    /// A write segment.
+    Write,
+}
+
+/// One DXT trace segment (one I/O operation on one file).
+#[derive(Clone, Copy, Debug)]
+pub struct DxtSegment {
+    /// Operation kind.
+    pub op: DxtOp,
+    /// File offset.
+    pub offset: u64,
+    /// Transfer length (zero-length reads are recorded — they are the
+    /// Fig. 8 signature).
+    pub length: u64,
+    /// Start time, seconds since Darshan initialization.
+    pub start: f64,
+    /// End time, seconds since Darshan initialization.
+    pub end: f64,
+}
+
+struct ModuleBuf<R> {
+    records: HashMap<u64, R>,
+    partial: bool,
+}
+
+impl<R> ModuleBuf<R> {
+    fn new() -> Self {
+        ModuleBuf {
+            records: HashMap::new(),
+            partial: false,
+        }
+    }
+}
+
+struct DxtBuf {
+    segments: HashMap<u64, Vec<DxtSegment>>,
+    total: usize,
+    truncated: bool,
+}
+
+/// While a snapshot copies the module buffers it holds the module locks;
+/// instrumented operations stall until the copy completes. This gate
+/// models that: `close` during extraction, `open` after, wrappers wait.
+#[derive(Default)]
+struct Gate {
+    closed: std::sync::atomic::AtomicBool,
+    waiters: Mutex<Vec<TaskId>>,
+}
+
+impl Gate {
+    fn wait_open(&self) {
+        loop {
+            if !self.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            self.waiters.lock().push(simrt::current_task());
+            simrt::block(None);
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    fn open(&self) {
+        self.closed.store(false, Ordering::SeqCst);
+        for t in self.waiters.lock().drain(..) {
+            simrt::wake(t);
+        }
+    }
+}
+
+/// A consistent copy of Darshan's module buffers, extracted at runtime.
+///
+/// This is the data structure the paper's augmented Darshan returns to the
+/// instrumented application ("we implemented several data extraction
+/// functions in the Darshan shared library that returns Darshan module
+/// buffers").
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Seconds since Darshan initialization when the snapshot was taken.
+    pub taken_at: f64,
+    /// POSIX records, sorted by record id, with common-access reduction
+    /// applied to the copy.
+    pub posix: Vec<PosixRecord>,
+    /// STDIO records, sorted by record id.
+    pub stdio: Vec<StdioRecord>,
+    /// Record-id → path map.
+    pub names: HashMap<u64, String>,
+    /// True if the POSIX module ran out of record memory.
+    pub posix_partial: bool,
+    /// True if the STDIO module ran out of record memory.
+    pub stdio_partial: bool,
+    /// Total DXT segments recorded so far.
+    pub dxt_segments: usize,
+}
+
+impl Snapshot {
+    /// Find a POSIX record by path.
+    pub fn posix_by_path(&self, path: &str) -> Option<&PosixRecord> {
+        let id = record_id(path);
+        self.posix.iter().find(|r| r.rec_id == id)
+    }
+}
+
+/// Running totals kept by the runtime (cheap aggregate queries without a
+/// full snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Totals {
+    /// Total POSIX bytes read.
+    pub posix_bytes_read: u64,
+    /// Total POSIX bytes written.
+    pub posix_bytes_written: u64,
+    /// Total POSIX read calls.
+    pub posix_reads: u64,
+    /// Total POSIX write calls.
+    pub posix_writes: u64,
+    /// Total POSIX opens.
+    pub posix_opens: u64,
+}
+
+/// The Darshan runtime ("libdarshan.so" once loaded into the process).
+pub struct DarshanRuntime {
+    config: DarshanConfig,
+    init_time: SimTime,
+    names: Mutex<HashMap<u64, String>>,
+    posix: Mutex<ModuleBuf<PosixRecord>>,
+    stdio: Mutex<ModuleBuf<StdioRecord>>,
+    dxt: Mutex<DxtBuf>,
+    gate: Gate,
+    // Aggregates (atomic so bandwidth probes don't lock modules).
+    agg_bytes_read: AtomicU64,
+    agg_bytes_written: AtomicU64,
+    agg_reads: AtomicU64,
+    agg_writes: AtomicU64,
+    agg_opens: AtomicU64,
+}
+
+impl DarshanRuntime {
+    /// Initialize the runtime at the current virtual time.
+    pub fn new(config: DarshanConfig) -> Self {
+        DarshanRuntime {
+            config,
+            init_time: simrt::try_now().unwrap_or(SimTime::ZERO),
+            names: Mutex::new(HashMap::new()),
+            posix: Mutex::new(ModuleBuf::new()),
+            stdio: Mutex::new(ModuleBuf::new()),
+            dxt: Mutex::new(DxtBuf {
+                segments: HashMap::new(),
+                total: 0,
+                truncated: false,
+            }),
+            gate: Gate::default(),
+            agg_bytes_read: AtomicU64::new(0),
+            agg_bytes_written: AtomicU64::new(0),
+            agg_reads: AtomicU64::new(0),
+            agg_writes: AtomicU64::new(0),
+            agg_opens: AtomicU64::new(0),
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &DarshanConfig {
+        &self.config
+    }
+
+    /// Virtual instant of initialization (the zero of all float counters).
+    pub fn init_time(&self) -> SimTime {
+        self.init_time
+    }
+
+    /// Convert an absolute virtual instant to Darshan-relative seconds.
+    pub fn rel(&self, t: SimTime) -> f64 {
+        t.duration_since(self.init_time).as_secs_f64()
+    }
+
+    /// Charge the per-operation instrumentation cost; stalls while a
+    /// snapshot holds the module locks.
+    pub fn charge_op(&self) {
+        self.gate.wait_open();
+        if !self.config.per_op_overhead.is_zero() {
+            sleep(self.config.per_op_overhead);
+        }
+    }
+
+    fn charge_new_record(&self) {
+        if !self.config.new_record_overhead.is_zero() {
+            sleep(self.config.new_record_overhead);
+        }
+    }
+
+    /// Register (or look up) the name record for `path`.
+    pub fn register_name(&self, path: &str) -> u64 {
+        let id = record_id(path);
+        self.names.lock().entry(id).or_insert_with(|| path.to_string());
+        id
+    }
+
+    /// Resolve a record id back to a path (the helper tf-Darshan `dlsym`s).
+    pub fn lookup_name(&self, rec_id: u64) -> Option<String> {
+        self.names.lock().get(&rec_id).cloned()
+    }
+
+    // -- POSIX module -------------------------------------------------------
+
+    /// Instrument an `open`. Returns the record id, or `None` if the module
+    /// is out of record memory (the caller still forwards the call).
+    pub fn posix_open(&self, path: &str, t0: SimTime, t1: SimTime) -> Option<u64> {
+        self.agg_opens.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.posix.lock();
+        let id = record_id(path);
+        let is_new = !m.records.contains_key(&id);
+        if is_new && m.records.len() >= self.config.max_records_per_module {
+            m.partial = true;
+            return None;
+        }
+        if is_new {
+            drop(m);
+            self.charge_new_record();
+            self.register_name(path);
+            m = self.posix.lock();
+        }
+        let r = m.records.entry(id).or_insert_with(|| PosixRecord::new(id));
+        *r.get_mut(P::POSIX_OPENS) += 1;
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(PF::POSIX_F_OPEN_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(PF::POSIX_F_OPEN_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(PF::POSIX_F_OPEN_END_TIMESTAMP) = e;
+        *r.fget_mut(PF::POSIX_F_META_TIME) += e - s;
+        Some(id)
+    }
+
+    /// Instrument a read of `len` bytes at `offset`.
+    pub fn posix_read(&self, rec_id: u64, offset: u64, len: u64, t0: SimTime, t1: SimTime) {
+        self.agg_reads.fetch_add(1, Ordering::Relaxed);
+        self.agg_bytes_read.fetch_add(len, Ordering::Relaxed);
+        let mut m = self.posix.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(P::POSIX_READS) += 1;
+        *r.get_mut(P::POSIX_BYTES_READ) += len as i64;
+        r.counters[P::POSIX_SIZE_READ_0_100 as usize + size_bucket(len)] += 1;
+        r.access_sizes.add(len);
+        if offset == r.last_read_end {
+            *r.get_mut(P::POSIX_CONSEC_READS) += 1;
+        }
+        if offset >= r.last_read_end {
+            *r.get_mut(P::POSIX_SEQ_READS) += 1;
+        }
+        r.last_read_end = offset + len;
+        if len > 0 {
+            let maxb = (offset + len - 1) as i64;
+            let cur = r.get_mut(P::POSIX_MAX_BYTE_READ);
+            *cur = (*cur).max(maxb);
+        }
+        if r.last_was_write == Some(true) {
+            *r.get_mut(P::POSIX_RW_SWITCHES) += 1;
+        }
+        r.last_was_write = Some(false);
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(PF::POSIX_F_READ_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(PF::POSIX_F_READ_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(PF::POSIX_F_READ_END_TIMESTAMP) = e;
+        *r.fget_mut(PF::POSIX_F_READ_TIME) += e - s;
+        let mx = r.fget_mut(PF::POSIX_F_MAX_READ_TIME);
+        *mx = mx.max(e - s);
+        drop(m);
+        self.dxt_push(rec_id, DxtOp::Read, offset, len, t0, t1);
+    }
+
+    /// Instrument a write.
+    pub fn posix_write(&self, rec_id: u64, offset: u64, len: u64, t0: SimTime, t1: SimTime) {
+        self.agg_writes.fetch_add(1, Ordering::Relaxed);
+        self.agg_bytes_written.fetch_add(len, Ordering::Relaxed);
+        let mut m = self.posix.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(P::POSIX_WRITES) += 1;
+        *r.get_mut(P::POSIX_BYTES_WRITTEN) += len as i64;
+        r.counters[P::POSIX_SIZE_WRITE_0_100 as usize + size_bucket(len)] += 1;
+        r.access_sizes.add(len);
+        if offset == r.last_write_end {
+            *r.get_mut(P::POSIX_CONSEC_WRITES) += 1;
+        }
+        if offset >= r.last_write_end {
+            *r.get_mut(P::POSIX_SEQ_WRITES) += 1;
+        }
+        r.last_write_end = offset + len;
+        if len > 0 {
+            let maxb = (offset + len - 1) as i64;
+            let cur = r.get_mut(P::POSIX_MAX_BYTE_WRITTEN);
+            *cur = (*cur).max(maxb);
+        }
+        if r.last_was_write == Some(false) {
+            *r.get_mut(P::POSIX_RW_SWITCHES) += 1;
+        }
+        r.last_was_write = Some(true);
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(PF::POSIX_F_WRITE_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(PF::POSIX_F_WRITE_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(PF::POSIX_F_WRITE_END_TIMESTAMP) = e;
+        *r.fget_mut(PF::POSIX_F_WRITE_TIME) += e - s;
+        let mx = r.fget_mut(PF::POSIX_F_MAX_WRITE_TIME);
+        *mx = mx.max(e - s);
+        drop(m);
+        self.dxt_push(rec_id, DxtOp::Write, offset, len, t0, t1);
+    }
+
+    /// Instrument a metadata operation (seek/stat/fsync) against an
+    /// existing record.
+    pub fn posix_meta(&self, rec_id: u64, counter: P, t0: SimTime, t1: SimTime) {
+        let mut m = self.posix.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(counter) += 1;
+        *r.fget_mut(PF::POSIX_F_META_TIME) += self.rel(t1) - self.rel(t0);
+    }
+
+    /// Register a record for a file whose `open` predates attachment
+    /// (OPENS stays 0; only subsequently observed operations count).
+    pub fn posix_register_existing(&self, path: &str) -> Option<u64> {
+        let mut m = self.posix.lock();
+        let id = record_id(path);
+        if !m.records.contains_key(&id) {
+            if m.records.len() >= self.config.max_records_per_module {
+                m.partial = true;
+                return None;
+            }
+            self.register_name(path);
+            m.records.insert(id, PosixRecord::new(id));
+        }
+        Some(id)
+    }
+
+    /// Instrument a `stat` by path (creates the record if needed, like
+    /// Darshan's stat wrapper).
+    pub fn posix_stat_path(&self, path: &str, t0: SimTime, t1: SimTime) {
+        let mut m = self.posix.lock();
+        let id = record_id(path);
+        let is_new = !m.records.contains_key(&id);
+        if is_new && m.records.len() >= self.config.max_records_per_module {
+            m.partial = true;
+            return;
+        }
+        if is_new {
+            self.register_name(path);
+        }
+        let r = m.records.entry(id).or_insert_with(|| PosixRecord::new(id));
+        *r.get_mut(P::POSIX_STATS) += 1;
+        *r.fget_mut(PF::POSIX_F_META_TIME) += self.rel(t1) - self.rel(t0);
+    }
+
+    /// Instrument a `close`.
+    pub fn posix_close(&self, rec_id: u64, t0: SimTime, t1: SimTime) {
+        let mut m = self.posix.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(PF::POSIX_F_CLOSE_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(PF::POSIX_F_CLOSE_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(PF::POSIX_F_CLOSE_END_TIMESTAMP) = e;
+        *r.fget_mut(PF::POSIX_F_META_TIME) += e - s;
+    }
+
+    // -- STDIO module -------------------------------------------------------
+
+    /// Instrument `fopen`.
+    pub fn stdio_open(&self, path: &str, t0: SimTime, t1: SimTime) -> Option<u64> {
+        let mut m = self.stdio.lock();
+        let id = record_id(path);
+        let is_new = !m.records.contains_key(&id);
+        if is_new && m.records.len() >= self.config.max_records_per_module {
+            m.partial = true;
+            return None;
+        }
+        if is_new {
+            drop(m);
+            self.charge_new_record();
+            self.register_name(path);
+            m = self.stdio.lock();
+        }
+        let r = m.records.entry(id).or_insert_with(|| StdioRecord::new(id));
+        *r.get_mut(S::STDIO_OPENS) += 1;
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(SF::STDIO_F_OPEN_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(SF::STDIO_F_OPEN_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(SF::STDIO_F_OPEN_END_TIMESTAMP) = e;
+        *r.fget_mut(SF::STDIO_F_META_TIME) += e - s;
+        Some(id)
+    }
+
+    /// Instrument `fread`.
+    pub fn stdio_read(&self, rec_id: u64, pos: u64, len: u64, t0: SimTime, t1: SimTime) {
+        let mut m = self.stdio.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(S::STDIO_READS) += 1;
+        *r.get_mut(S::STDIO_BYTES_READ) += len as i64;
+        if len > 0 {
+            let maxb = (pos + len - 1) as i64;
+            let cur = r.get_mut(S::STDIO_MAX_BYTE_READ);
+            *cur = (*cur).max(maxb);
+        }
+        *r.fget_mut(SF::STDIO_F_READ_TIME) += self.rel(t1) - self.rel(t0);
+    }
+
+    /// Instrument `fwrite`.
+    pub fn stdio_write(&self, rec_id: u64, pos: u64, len: u64, t0: SimTime, t1: SimTime) {
+        let mut m = self.stdio.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(S::STDIO_WRITES) += 1;
+        *r.get_mut(S::STDIO_BYTES_WRITTEN) += len as i64;
+        if len > 0 {
+            let maxb = (pos + len - 1) as i64;
+            let cur = r.get_mut(S::STDIO_MAX_BYTE_WRITTEN);
+            *cur = (*cur).max(maxb);
+        }
+        *r.fget_mut(SF::STDIO_F_WRITE_TIME) += self.rel(t1) - self.rel(t0);
+    }
+
+    /// Instrument `fseek` / `fflush`.
+    pub fn stdio_meta(&self, rec_id: u64, counter: S, t0: SimTime, t1: SimTime) {
+        let mut m = self.stdio.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        *r.get_mut(counter) += 1;
+        *r.fget_mut(SF::STDIO_F_META_TIME) += self.rel(t1) - self.rel(t0);
+    }
+
+    /// Instrument `fclose`.
+    pub fn stdio_close(&self, rec_id: u64, t0: SimTime, t1: SimTime) {
+        let mut m = self.stdio.lock();
+        let Some(r) = m.records.get_mut(&rec_id) else {
+            return;
+        };
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(SF::STDIO_F_CLOSE_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(SF::STDIO_F_CLOSE_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(SF::STDIO_F_CLOSE_END_TIMESTAMP) = e;
+        *r.fget_mut(SF::STDIO_F_META_TIME) += e - s;
+    }
+
+    // -- DXT ----------------------------------------------------------------
+
+    fn dxt_push(&self, rec_id: u64, op: DxtOp, offset: u64, length: u64, t0: SimTime, t1: SimTime) {
+        if !self.config.dxt_enabled {
+            return;
+        }
+        let mut d = self.dxt.lock();
+        if d.total >= self.config.dxt_max_segments {
+            d.truncated = true;
+            return;
+        }
+        d.total += 1;
+        let seg = DxtSegment {
+            op,
+            offset,
+            length,
+            start: self.rel(t0),
+            end: self.rel(t1),
+        };
+        d.segments.entry(rec_id).or_default().push(seg);
+    }
+
+    /// All DXT segments of one file.
+    pub fn dxt_of(&self, rec_id: u64) -> Vec<DxtSegment> {
+        self.dxt
+            .lock()
+            .segments
+            .get(&rec_id)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Extract all DXT segments overlapping `[from, to]` (Darshan-relative
+    /// seconds), as `(rec_id, segment)` pairs sorted by start time. This is
+    /// what tf-Darshan exports to the TraceViewer.
+    pub fn dxt_range(&self, from: f64, to: f64) -> Vec<(u64, DxtSegment)> {
+        let d = self.dxt.lock();
+        let mut out: Vec<(u64, DxtSegment)> = Vec::new();
+        for (id, segs) in d.segments.iter() {
+            for s in segs {
+                if s.end >= from && s.start <= to {
+                    out.push((*id, *s));
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.1.start
+                .partial_cmp(&b.1.start)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// True if DXT hit its memory cap and dropped segments.
+    pub fn dxt_truncated(&self) -> bool {
+        self.dxt.lock().truncated
+    }
+
+    // -- extraction / shutdown ----------------------------------------------
+
+    /// Cheap aggregates (no module lock ordering concerns).
+    pub fn totals(&self) -> Totals {
+        Totals {
+            posix_bytes_read: self.agg_bytes_read.load(Ordering::Relaxed),
+            posix_bytes_written: self.agg_bytes_written.load(Ordering::Relaxed),
+            posix_reads: self.agg_reads.load(Ordering::Relaxed),
+            posix_writes: self.agg_writes.load(Ordering::Relaxed),
+            posix_opens: self.agg_opens.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deep-copy the module buffers — the paper's runtime extraction. The
+    /// copy has the access-size reduction applied; live buffers are not
+    /// disturbed.
+    pub fn snapshot(&self) -> Snapshot {
+        // Extraction deep-copies the module buffers under their locks:
+        // charge for the copy while instrumented I/O stalls at the gate.
+        let n = self.posix_record_count() + self.stdio_record_count();
+        if n > 0 && !self.config.snapshot_cost_per_record.is_zero() {
+            self.gate.close();
+            sleep(self.config.snapshot_cost_per_record * n as u32);
+            self.gate.open();
+        }
+        let taken_at = self.rel(simrt::now());
+        let mut posix: Vec<PosixRecord> = {
+            let m = self.posix.lock();
+            m.records.values().cloned().collect()
+        };
+        for r in posix.iter_mut() {
+            r.reduce_common_accesses();
+        }
+        posix.sort_by_key(|r| r.rec_id);
+        let mut stdio: Vec<StdioRecord> = {
+            let m = self.stdio.lock();
+            m.records.values().cloned().collect()
+        };
+        stdio.sort_by_key(|r| r.rec_id);
+        Snapshot {
+            taken_at,
+            posix,
+            stdio,
+            names: self.names.lock().clone(),
+            posix_partial: self.posix.lock().partial,
+            stdio_partial: self.stdio.lock().partial,
+            dxt_segments: self.dxt.lock().total,
+        }
+    }
+
+    /// Number of POSIX records currently held.
+    pub fn posix_record_count(&self) -> usize {
+        self.posix.lock().records.len()
+    }
+
+    /// Number of STDIO records currently held.
+    pub fn stdio_record_count(&self) -> usize {
+        self.stdio.lock().records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::Sim;
+    use std::sync::Arc;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn open_read_counters_and_pattern() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig::default());
+            let id = rt.posix_open("/d/f", at(0), at(1)).unwrap();
+            rt.posix_read(id, 0, 1000, at(1), at(2)); // consec+seq
+            rt.posix_read(id, 1000, 1000, at(2), at(3)); // consec+seq
+            rt.posix_read(id, 5000, 100, at(3), at(4)); // seq only
+            rt.posix_read(id, 100, 50, at(4), at(5)); // neither
+            rt.posix_read(id, 150, 0, at(5), at(6)); // zero read, consec
+            let snap = rt.snapshot();
+            let r = snap.posix_by_path("/d/f").unwrap();
+            assert_eq!(r.get(P::POSIX_OPENS), 1);
+            assert_eq!(r.get(P::POSIX_READS), 5);
+            assert_eq!(r.get(P::POSIX_BYTES_READ), 2150);
+            assert_eq!(r.get(P::POSIX_CONSEC_READS), 3);
+            assert_eq!(r.get(P::POSIX_SEQ_READS), 4);
+            assert_eq!(r.get(P::POSIX_MAX_BYTE_READ), 5099);
+            // Histogram: 1000,1000 → bucket 100-1K ×2; 100,50,0 → 0-100 ×3.
+            assert_eq!(r.get(P::POSIX_SIZE_READ_0_100), 3);
+            assert_eq!(r.get(P::POSIX_SIZE_READ_100_1K), 2);
+            assert!((r.fget(PF::POSIX_F_READ_TIME) - 0.005).abs() < 1e-9);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn write_and_rw_switches() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig::default());
+            let id = rt.posix_open("/d/w", at(0), at(0)).unwrap();
+            rt.posix_write(id, 0, 100, at(1), at(2));
+            rt.posix_read(id, 0, 100, at(2), at(3));
+            rt.posix_write(id, 100, 100, at(3), at(4));
+            let snap = rt.snapshot();
+            let r = snap.posix_by_path("/d/w").unwrap();
+            assert_eq!(r.get(P::POSIX_WRITES), 2);
+            assert_eq!(r.get(P::POSIX_RW_SWITCHES), 2);
+            assert_eq!(r.get(P::POSIX_CONSEC_WRITES), 2);
+            assert_eq!(r.get(P::POSIX_BYTES_WRITTEN), 200);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn record_memory_cap_sets_partial_flag() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig {
+                max_records_per_module: 2,
+                ..Default::default()
+            });
+            assert!(rt.posix_open("/a", at(0), at(0)).is_some());
+            assert!(rt.posix_open("/b", at(0), at(0)).is_some());
+            assert!(rt.posix_open("/c", at(0), at(0)).is_none());
+            // Existing records still update.
+            assert!(rt.posix_open("/a", at(1), at(1)).is_some());
+            let snap = rt.snapshot();
+            assert!(snap.posix_partial);
+            assert_eq!(snap.posix.len(), 2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dxt_records_segments_and_caps() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig {
+                dxt_max_segments: 3,
+                ..Default::default()
+            });
+            let id = rt.posix_open("/d/f", at(0), at(0)).unwrap();
+            for i in 0..5u64 {
+                rt.posix_read(id, i * 10, 10, at(i), at(i + 1));
+            }
+            let segs = rt.dxt_of(id);
+            assert_eq!(segs.len(), 3, "capped");
+            assert!(rt.dxt_truncated());
+            assert_eq!(segs[0].offset, 0);
+            assert_eq!(segs[0].length, 10);
+            assert_eq!(segs[0].op, DxtOp::Read);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dxt_range_query() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig::default());
+            let id = rt.posix_open("/d/f", at(0), at(0)).unwrap();
+            rt.posix_read(id, 0, 10, at(10), at(20));
+            rt.posix_read(id, 10, 10, at(30), at(40));
+            rt.posix_read(id, 20, 10, at(50), at(60));
+            let mid = rt.dxt_range(0.025, 0.045);
+            assert_eq!(mid.len(), 1);
+            assert_eq!(mid[0].1.offset, 10);
+            assert_eq!(rt.dxt_range(0.0, 1.0).len(), 3);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn snapshot_is_a_stable_copy() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = Arc::new(DarshanRuntime::new(DarshanConfig::default()));
+            let id = rt.posix_open("/d/f", at(0), at(1)).unwrap();
+            rt.posix_read(id, 0, 100, at(1), at(2));
+            let s1 = rt.snapshot();
+            rt.posix_read(id, 100, 100, at(2), at(3));
+            let s2 = rt.snapshot();
+            assert_eq!(s1.posix_by_path("/d/f").unwrap().get(P::POSIX_READS), 1);
+            assert_eq!(s2.posix_by_path("/d/f").unwrap().get(P::POSIX_READS), 2);
+            assert_eq!(s1.names[&record_id("/d/f")], "/d/f");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn totals_track_aggregates() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig::default());
+            let id = rt.posix_open("/d/f", at(0), at(0)).unwrap();
+            rt.posix_read(id, 0, 500, at(0), at(1));
+            rt.posix_write(id, 0, 200, at(1), at(2));
+            let t = rt.totals();
+            assert_eq!(t.posix_opens, 1);
+            assert_eq!(t.posix_reads, 1);
+            assert_eq!(t.posix_bytes_read, 500);
+            assert_eq!(t.posix_bytes_written, 200);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stdio_module_counts() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let rt = DarshanRuntime::new(DarshanConfig::default());
+            let id = rt.stdio_open("/ckpt", at(0), at(1)).unwrap();
+            for i in 0..140u64 {
+                rt.stdio_write(id, i * 100, 100, at(i + 1), at(i + 2));
+            }
+            rt.stdio_close(id, at(200), at(201));
+            let snap = rt.snapshot();
+            let r = &snap.stdio[0];
+            assert_eq!(r.get(S::STDIO_OPENS), 1);
+            assert_eq!(r.get(S::STDIO_WRITES), 140);
+            assert_eq!(r.get(S::STDIO_BYTES_WRITTEN), 14_000);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,208 @@
+//! # dstat-sim — background disk-activity sampler
+//!
+//! The paper validates tf-Darshan's bandwidth numbers by "concurrently
+//! running Dstat in the background to collect disk activities" (Figs. 3,
+//! 4, 12). This crate is that background process: a simulated thread that
+//! samples every device's transfer counters once per virtual second and
+//! reports per-interval rates.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simrt::sync::Event;
+use simrt::{Sim, SimTime};
+use storage_sim::{CounterSnapshot, Device};
+
+/// One sampling interval's disk activity.
+#[derive(Clone, Debug)]
+pub struct DstatSample {
+    /// End of the sampling interval.
+    pub t: SimTime,
+    /// Bytes read during the interval, per device (same order as the
+    /// device list given to [`Dstat::spawn`]).
+    pub read_bytes: Vec<u64>,
+    /// Bytes written during the interval, per device.
+    pub write_bytes: Vec<u64>,
+}
+
+impl DstatSample {
+    /// Total read bytes across devices.
+    pub fn total_read(&self) -> u64 {
+        self.read_bytes.iter().sum()
+    }
+
+    /// Total written bytes across devices.
+    pub fn total_write(&self) -> u64 {
+        self.write_bytes.iter().sum()
+    }
+
+    /// Aggregate read rate in MiB/s given the sampling interval.
+    pub fn read_mib_per_s(&self, interval: Duration) -> f64 {
+        self.total_read() as f64 / (1024.0 * 1024.0) / interval.as_secs_f64()
+    }
+}
+
+/// A running dstat instance.
+pub struct Dstat {
+    samples: Arc<Mutex<Vec<DstatSample>>>,
+    stop: Arc<Event>,
+    interval: Duration,
+    names: Vec<String>,
+}
+
+impl Dstat {
+    /// Start sampling `devices` every `interval` on a background simulated
+    /// thread. Call [`Dstat::stop`] before the simulation ends (a sampler
+    /// never stops by itself, exactly like the real tool).
+    pub fn spawn(sim: &Sim, devices: Vec<Arc<Device>>, interval: Duration) -> Dstat {
+        assert!(!devices.is_empty(), "dstat needs at least one device");
+        assert!(!interval.is_zero());
+        let samples: Arc<Mutex<Vec<DstatSample>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(Event::new());
+        let names = devices.iter().map(|d| d.name().to_string()).collect();
+        {
+            let samples = samples.clone();
+            let stop = stop.clone();
+            sim.spawn("dstat", move || {
+                let mut prev: Vec<CounterSnapshot> =
+                    devices.iter().map(|d| d.snapshot()).collect();
+                loop {
+                    let deadline = simrt::now() + interval;
+                    if stop.wait_deadline(deadline) {
+                        break;
+                    }
+                    let cur: Vec<CounterSnapshot> =
+                        devices.iter().map(|d| d.snapshot()).collect();
+                    let sample = DstatSample {
+                        t: simrt::now(),
+                        read_bytes: cur
+                            .iter()
+                            .zip(&prev)
+                            .map(|(c, p)| c.bytes_read - p.bytes_read)
+                            .collect(),
+                        write_bytes: cur
+                            .iter()
+                            .zip(&prev)
+                            .map(|(c, p)| c.bytes_written - p.bytes_written)
+                            .collect(),
+                    };
+                    prev = cur;
+                    samples.lock().push(sample);
+                }
+            });
+        }
+        Dstat {
+            samples,
+            stop,
+            interval,
+            names,
+        }
+    }
+
+    /// Stop the sampler (must be called from a simulated thread).
+    pub fn stop(&self) {
+        self.stop.set();
+    }
+
+    /// The stop event, for handing to another thread.
+    pub fn stop_event(&self) -> Arc<Event> {
+        self.stop.clone()
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Sampled device names, in column order.
+    pub fn device_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All samples collected so far.
+    pub fn samples(&self) -> Vec<DstatSample> {
+        self.samples.lock().clone()
+    }
+
+    /// Mean aggregate read bandwidth (MiB/s) over samples in `[from, to]`.
+    pub fn mean_read_mib_per_s(&self, from: SimTime, to: SimTime) -> f64 {
+        let samples = self.samples.lock();
+        let in_range: Vec<&DstatSample> =
+            samples.iter().filter(|s| s.t >= from && s.t <= to).collect();
+        if in_range.is_empty() {
+            return 0.0;
+        }
+        let bytes: u64 = in_range.iter().map(|s| s.total_read()).sum();
+        let secs = in_range.len() as f64 * self.interval.as_secs_f64();
+        bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage_sim::{DeviceSpec, Dir};
+
+    #[test]
+    fn samples_track_transfer_rates() {
+        let sim = Sim::new();
+        let dev = Device::new(DeviceSpec::optane("nvme0"));
+        let dstat = Dstat::spawn(&sim, vec![dev.clone()], Duration::from_secs(1));
+        let stop = dstat.stop.clone();
+        sim.spawn("workload", move || {
+            // ~100 MiB/s for 3 seconds: 10 MiB every ~0.1 s.
+            for _ in 0..30 {
+                dev.transfer(Dir::Read, 0, 10 << 20).unwrap();
+                simrt::sleep(Duration::from_millis(95));
+            }
+            simrt::sleep(Duration::from_millis(500));
+            stop.set();
+        });
+        sim.run();
+        let samples = dstat.samples();
+        assert!(samples.len() >= 3, "got {} samples", samples.len());
+        let first = &samples[0];
+        let mib = first.read_mib_per_s(Duration::from_secs(1));
+        assert!(
+            (80.0..=120.0).contains(&mib),
+            "expected ~100 MiB/s, got {mib:.1}"
+        );
+        assert_eq!(first.total_write(), 0);
+    }
+
+    #[test]
+    fn mean_bandwidth_over_window() {
+        let sim = Sim::new();
+        let dev = Device::new(DeviceSpec::optane("nvme0"));
+        let dstat = Dstat::spawn(&sim, vec![dev.clone()], Duration::from_secs(1));
+        let stop = dstat.stop.clone();
+        sim.spawn("workload", move || {
+            for _ in 0..4 {
+                dev.transfer(Dir::Read, 0, 50 << 20).unwrap();
+                simrt::sleep(Duration::from_millis(1000));
+            }
+            stop.set();
+        });
+        sim.run();
+        let mean = dstat.mean_read_mib_per_s(SimTime::ZERO, SimTime::from_secs_f64(10.0));
+        assert!((40.0..=60.0).contains(&mean), "got {mean:.1}");
+    }
+
+    #[test]
+    fn stop_ends_sampler_promptly() {
+        let sim = Sim::new();
+        let dev = Device::new(DeviceSpec::hdd("hdd0"));
+        let dstat = Dstat::spawn(&sim, vec![dev], Duration::from_secs(1));
+        let stop = dstat.stop.clone();
+        sim.spawn("main", move || {
+            simrt::sleep(Duration::from_millis(2500));
+            stop.set();
+        });
+        sim.run();
+        assert!(sim.now() < SimTime::from_secs_f64(3.1));
+        assert_eq!(dstat.samples().len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Communicators and collectives over simulated processes.
+//!
+//! The paper notes (§III) that TensorFlow is not an MPI application, which
+//! is why tf-Darshan builds on the non-MPI Darshan 3.2.0-pre — but that
+//! "if TensorFlow employs MPI as a distributed strategy for I/O in the
+//! future, one can employ the parallel version of Darshan with the MPI
+//! module … with a similar technique". This crate provides that future:
+//! ranks as simulated processes, collectives with a network cost model,
+//! and MPI-IO with a PMPI-style interposable layer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use posix_sim::Process;
+use simrt::sync::Barrier;
+use simrt::{dur, sleep, JoinHandle, Sim};
+use storage_sim::StorageStack;
+
+use crate::io::{DefaultMpiIo, MpiIoLayer};
+
+/// Interconnect cost model (EDR InfiniBand-ish defaults).
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// Per-message latency.
+    pub latency: Duration,
+    /// Per-link bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(2),
+            bandwidth: 10.0e9, // ~100 Gb/s
+        }
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub size: usize,
+    pub net: NetworkModel,
+    pub barrier: Barrier,
+    pub layer: RwLock<Arc<dyn MpiIoLayer>>,
+    pub default_layer: Arc<dyn MpiIoLayer>,
+    pub processes: Mutex<Vec<Arc<Process>>>,
+}
+
+/// An MPI world of `size` ranks.
+#[derive(Clone)]
+pub struct MpiWorld {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl MpiWorld {
+    /// Create a world of `size` ranks, each with its own [`Process`] over
+    /// the shared storage stack (the cluster's parallel filesystem).
+    pub fn new(stack: &StorageStack, size: usize, net: NetworkModel) -> Self {
+        assert!(size > 0);
+        let default_layer: Arc<dyn MpiIoLayer> = Arc::new(DefaultMpiIo);
+        let processes = (0..size).map(|_| Process::new(stack.clone())).collect();
+        MpiWorld {
+            inner: Arc::new(WorldInner {
+                size,
+                net,
+                barrier: Barrier::new(size),
+                layer: RwLock::new(default_layer.clone()),
+                default_layer,
+                processes: Mutex::new(processes),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The rank's process.
+    pub fn process(&self, rank: usize) -> Arc<Process> {
+        self.inner.processes.lock()[rank].clone()
+    }
+
+    /// PMPI interposition: replace the MPI-IO layer (profilers link their
+    /// wrappers ahead of the MPI library). Returns the previous layer for
+    /// forwarding.
+    pub fn pmpi_interpose(&self, new: Arc<dyn MpiIoLayer>) -> Arc<dyn MpiIoLayer> {
+        std::mem::replace(&mut *self.inner.layer.write(), new)
+    }
+
+    /// Restore a saved layer.
+    pub fn pmpi_restore(&self, layer: Arc<dyn MpiIoLayer>) {
+        *self.inner.layer.write() = layer;
+    }
+
+    /// Whether a profiler is interposed.
+    pub fn pmpi_interposed(&self) -> bool {
+        !Arc::ptr_eq(&*self.inner.layer.read(), &self.inner.default_layer)
+    }
+
+    /// Spawn one simulated thread per rank running `f(comm)`; returns the
+    /// join handles in rank order (like `mpirun`).
+    pub fn spawn_ranks<T, F>(&self, sim: &Sim, f: F) -> Vec<JoinHandle<T>>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Clone + Send + Sync + 'static,
+    {
+        (0..self.inner.size)
+            .map(|rank| {
+                let comm = Comm {
+                    world: self.clone(),
+                    rank,
+                };
+                let f = f.clone();
+                sim.spawn(format!("rank{rank}"), move || f(comm))
+            })
+            .collect()
+    }
+}
+
+/// A rank's view of the communicator (`MPI_COMM_WORLD`).
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) world: MpiWorld,
+    pub(crate) rank: usize,
+}
+
+impl Comm {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// This rank's process.
+    pub fn process(&self) -> Arc<Process> {
+        self.world.process(self.rank)
+    }
+
+    /// The world.
+    pub fn world(&self) -> &MpiWorld {
+        &self.world
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self) {
+        self.world.inner.barrier.wait();
+        if !self.world.inner.net.latency.is_zero() {
+            sleep(self.world.inner.net.latency);
+        }
+        self.world.inner.barrier.wait();
+    }
+
+    /// `MPI_Allreduce` of `bytes` (ring algorithm cost model): the
+    /// data-parallel gradient synchronization of distributed training.
+    pub fn allreduce_bytes(&self, bytes: u64) {
+        let n = self.size() as f64;
+        self.world.inner.barrier.wait();
+        if n > 1.0 {
+            let net = &self.world.inner.net;
+            let steps = 2.0 * (n - 1.0);
+            let volume = 2.0 * (n - 1.0) / n * bytes as f64;
+            let cost = dur::secs_f64(
+                net.latency.as_secs_f64() * steps + volume / net.bandwidth,
+            );
+            sleep(cost);
+        }
+        self.world.inner.barrier.wait();
+    }
+
+    /// `MPI_Bcast` of `bytes` (binomial tree cost model).
+    pub fn bcast_bytes(&self, bytes: u64) {
+        let n = self.size() as f64;
+        self.world.inner.barrier.wait();
+        if n > 1.0 {
+            let net = &self.world.inner.net;
+            let rounds = n.log2().ceil();
+            let cost = dur::secs_f64(
+                (net.latency.as_secs_f64() + bytes as f64 / net.bandwidth) * rounds,
+            );
+            sleep(cost);
+        }
+        self.world.inner.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrt::SimTime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let sim = Sim::new();
+        let stack = StorageStack::new();
+        let world = MpiWorld::new(&stack, 4, NetworkModel::default());
+        let after = Arc::new(Mutex::new(Vec::new()));
+        let a2 = after.clone();
+        let handles = world.spawn_ranks(&sim, move |comm| {
+            sleep(Duration::from_millis(comm.rank() as u64));
+            comm.barrier();
+            a2.lock().push((comm.rank(), simrt::now()));
+        });
+        sim.run();
+        for h in handles {
+            h.join();
+        }
+        let v = after.lock().clone();
+        let t0 = v[0].1;
+        assert!(v.iter().all(|(_, t)| *t == t0), "all exit together: {v:?}");
+        assert!(t0 >= SimTime::from_secs_f64(0.003), "slowest rank gates");
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_ranks() {
+        let cost = |ranks: usize, bytes: u64| {
+            let sim = Sim::new();
+            let stack = StorageStack::new();
+            let world = MpiWorld::new(&stack, ranks, NetworkModel::default());
+            world.spawn_ranks(&sim, move |comm| comm.allreduce_bytes(bytes));
+            sim.run();
+            sim.now().as_secs_f64()
+        };
+        let small = cost(4, 1 << 20);
+        let big = cost(4, 64 << 20);
+        assert!(big > small * 20.0, "{small} vs {big}");
+        let one_rank = cost(1, 64 << 20);
+        assert!(one_rank < 1e-6, "single rank allreduce is free");
+    }
+
+    #[test]
+    fn ranks_have_distinct_processes() {
+        let sim = Sim::new();
+        let stack = StorageStack::new();
+        let world = MpiWorld::new(&stack, 3, NetworkModel::default());
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s2 = seen.clone();
+        world.spawn_ranks(&sim, move |comm| {
+            assert_eq!(comm.process().open_fds(), 0);
+            s2.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.run();
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+        assert!(!Arc::ptr_eq(&world.process(0), &world.process(1)));
+    }
+}

@@ -1,0 +1,259 @@
+//! MPI-IO over the POSIX layer (ROMIO's shape: MPI-IO functions are a
+//! library over `open`/`pread`/`pwrite`), with a PMPI-interposable layer
+//! so the parallel Darshan's MPI-IO module can wrap it (paper §III).
+
+use posix_sim::{Fd, OpenFlags, PosixResult};
+use storage_sim::WritePayload;
+
+use crate::comm::Comm;
+
+/// An open MPI file from one rank's perspective.
+pub struct MpiFile {
+    /// Path the file was opened with.
+    pub path: String,
+    pub(crate) fd: Fd,
+    /// Whether the open was collective.
+    pub collective: bool,
+}
+
+/// The interposable MPI-IO surface (PMPI: a profiler links its wrappers
+/// ahead of the MPI library and forwards to `PMPI_*`).
+#[allow(missing_docs)]
+pub trait MpiIoLayer: Send + Sync {
+    fn file_open(&self, comm: &Comm, path: &str, write: bool, collective: bool)
+        -> PosixResult<MpiFile>;
+    fn read_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
+    fn write_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
+    /// Collective read: all ranks call; completion is synchronized.
+    fn read_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
+    /// Collective write.
+    fn write_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
+    fn file_close(&self, comm: &Comm, fh: MpiFile) -> PosixResult<()>;
+}
+
+/// The stock MPI-IO implementation: forwards to the rank's POSIX process
+/// (so Darshan's POSIX module still sees the underlying descriptor I/O,
+/// exactly as with ROMIO on a real system).
+pub struct DefaultMpiIo;
+
+impl MpiIoLayer for DefaultMpiIo {
+    fn file_open(
+        &self,
+        comm: &Comm,
+        path: &str,
+        write: bool,
+        collective: bool,
+    ) -> PosixResult<MpiFile> {
+        if collective {
+            comm.barrier();
+        }
+        let flags = if write {
+            OpenFlags {
+                read: true,
+                write: true,
+                create: true,
+                ..Default::default()
+            }
+        } else {
+            OpenFlags::rdonly()
+        };
+        // Rank 0 creates first on collective writable opens so the create
+        // is not raced (deterministic sim ordering makes this a formality,
+        // but it mirrors ROMIO's behaviour).
+        let p = comm.process();
+        let fd = p.open(path, flags)?;
+        if collective {
+            comm.barrier();
+        }
+        Ok(MpiFile {
+            path: path.to_string(),
+            fd,
+            collective,
+        })
+    }
+
+    fn read_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        comm.process().pread(fh.fd, offset, len, None)
+    }
+
+    fn write_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        comm.process().pwrite(fh.fd, offset, WritePayload::Synthetic(len))
+    }
+
+    fn read_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        comm.barrier();
+        let n = self.read_at(comm, fh, offset, len)?;
+        comm.barrier();
+        Ok(n)
+    }
+
+    fn write_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        comm.barrier();
+        let n = self.write_at(comm, fh, offset, len)?;
+        comm.barrier();
+        Ok(n)
+    }
+
+    fn file_close(&self, comm: &Comm, fh: MpiFile) -> PosixResult<()> {
+        if fh.collective {
+            comm.barrier();
+        }
+        comm.process().close(fh.fd)
+    }
+}
+
+impl Comm {
+    /// `MPI_File_open` (collective).
+    pub fn file_open(&self, path: &str, write: bool) -> PosixResult<MpiFile> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.file_open(self, path, write, true)
+    }
+
+    /// `MPI_File_read_at` (independent).
+    pub fn file_read_at(&self, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.read_at(self, fh, offset, len)
+    }
+
+    /// `MPI_File_write_at` (independent).
+    pub fn file_write_at(&self, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.write_at(self, fh, offset, len)
+    }
+
+    /// `MPI_File_read_at_all` (collective).
+    pub fn file_read_at_all(&self, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.read_at_all(self, fh, offset, len)
+    }
+
+    /// `MPI_File_write_at_all` (collective).
+    pub fn file_write_at_all(&self, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.write_at_all(self, fh, offset, len)
+    }
+
+    /// `MPI_File_close` (collective if opened collectively).
+    pub fn file_close(&self, fh: MpiFile) -> PosixResult<()> {
+        let layer = self.world.inner.layer.read().clone();
+        layer.file_close(self, fh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{MpiWorld, NetworkModel};
+    use std::sync::Arc;
+    use storage_sim::{
+        Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
+    };
+
+    fn fixture() -> (simrt::Sim, StorageStack, Arc<LocalFs>) {
+        let sim = simrt::Sim::new();
+        let fs = LocalFs::new(
+            Device::new(DeviceSpec::sata_ssd("ssd0")),
+            Arc::new(PageCache::new(1 << 30)),
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/pfs", fs.clone() as Arc<dyn FileSystem>);
+        (sim, stack, fs)
+    }
+
+    #[test]
+    fn collective_write_produces_disjoint_blocks() {
+        let (sim, stack, fs) = fixture();
+        let world = MpiWorld::new(&stack, 4, NetworkModel::default());
+        let block = 1u64 << 20;
+        world.spawn_ranks(&sim, move |comm| {
+            let fh = comm.file_open("/pfs/ckpt", true).unwrap();
+            let off = comm.rank() as u64 * block;
+            assert_eq!(comm.file_write_at_all(&fh, off, block).unwrap(), block);
+            comm.file_close(fh).unwrap();
+        });
+        sim.run();
+        // All four blocks landed: the file is 4 MiB.
+        assert_eq!(fs.content_info("/pfs/ckpt").unwrap().0, 4 * block);
+    }
+
+    #[test]
+    fn independent_reads_share_one_file() {
+        let (sim, stack, fs) = fixture();
+        fs.create_synthetic("/pfs/data", 8 << 20, 7).unwrap();
+        let world = MpiWorld::new(&stack, 4, NetworkModel::default());
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let t2 = total.clone();
+        world.spawn_ranks(&sim, move |comm| {
+            let fh = comm.file_open("/pfs/data", false).unwrap();
+            let chunk = (8u64 << 20) / 4;
+            let n = comm
+                .file_read_at(&fh, comm.rank() as u64 * chunk, chunk)
+                .unwrap();
+            t2.fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+            comm.file_close(fh).unwrap();
+        });
+        sim.run();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 8 << 20);
+    }
+
+    #[test]
+    fn pmpi_interposition_counts_calls() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct CountingPmpi {
+            orig: Arc<dyn MpiIoLayer>,
+            coll_writes: AtomicU64,
+            indep_reads: AtomicU64,
+        }
+        impl MpiIoLayer for CountingPmpi {
+            fn file_open(
+                &self,
+                c: &Comm,
+                p: &str,
+                w: bool,
+                coll: bool,
+            ) -> PosixResult<MpiFile> {
+                self.orig.file_open(c, p, w, coll)
+            }
+            fn read_at(&self, c: &Comm, f: &MpiFile, o: u64, l: u64) -> PosixResult<u64> {
+                self.indep_reads.fetch_add(1, Ordering::Relaxed);
+                self.orig.read_at(c, f, o, l)
+            }
+            fn write_at(&self, c: &Comm, f: &MpiFile, o: u64, l: u64) -> PosixResult<u64> {
+                self.orig.write_at(c, f, o, l)
+            }
+            fn read_at_all(&self, c: &Comm, f: &MpiFile, o: u64, l: u64) -> PosixResult<u64> {
+                self.orig.read_at_all(c, f, o, l)
+            }
+            fn write_at_all(&self, c: &Comm, f: &MpiFile, o: u64, l: u64) -> PosixResult<u64> {
+                self.coll_writes.fetch_add(1, Ordering::Relaxed);
+                self.orig.write_at_all(c, f, o, l)
+            }
+            fn file_close(&self, c: &Comm, f: MpiFile) -> PosixResult<()> {
+                self.orig.file_close(c, f)
+            }
+        }
+
+        let (sim, stack, fs) = fixture();
+        fs.create_synthetic("/pfs/data", 1 << 20, 1).unwrap();
+        let world = MpiWorld::new(&stack, 2, NetworkModel::default());
+        let counter = Arc::new(CountingPmpi {
+            orig: world.pmpi_interpose(Arc::new(DefaultMpiIo)), // placeholder
+            coll_writes: AtomicU64::new(0),
+            indep_reads: AtomicU64::new(0),
+        });
+        world.pmpi_interpose(counter.clone() as Arc<dyn MpiIoLayer>);
+        assert!(world.pmpi_interposed());
+        world.spawn_ranks(&sim, move |comm| {
+            let fh = comm.file_open("/pfs/data", true).unwrap();
+            comm.file_read_at(&fh, 0, 1024).unwrap();
+            comm.file_write_at_all(&fh, comm.rank() as u64 * 4096, 4096)
+                .unwrap();
+            comm.file_close(fh).unwrap();
+        });
+        sim.run();
+        assert_eq!(counter.indep_reads.load(Ordering::Relaxed), 2);
+        assert_eq!(counter.coll_writes.load(Ordering::Relaxed), 2);
+    }
+}

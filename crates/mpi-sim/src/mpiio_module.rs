@@ -1,0 +1,250 @@
+//! The parallel Darshan MPI-IO module (paper §III: "one can employ the
+//! parallel version of Darshan with the MPI module to profile and
+//! instrumentation I/O activities with a similar technique").
+//!
+//! A PMPI wrapper layer counts MPI-IO operations per rank and per file;
+//! because MPI-IO forwards to POSIX underneath, a rank with Darshan's
+//! POSIX instrumentation attached records both layers, exactly like real
+//! Darshan on a real MPI application. At job end the per-rank records
+//! reduce into a job view (shared files merge).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use darshan_sim::record_id;
+use parking_lot::Mutex;
+use posix_sim::PosixResult;
+
+use crate::comm::Comm;
+use crate::io::{MpiFile, MpiIoLayer};
+
+/// Per-file, per-rank MPI-IO record (the module's counter set, trimmed to
+/// what the analyses use).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MpiioRecord {
+    /// Independent opens.
+    pub indep_opens: u64,
+    /// Collective opens.
+    pub coll_opens: u64,
+    /// Independent reads.
+    pub indep_reads: u64,
+    /// Collective reads.
+    pub coll_reads: u64,
+    /// Independent writes.
+    pub indep_writes: u64,
+    /// Collective writes.
+    pub coll_writes: u64,
+    /// Bytes read through MPI-IO.
+    pub bytes_read: u64,
+    /// Bytes written through MPI-IO.
+    pub bytes_written: u64,
+}
+
+impl MpiioRecord {
+    /// Merge another rank's record for the same file (job reduction).
+    pub fn merge(&mut self, other: &MpiioRecord) {
+        self.indep_opens += other.indep_opens;
+        self.coll_opens += other.coll_opens;
+        self.indep_reads += other.indep_reads;
+        self.coll_reads += other.coll_reads;
+        self.indep_writes += other.indep_writes;
+        self.coll_writes += other.coll_writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// The PMPI wrapper: per-(rank, file) MPI-IO records.
+pub struct DarshanMpiio {
+    orig: Arc<dyn MpiIoLayer>,
+    records: Mutex<HashMap<(usize, u64), MpiioRecord>>,
+    names: Mutex<HashMap<u64, String>>,
+}
+
+impl DarshanMpiio {
+    /// Wrap the previous layer; interpose with
+    /// [`crate::MpiWorld::pmpi_interpose`].
+    pub fn new(orig: Arc<dyn MpiIoLayer>) -> Arc<Self> {
+        Arc::new(DarshanMpiio {
+            orig,
+            records: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The original layer, for restoring.
+    pub fn orig(&self) -> Arc<dyn MpiIoLayer> {
+        self.orig.clone()
+    }
+
+    fn with_rec(&self, rank: usize, path: &str, f: impl FnOnce(&mut MpiioRecord)) {
+        let id = record_id(path);
+        self.names
+            .lock()
+            .entry(id)
+            .or_insert_with(|| path.to_string());
+        f(self.records.lock().entry((rank, id)).or_default());
+    }
+
+    /// This rank's records, as `(path, record)`.
+    pub fn rank_records(&self, rank: usize) -> Vec<(String, MpiioRecord)> {
+        let names = self.names.lock();
+        let mut v: Vec<(String, MpiioRecord)> = self
+            .records
+            .lock()
+            .iter()
+            .filter(|((r, _), _)| *r == rank)
+            .map(|((_, id), rec)| (names[id].clone(), *rec))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Job-level reduction across all ranks (what `MPI_Finalize` runs).
+    pub fn reduce_job(&self) -> Vec<(String, MpiioRecord)> {
+        let names = self.names.lock();
+        let mut by_file: HashMap<u64, MpiioRecord> = HashMap::new();
+        for ((_, id), rec) in self.records.lock().iter() {
+            by_file.entry(*id).or_default().merge(rec);
+        }
+        let mut v: Vec<(String, MpiioRecord)> = by_file
+            .into_iter()
+            .map(|(id, rec)| (names[&id].clone(), rec))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+impl MpiIoLayer for DarshanMpiio {
+    fn file_open(
+        &self,
+        comm: &Comm,
+        path: &str,
+        write: bool,
+        collective: bool,
+    ) -> PosixResult<MpiFile> {
+        let r = self.orig.file_open(comm, path, write, collective);
+        if r.is_ok() {
+            self.with_rec(comm.rank(), path, |rec| {
+                if collective {
+                    rec.coll_opens += 1;
+                } else {
+                    rec.indep_opens += 1;
+                }
+            });
+        }
+        r
+    }
+
+    fn read_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let r = self.orig.read_at(comm, fh, offset, len);
+        if let Ok(n) = &r {
+            self.with_rec(comm.rank(), &fh.path, |rec| {
+                rec.indep_reads += 1;
+                rec.bytes_read += n;
+            });
+        }
+        r
+    }
+
+    fn write_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let r = self.orig.write_at(comm, fh, offset, len);
+        if let Ok(n) = &r {
+            self.with_rec(comm.rank(), &fh.path, |rec| {
+                rec.indep_writes += 1;
+                rec.bytes_written += n;
+            });
+        }
+        r
+    }
+
+    fn read_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let r = self.orig.read_at_all(comm, fh, offset, len);
+        if let Ok(n) = &r {
+            self.with_rec(comm.rank(), &fh.path, |rec| {
+                rec.coll_reads += 1;
+                rec.bytes_read += n;
+            });
+        }
+        r
+    }
+
+    fn write_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
+        let r = self.orig.write_at_all(comm, fh, offset, len);
+        if let Ok(n) = &r {
+            self.with_rec(comm.rank(), &fh.path, |rec| {
+                rec.coll_writes += 1;
+                rec.bytes_written += n;
+            });
+        }
+        r
+    }
+
+    fn file_close(&self, comm: &Comm, fh: MpiFile) -> PosixResult<()> {
+        self.orig.file_close(comm, fh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{MpiWorld, NetworkModel};
+    use crate::io::DefaultMpiIo;
+    use storage_sim::{
+        Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
+    };
+
+    #[test]
+    fn records_per_rank_and_job_reduction() {
+        let sim = simrt::Sim::new();
+        let fs = LocalFs::new(
+            Device::new(DeviceSpec::sata_ssd("ssd0")),
+            Arc::new(PageCache::new(1 << 30)),
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/pfs", fs.clone() as Arc<dyn FileSystem>);
+        fs.create_synthetic("/pfs/data", 16 << 20, 3).unwrap();
+
+        let world = MpiWorld::new(&stack, 4, NetworkModel::default());
+        let darshan = DarshanMpiio::new(Arc::new(DefaultMpiIo));
+        world.pmpi_interpose(darshan.clone() as Arc<dyn MpiIoLayer>);
+
+        world.spawn_ranks(&sim, move |comm| {
+            // Each rank: one collective open, two independent reads of its
+            // quarter, one collective checkpoint write.
+            let fh = comm.file_open("/pfs/data", false).unwrap();
+            let chunk = (16u64 << 20) / 8;
+            let base = comm.rank() as u64 * 2 * chunk;
+            comm.file_read_at(&fh, base, chunk).unwrap();
+            comm.file_read_at(&fh, base + chunk, chunk).unwrap();
+            comm.file_close(fh).unwrap();
+
+            let ck = comm.file_open("/pfs/ckpt", true).unwrap();
+            comm.file_write_at_all(&ck, comm.rank() as u64 * (1 << 20), 1 << 20)
+                .unwrap();
+            comm.file_close(ck).unwrap();
+        });
+        sim.run();
+
+        // Per-rank view.
+        let r0 = darshan.rank_records(0);
+        assert_eq!(r0.len(), 2);
+        let data0 = &r0.iter().find(|(p, _)| p == "/pfs/data").unwrap().1;
+        assert_eq!(data0.coll_opens, 1);
+        assert_eq!(data0.indep_reads, 2);
+        assert_eq!(data0.bytes_read, 4 << 20);
+
+        // Job view: shared files merged across 4 ranks.
+        let job = darshan.reduce_job();
+        assert_eq!(job.len(), 2);
+        let data = &job.iter().find(|(p, _)| p == "/pfs/data").unwrap().1;
+        assert_eq!(data.coll_opens, 4);
+        assert_eq!(data.indep_reads, 8);
+        assert_eq!(data.bytes_read, 16 << 20);
+        let ckpt = &job.iter().find(|(p, _)| p == "/pfs/ckpt").unwrap().1;
+        assert_eq!(ckpt.coll_writes, 4);
+        assert_eq!(ckpt.bytes_written, 4 << 20);
+    }
+}

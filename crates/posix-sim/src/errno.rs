@@ -1,0 +1,72 @@
+//! POSIX error numbers used by the I/O layer.
+
+use storage_sim::FsError;
+
+/// The subset of errno values the simulated syscalls can return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// No such file or directory.
+    ENOENT,
+    /// File exists.
+    EEXIST,
+    /// No space left on device.
+    ENOSPC,
+    /// Input/output error.
+    EIO,
+    /// Bad file descriptor.
+    EBADF,
+    /// Invalid argument.
+    EINVAL,
+    /// Operation not permitted by the open mode.
+    EACCES,
+}
+
+impl Errno {
+    /// The conventional symbolic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::ENOENT => "ENOENT",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::EINVAL => "EINVAL",
+            Errno::EACCES => "EACCES",
+        }
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<FsError> for Errno {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NotFound => Errno::ENOENT,
+            FsError::Exists => Errno::EEXIST,
+            FsError::NoSpace => Errno::ENOSPC,
+            FsError::Io => Errno::EIO,
+            FsError::Invalid => Errno::EBADF,
+            FsError::BadAccess => Errno::EACCES,
+        }
+    }
+}
+
+/// Result type of the simulated syscalls.
+pub type PosixResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_error_mapping() {
+        assert_eq!(Errno::from(FsError::NotFound), Errno::ENOENT);
+        assert_eq!(Errno::from(FsError::NoSpace), Errno::ENOSPC);
+        assert_eq!(Errno::from(FsError::Io), Errno::EIO);
+        assert_eq!(format!("{}", Errno::ENOENT), "ENOENT");
+    }
+}

@@ -1,0 +1,430 @@
+//! Default ("libc") implementations of the POSIX and STDIO symbol tables.
+//!
+//! These are what the GOT points at before any instrumentation attaches —
+//! the `libc.so` boxes of the paper's Fig. 2. The STDIO implementation
+//! performs its underlying descriptor I/O *directly* against the default
+//! POSIX implementation, not through the GOT, mirroring glibc internals:
+//! interposing `read` does not see `fread` traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simrt::sleep;
+use storage_sim::{FsError, Metadata, WritePayload};
+
+use crate::errno::{Errno, PosixResult};
+use crate::process::{Fd, FdEntry, MapEntry, MapId, OpenFlags, Process, StreamId, Whence};
+use crate::symtab::{LibcIo, LibcStdio};
+
+/// The default POSIX implementation.
+pub struct DefaultLibc;
+
+impl DefaultLibc {
+    fn syscall(&self, p: &Process) {
+        if !p.syscall_overhead.is_zero() {
+            sleep(p.syscall_overhead);
+        }
+    }
+}
+
+impl LibcIo for DefaultLibc {
+    fn open(&self, p: &Process, path: &str, flags: OpenFlags) -> PosixResult<Fd> {
+        self.syscall(p);
+        let fs = p.stack().resolve(path).map_err(Errno::from)?;
+        let h = fs.open(path, &flags.to_fs()).map_err(Errno::from)?;
+        let pos = if flags.append {
+            fs.fstat(h).map_err(Errno::from)?.size
+        } else {
+            0
+        };
+        Ok(p.alloc_fd(FdEntry {
+            path: path.to_string(),
+            fs,
+            handle: h,
+            flags,
+            pos: parking_lot::Mutex::new(pos),
+        }))
+    }
+
+    fn close(&self, p: &Process, fd: Fd) -> PosixResult<()> {
+        self.syscall(p);
+        let e = p.remove_fd(fd)?;
+        e.fs.close(e.handle).map_err(Errno::from)
+    }
+
+    fn read(&self, p: &Process, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        if !e.flags.read {
+            return Err(Errno::EACCES);
+        }
+        let mut pos = e.pos.lock();
+        let n = e
+            .fs
+            .read_at(e.handle, *pos, len, buf)
+            .map_err(Errno::from)?;
+        *pos += n;
+        Ok(n)
+    }
+
+    fn pread(
+        &self,
+        p: &Process,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+        buf: Option<&mut [u8]>,
+    ) -> PosixResult<u64> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        if !e.flags.read {
+            return Err(Errno::EACCES);
+        }
+        e.fs.read_at(e.handle, offset, len, buf).map_err(Errno::from)
+    }
+
+    fn write(&self, p: &Process, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        if !e.flags.write {
+            return Err(Errno::EACCES);
+        }
+        let mut pos = e.pos.lock();
+        if e.flags.append {
+            *pos = e.fs.fstat(e.handle).map_err(Errno::from)?.size;
+        }
+        let n = e
+            .fs
+            .write_at(e.handle, *pos, data)
+            .map_err(Errno::from)?;
+        *pos += n;
+        Ok(n)
+    }
+
+    fn pwrite(&self, p: &Process, fd: Fd, offset: u64, data: WritePayload<'_>) -> PosixResult<u64> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        if !e.flags.write {
+            return Err(Errno::EACCES);
+        }
+        e.fs.write_at(e.handle, offset, data).map_err(Errno::from)
+    }
+
+    fn lseek(&self, p: &Process, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        let size = e.fs.fstat(e.handle).map_err(Errno::from)?.size;
+        let mut pos = e.pos.lock();
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => *pos as i64,
+            Whence::End => size as i64,
+        };
+        let target = base.checked_add(offset).ok_or(Errno::EINVAL)?;
+        if target < 0 {
+            return Err(Errno::EINVAL);
+        }
+        *pos = target as u64;
+        Ok(*pos)
+    }
+
+    fn stat(&self, p: &Process, path: &str) -> PosixResult<Metadata> {
+        self.syscall(p);
+        let fs = p.stack().resolve(path).map_err(Errno::from)?;
+        fs.stat(path).map_err(Errno::from)
+    }
+
+    fn fstat(&self, p: &Process, fd: Fd) -> PosixResult<Metadata> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        e.fs.fstat(e.handle).map_err(Errno::from)
+    }
+
+    fn fsync(&self, p: &Process, fd: Fd) -> PosixResult<()> {
+        self.syscall(p);
+        let e = p.fd_entry(fd)?;
+        e.fs.fsync(e.handle).map_err(Errno::from)
+    }
+
+    fn unlink(&self, p: &Process, path: &str) -> PosixResult<()> {
+        self.syscall(p);
+        let fs = p.stack().resolve(path).map_err(Errno::from)?;
+        fs.unlink(path).map_err(Errno::from)
+    }
+
+    fn rename(&self, p: &Process, from: &str, to: &str) -> PosixResult<()> {
+        self.syscall(p);
+        let src = p.stack().resolve(from).map_err(Errno::from)?;
+        let dst = p.stack().resolve(to).map_err(Errno::from)?;
+        if src.instance_id() != dst.instance_id() {
+            // rename(2) cannot cross mounts (EXDEV in reality).
+            return Err(Errno::EINVAL);
+        }
+        src.rename(from, to).map_err(|e: FsError| Errno::from(e))
+    }
+
+    fn mmap(&self, p: &Process, fd: Fd, offset: u64, len: u64) -> PosixResult<MapId> {
+        self.syscall(p);
+        if len == 0 {
+            return Err(Errno::EINVAL);
+        }
+        let e = p.fd_entry(fd)?;
+        Ok(p.alloc_map(MapEntry {
+            fd_entry: e,
+            offset,
+            len,
+        }))
+    }
+
+    fn munmap(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        self.syscall(p);
+        let m = p.remove_map(map)?;
+        // Dirty mapped pages flush on unmap (as the kernel eventually would).
+        m.fd_entry
+            .fs
+            .fsync(m.fd_entry.handle)
+            .map_err(Errno::from)
+    }
+
+    fn msync(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        self.syscall(p);
+        let m = p.map_entry(map)?;
+        m.fd_entry
+            .fs
+            .fsync(m.fd_entry.handle)
+            .map_err(Errno::from)
+    }
+}
+
+/// STDIO stream buffering mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StreamMode {
+    Read,
+    Write,
+}
+
+/// Default STDIO userspace buffer size (glibc `BUFSIZ`).
+pub const BUFSIZ: u64 = 8192;
+
+/// An open `FILE *`.
+pub struct FileStream {
+    fd: Fd,
+    mode: StreamMode,
+    /// Stream position (logical, includes buffered data).
+    pos: u64,
+    /// Bytes buffered but not yet written.
+    wbuf_len: u64,
+    /// Literal bytes buffered (empty if any synthetic payload was queued).
+    wbuf: Vec<u8>,
+    /// True once any buffered payload was synthetic.
+    wbuf_synthetic: bool,
+    /// Read-ahead buffer: file range [rbuf_off, rbuf_off + rbuf_len).
+    rbuf_off: u64,
+    rbuf_len: u64,
+}
+
+impl FileStream {
+    fn new(fd: Fd, mode: StreamMode) -> Self {
+        FileStream {
+            fd,
+            mode,
+            pos: 0,
+            wbuf_len: 0,
+            wbuf: Vec::new(),
+            wbuf_synthetic: false,
+            rbuf_off: 0,
+            rbuf_len: 0,
+        }
+    }
+}
+
+/// The default STDIO implementation, layered on [`DefaultLibc`].
+pub struct DefaultStdio {
+    io: Arc<DefaultLibc>,
+    /// Library-call overhead (no kernel entry unless the buffer spills).
+    call_overhead: Duration,
+}
+
+impl DefaultStdio {
+    /// Create over the default POSIX implementation.
+    pub fn new(io: Arc<DefaultLibc>) -> Self {
+        DefaultStdio {
+            io,
+            call_overhead: Duration::from_nanos(60),
+        }
+    }
+
+    fn flush_locked(&self, p: &Process, st: &mut FileStream) -> PosixResult<()> {
+        if st.wbuf_len == 0 {
+            return Ok(());
+        }
+        let base = st.pos - st.wbuf_len;
+        let payload = if st.wbuf_synthetic {
+            WritePayload::Synthetic(st.wbuf_len)
+        } else {
+            WritePayload::Bytes(&st.wbuf)
+        };
+        self.io.pwrite(p, st.fd, base, payload)?;
+        st.wbuf_len = 0;
+        st.wbuf.clear();
+        st.wbuf_synthetic = false;
+        Ok(())
+    }
+}
+
+impl LibcStdio for DefaultStdio {
+    fn fopen(&self, p: &Process, path: &str, mode: &str) -> PosixResult<StreamId> {
+        sleep(self.call_overhead);
+        let (flags, smode) = match mode {
+            "r" | "rb" => (OpenFlags::rdonly(), StreamMode::Read),
+            "w" | "wb" => (OpenFlags::wronly_create_trunc(), StreamMode::Write),
+            "a" | "ab" => (
+                OpenFlags {
+                    write: true,
+                    create: true,
+                    append: true,
+                    ..Default::default()
+                },
+                StreamMode::Write,
+            ),
+            _ => return Err(Errno::EINVAL),
+        };
+        let fd = self.io.open(p, path, flags)?;
+        let mut stream = FileStream::new(fd, smode);
+        if flags.append {
+            stream.pos = self.io.fstat(p, fd)?.size;
+        }
+        Ok(p.alloc_stream(stream))
+    }
+
+    fn fclose(&self, p: &Process, s: StreamId) -> PosixResult<()> {
+        sleep(self.call_overhead);
+        let stream = p.remove_stream(s)?;
+        let mut st = stream.lock();
+        if st.mode == StreamMode::Write {
+            self.flush_locked(p, &mut st)?;
+        }
+        self.io.close(p, st.fd)
+    }
+
+    fn fread(
+        &self,
+        p: &Process,
+        s: StreamId,
+        len: u64,
+        mut buf: Option<&mut [u8]>,
+    ) -> PosixResult<u64> {
+        sleep(self.call_overhead);
+        let stream = p.stream(s)?;
+        let mut st = stream.lock();
+        if st.mode != StreamMode::Read {
+            return Err(Errno::EACCES);
+        }
+        let mut served = 0u64;
+        while served < len {
+            let want = len - served;
+            // Serve from the read-ahead window when possible.
+            let in_buf_from = st.pos.max(st.rbuf_off);
+            let in_buf_to = st.rbuf_off + st.rbuf_len;
+            if st.pos >= st.rbuf_off && st.pos < in_buf_to {
+                let n = (in_buf_to - in_buf_from).min(want);
+                if let Some(b) = buf.as_deref_mut() {
+                    // Bytes are resident in the read-ahead window (the
+                    // device was charged when the window filled); copy
+                    // them out without re-charging.
+                    let e = p.fd_entry(st.fd)?;
+                    let off = st.pos;
+                    let start = served as usize;
+                    e.fs.peek(e.handle, off, &mut b[start..start + n as usize])
+                        .map_err(crate::errno::Errno::from)?;
+                }
+                st.pos += n;
+                served += n;
+                continue;
+            }
+            if want >= BUFSIZ {
+                // Large request: bypass the buffer (as glibc does).
+                let dst = buf
+                    .as_deref_mut()
+                    .map(|b| &mut b[served as usize..(served + want) as usize]);
+                let n = self.io.pread(p, st.fd, st.pos, want, dst)?;
+                st.pos += n;
+                served += n;
+                if n < want {
+                    break; // EOF
+                }
+            } else {
+                // Refill the read-ahead window.
+                let n = self.io.pread(p, st.fd, st.pos, BUFSIZ, None)?;
+                st.rbuf_off = st.pos;
+                st.rbuf_len = n;
+                if n == 0 {
+                    break; // EOF
+                }
+            }
+        }
+        Ok(served)
+    }
+
+    fn fwrite(&self, p: &Process, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64> {
+        sleep(self.call_overhead);
+        let stream = p.stream(s)?;
+        let mut st = stream.lock();
+        if st.mode != StreamMode::Write {
+            return Err(Errno::EACCES);
+        }
+        let len = data.len();
+        if len >= BUFSIZ {
+            // Large write: flush pending then write through.
+            self.flush_locked(p, &mut st)?;
+            let n = self.io.pwrite(p, st.fd, st.pos, data)?;
+            st.pos += n;
+            return Ok(n);
+        }
+        if st.wbuf_len + len > BUFSIZ {
+            self.flush_locked(p, &mut st)?;
+        }
+        match data {
+            WritePayload::Bytes(b) if !st.wbuf_synthetic => st.wbuf.extend_from_slice(b),
+            _ => {
+                st.wbuf_synthetic = true;
+                st.wbuf.clear();
+            }
+        }
+        st.wbuf_len += len;
+        st.pos += len;
+        Ok(len)
+    }
+
+    fn fflush(&self, p: &Process, s: StreamId) -> PosixResult<()> {
+        sleep(self.call_overhead);
+        let stream = p.stream(s)?;
+        let mut st = stream.lock();
+        if st.mode == StreamMode::Write {
+            self.flush_locked(p, &mut st)?;
+        }
+        Ok(())
+    }
+
+    fn fseek(&self, p: &Process, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64> {
+        sleep(self.call_overhead);
+        let stream = p.stream(s)?;
+        let mut st = stream.lock();
+        if st.mode == StreamMode::Write {
+            self.flush_locked(p, &mut st)?;
+        }
+        let size = self.io.fstat(p, st.fd)?.size;
+        let base = match whence {
+            Whence::Set => 0i64,
+            Whence::Cur => st.pos as i64,
+            Whence::End => size as i64,
+        };
+        let target = base.checked_add(offset).ok_or(Errno::EINVAL)?;
+        if target < 0 {
+            return Err(Errno::EINVAL);
+        }
+        st.pos = target as u64;
+        st.rbuf_len = 0; // discard read-ahead
+        Ok(st.pos)
+    }
+}

@@ -1,0 +1,239 @@
+//! The Global Offset Table emulation — the mechanism behind tf-Darshan's
+//! runtime attachment (paper §III.B, Fig. 2).
+//!
+//! In the real system, I/O calls from TensorFlow resolve through the
+//! process's GOT to `libc.so`; tf-Darshan scans the GOT for the symbols
+//! Darshan instruments (`open`, `read`, `pread`, `fwrite`, …) and patches
+//! the entries to point into `libdarshan.so` instead, which forwards to the
+//! original function after recording. Patching is reversible and must be
+//! idempotence-safe.
+//!
+//! Here the GOT is a table from symbol name to a dispatch object. Each
+//! *symbol* is patched individually (as in the real GOT): redirecting
+//! `read` does not affect `pread`. STDIO symbols dispatch to a separate
+//! trait because in glibc `fread`'s internal descriptor I/O does not go
+//! back through the application's PLT — interposing `read` does **not**
+//! capture `fread` traffic, which is exactly why Darshan has a distinct
+//! STDIO module; the simulation preserves that behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use storage_sim::{Metadata, WritePayload};
+
+use crate::errno::{Errno, PosixResult};
+use crate::process::{Fd, MapId, OpenFlags, Process, StreamId, Whence};
+
+/// POSIX-layer functions, one method per interposable libc symbol.
+#[allow(missing_docs)]
+pub trait LibcIo: Send + Sync {
+    fn open(&self, p: &Process, path: &str, flags: OpenFlags) -> PosixResult<Fd>;
+    fn close(&self, p: &Process, fd: Fd) -> PosixResult<()>;
+    fn read(&self, p: &Process, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64>;
+    fn pread(
+        &self,
+        p: &Process,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+        buf: Option<&mut [u8]>,
+    ) -> PosixResult<u64>;
+    fn write(&self, p: &Process, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64>;
+    fn pwrite(&self, p: &Process, fd: Fd, offset: u64, data: WritePayload<'_>) -> PosixResult<u64>;
+    fn lseek(&self, p: &Process, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64>;
+    fn stat(&self, p: &Process, path: &str) -> PosixResult<Metadata>;
+    fn fstat(&self, p: &Process, fd: Fd) -> PosixResult<Metadata>;
+    fn fsync(&self, p: &Process, fd: Fd) -> PosixResult<()>;
+    fn unlink(&self, p: &Process, path: &str) -> PosixResult<()>;
+    fn rename(&self, p: &Process, from: &str, to: &str) -> PosixResult<()>;
+
+    /// `mmap(2)`: map `[offset, offset+len)` of `fd`. Accesses to the
+    /// mapping (`Process::mem_read`/`mem_write`) are page faults and do
+    /// **not** dispatch through the GOT — the Caffe/LMDB blind spot the
+    /// paper's §VII discusses. Default: unsupported (older libc).
+    fn mmap(&self, p: &Process, fd: Fd, offset: u64, len: u64) -> PosixResult<MapId> {
+        let _ = (p, fd, offset, len);
+        Err(Errno::EINVAL)
+    }
+
+    /// `munmap(2)`.
+    fn munmap(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        let _ = (p, map);
+        Err(Errno::EINVAL)
+    }
+
+    /// `msync(2)`: flush dirty mapped pages to the device.
+    fn msync(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        let _ = (p, map);
+        Err(Errno::EINVAL)
+    }
+}
+
+/// STDIO-layer functions (buffered streams).
+#[allow(missing_docs)]
+pub trait LibcStdio: Send + Sync {
+    fn fopen(&self, p: &Process, path: &str, mode: &str) -> PosixResult<StreamId>;
+    fn fclose(&self, p: &Process, s: StreamId) -> PosixResult<()>;
+    fn fread(&self, p: &Process, s: StreamId, len: u64, buf: Option<&mut [u8]>)
+        -> PosixResult<u64>;
+    fn fwrite(&self, p: &Process, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64>;
+    fn fflush(&self, p: &Process, s: StreamId) -> PosixResult<()>;
+    fn fseek(&self, p: &Process, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64>;
+}
+
+/// Interposable POSIX symbol names.
+pub const POSIX_SYMBOLS: &[&str] = &[
+    "open", "close", "read", "pread", "write", "pwrite", "lseek", "stat", "fstat", "fsync",
+    "unlink", "rename", "mmap", "munmap", "msync",
+];
+
+/// Interposable STDIO symbol names.
+pub const STDIO_SYMBOLS: &[&str] = &["fopen", "fclose", "fread", "fwrite", "fflush", "fseek"];
+
+/// Errors from GOT manipulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GotError {
+    /// No such symbol in the table.
+    UnknownSymbol(String),
+}
+
+impl std::fmt::Display for GotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GotError::UnknownSymbol(s) => write!(f, "unknown symbol '{s}' in GOT"),
+        }
+    }
+}
+
+/// The per-process symbol table. Every I/O call made by the simulated
+/// application dispatches through it, exactly like PLT→GOT resolution.
+pub struct Got {
+    posix: RwLock<HashMap<&'static str, Arc<dyn LibcIo>>>,
+    stdio: RwLock<HashMap<&'static str, Arc<dyn LibcStdio>>>,
+    /// Pristine bindings kept for `restore_all` (what `dlclose` +
+    /// relocation would restore).
+    default_posix: Arc<dyn LibcIo>,
+    default_stdio: Arc<dyn LibcStdio>,
+}
+
+impl Got {
+    /// Build a table with every symbol bound to the default ("libc")
+    /// implementations.
+    pub fn new(default_posix: Arc<dyn LibcIo>, default_stdio: Arc<dyn LibcStdio>) -> Self {
+        let mut posix = HashMap::new();
+        for &s in POSIX_SYMBOLS {
+            posix.insert(s, default_posix.clone());
+        }
+        let mut stdio = HashMap::new();
+        for &s in STDIO_SYMBOLS {
+            stdio.insert(s, default_stdio.clone());
+        }
+        Got {
+            posix: RwLock::new(posix),
+            stdio: RwLock::new(stdio),
+            default_posix,
+            default_stdio,
+        }
+    }
+
+    /// Resolve a POSIX symbol's current binding (the dispatch step of an
+    /// application call).
+    pub fn posix_sym(&self, sym: &str) -> Arc<dyn LibcIo> {
+        self.posix
+            .read()
+            .get(sym)
+            .unwrap_or_else(|| panic!("unresolved POSIX symbol '{sym}'"))
+            .clone()
+    }
+
+    /// Resolve an STDIO symbol's current binding.
+    pub fn stdio_sym(&self, sym: &str) -> Arc<dyn LibcStdio> {
+        self.stdio
+            .read()
+            .get(sym)
+            .unwrap_or_else(|| panic!("unresolved STDIO symbol '{sym}'"))
+            .clone()
+    }
+
+    /// Scan the table: all symbol names and whether each is currently
+    /// patched away from the default binding (what tf-Darshan's middle-man
+    /// does when it searches for symbols of interest).
+    pub fn scan(&self) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        {
+            let t = self.posix.read();
+            for &s in POSIX_SYMBOLS {
+                let patched = !Arc::ptr_eq(&t[s], &self.default_posix);
+                out.push((s.to_string(), patched));
+            }
+        }
+        {
+            let t = self.stdio.read();
+            for &s in STDIO_SYMBOLS {
+                let patched = !Arc::ptr_eq(&t[s], &self.default_stdio);
+                out.push((s.to_string(), patched));
+            }
+        }
+        out
+    }
+
+    /// Redirect a POSIX symbol, returning the previous binding (which the
+    /// new implementation should forward to).
+    pub fn patch_posix(
+        &self,
+        sym: &str,
+        new: Arc<dyn LibcIo>,
+    ) -> Result<Arc<dyn LibcIo>, GotError> {
+        let mut t = self.posix.write();
+        let key = POSIX_SYMBOLS
+            .iter()
+            .find(|s| **s == sym)
+            .ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
+        let old = t.insert(key, new).expect("table is fully populated");
+        Ok(old)
+    }
+
+    /// Redirect an STDIO symbol, returning the previous binding.
+    pub fn patch_stdio(
+        &self,
+        sym: &str,
+        new: Arc<dyn LibcStdio>,
+    ) -> Result<Arc<dyn LibcStdio>, GotError> {
+        let mut t = self.stdio.write();
+        let key = STDIO_SYMBOLS
+            .iter()
+            .find(|s| **s == sym)
+            .ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
+        let old = t.insert(key, new).expect("table is fully populated");
+        Ok(old)
+    }
+
+    /// Restore a POSIX symbol to a given binding (detach).
+    pub fn restore_posix(&self, sym: &str, binding: Arc<dyn LibcIo>) -> Result<(), GotError> {
+        self.patch_posix(sym, binding).map(|_| ())
+    }
+
+    /// Restore an STDIO symbol to a given binding (detach).
+    pub fn restore_stdio(&self, sym: &str, binding: Arc<dyn LibcStdio>) -> Result<(), GotError> {
+        self.patch_stdio(sym, binding).map(|_| ())
+    }
+
+    /// Restore every symbol to the pristine default bindings.
+    pub fn restore_all(&self) {
+        let mut t = self.posix.write();
+        for &s in POSIX_SYMBOLS {
+            t.insert(s, self.default_posix.clone());
+        }
+        drop(t);
+        let mut t = self.stdio.write();
+        for &s in STDIO_SYMBOLS {
+            t.insert(s, self.default_stdio.clone());
+        }
+    }
+
+    /// True if any symbol is patched.
+    pub fn any_patched(&self) -> bool {
+        self.scan().iter().any(|(_, p)| *p)
+    }
+}

@@ -1,0 +1,855 @@
+//! The deterministic virtual-time scheduler.
+//!
+//! # Execution model
+//!
+//! A [`Sim`] hosts any number of *simulated threads*. Each simulated thread
+//! is carried by a real OS thread, but **exactly one simulated thread
+//! executes at any moment**: a thread runs until it performs a blocking
+//! operation on virtual time ([`sleep`], [`yield_now`], or blocking on a
+//! synchronization primitive from [`crate::sync`]), at which point the
+//! scheduler hands control to the runnable thread with the earliest wake-up
+//! time (FIFO among equals). This is a conservative discrete-event
+//! simulation with thread carriers: user code reads like ordinary blocking
+//! code, yet the interleaving is fully deterministic — same program, same
+//! schedule, same virtual timestamps, on every run.
+//!
+//! The one-runnable-at-a-time invariant also means synchronization
+//! primitives built on the scheduler need no atomicity tricks: between a
+//! thread's decision to block and the block itself, no other simulated
+//! thread can run.
+//!
+//! # Why not async?
+//!
+//! tf-Darshan instruments *synchronous* POSIX calls made from a thread pool;
+//! the instrumentation, the GOT patching, and the Darshan wrappers must look
+//! like their real counterparts (plain function calls on a thread's stack).
+//! Thread carriers preserve that shape exactly.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::SimTime;
+
+/// Identifier of a simulated thread. Allocation order is deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Why a blocked thread resumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WakeReason {
+    /// Another thread called [`wake`] (via a sync primitive).
+    Notified,
+    /// The block's deadline elapsed.
+    Timeout,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskState {
+    /// Has a valid entry in the run heap.
+    Ready,
+    /// Currently executing on its carrier thread.
+    Running,
+    /// Waiting for a wake; `timed` blocks also hold a heap entry for their
+    /// deadline.
+    Blocked,
+    /// Carrier finished (closure returned or panicked).
+    Finished,
+}
+
+struct TaskInfo {
+    name: String,
+    state: TaskState,
+    /// Generation counter: bumped on every transition. Heap entries carry
+    /// the generation at push time; entries whose generation no longer
+    /// matches are stale and skipped on pop.
+    gen: u64,
+    wake_reason: WakeReason,
+    /// Tasks blocked in `JoinHandle::join` on this task.
+    join_waiters: Vec<TaskId>,
+}
+
+/// An entry in the run calendar. Ordered by (wake time, sequence) so that
+/// equal-time wakes run in FIFO order — the tie-break that makes the whole
+/// simulation deterministic.
+#[derive(PartialEq, Eq)]
+struct Entry {
+    wake: SimTime,
+    seq: u64,
+    tid: TaskId,
+    gen: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry is on top.
+        (other.wake, other.seq).cmp(&(self.wake, self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SchedState {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry>,
+    running: Option<TaskId>,
+    tasks: HashMap<TaskId, TaskInfo>,
+    next_tid: u64,
+    /// Number of spawned-but-not-finished tasks.
+    live: usize,
+    /// Set once `Sim::run` dispatches the first task.
+    started: bool,
+    /// First panic message observed in any simulated thread; poisons the sim.
+    poison: Option<String>,
+    /// Statistics: number of carrier context switches performed.
+    switches: u64,
+    /// Statistics: number of fast-path advances (no carrier switch needed).
+    fast_advances: u64,
+}
+
+pub(crate) struct SimInner {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl SimInner {
+    /// Push a Ready entry for `tid` at `wake`, bumping its generation.
+    /// Caller must hold the state lock and have set `tasks[tid].state`.
+    fn push_ready(st: &mut SchedState, tid: TaskId, wake: SimTime) {
+        let info = st.tasks.get_mut(&tid).expect("unknown task");
+        info.gen += 1;
+        let gen = info.gen;
+        st.seq += 1;
+        let seq = st.seq;
+        st.heap.push(Entry { wake, seq, tid, gen });
+    }
+
+    /// Pop the next valid entry and make it Running. Returns false when no
+    /// runnable task exists. Caller must hold the lock; `running` must be
+    /// `None`.
+    fn dispatch_next(st: &mut SchedState) -> bool {
+        debug_assert!(st.running.is_none());
+        while let Some(e) = st.heap.pop() {
+            let Some(info) = st.tasks.get_mut(&e.tid) else {
+                continue;
+            };
+            if info.gen != e.gen {
+                continue; // stale
+            }
+            match info.state {
+                TaskState::Ready => {
+                    info.state = TaskState::Running;
+                    info.gen += 1;
+                    info.wake_reason = WakeReason::Notified;
+                }
+                TaskState::Blocked => {
+                    // A timed block whose deadline fired.
+                    info.state = TaskState::Running;
+                    info.gen += 1;
+                    info.wake_reason = WakeReason::Timeout;
+                }
+                TaskState::Running | TaskState::Finished => continue,
+            }
+            debug_assert!(e.wake >= st.now, "time must not run backwards");
+            st.now = st.now.max(e.wake);
+            st.running = Some(e.tid);
+            st.switches += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Detect deadlock: simulation started, nothing running, nothing
+    /// runnable, yet live tasks remain.
+    fn check_deadlock(st: &mut SchedState) {
+        if st.started && st.running.is_none() && st.live > 0 && st.poison.is_none() {
+            let blocked: Vec<String> = st
+                .tasks
+                .iter()
+                .filter(|(_, i)| i.state == TaskState::Blocked)
+                .map(|(id, i)| format!("{} ({})", id, i.name))
+                .collect();
+            st.poison = Some(format!(
+                "virtual-time deadlock: {} live task(s), none runnable; blocked: [{}]",
+                st.live,
+                blocked.join(", ")
+            ));
+        }
+    }
+
+    fn poison_check(st: &SchedState) {
+        if let Some(msg) = &st.poison {
+            panic!("simulation poisoned: {msg}");
+        }
+    }
+}
+
+/// A deterministic virtual-time simulation.
+///
+/// Cloning is cheap and shares the underlying scheduler.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<SimInner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<SimInner>, TaskId)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Access the calling simulated thread's context, or panic if the caller is
+/// not a simulated thread.
+fn with_current<R>(f: impl FnOnce(&Arc<SimInner>, TaskId) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (inner, tid) = b
+            .as_ref()
+            .expect("not on a simulated thread: call from within Sim::spawn");
+        f(inner, *tid)
+    })
+}
+
+/// True if the calling OS thread carries a simulated thread.
+pub fn on_sim_thread() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Sim {
+    /// Create an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Sim {
+            inner: Arc::new(SimInner {
+                state: Mutex::new(SchedState {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    heap: BinaryHeap::new(),
+                    running: None,
+                    tasks: HashMap::new(),
+                    next_tid: 0,
+                    live: 0,
+                    started: false,
+                    poison: None,
+                    switches: 0,
+                    fast_advances: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Spawn a simulated thread. It becomes runnable at the current virtual
+    /// time but does not execute until [`Sim::run`] dispatches it (or, when
+    /// called from a running simulated thread, until the spawner blocks).
+    pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let name = name.into();
+        let inner = self.inner.clone();
+        let tid = {
+            let mut st = self.inner.state.lock();
+            let tid = TaskId(st.next_tid);
+            st.next_tid += 1;
+            st.live += 1;
+            st.tasks.insert(
+                tid,
+                TaskInfo {
+                    name: name.clone(),
+                    state: TaskState::Ready,
+                    gen: 0,
+                    wake_reason: WakeReason::Notified,
+                    join_waiters: Vec::new(),
+                },
+            );
+            let now = st.now;
+            SimInner::push_ready(&mut st, tid, now);
+            tid
+        };
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let carrier_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("sim:{name}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((carrier_inner.clone(), tid)));
+                // Wait for our first dispatch.
+                {
+                    let mut st = carrier_inner.state.lock();
+                    while st.running != Some(tid) && st.poison.is_none() {
+                        carrier_inner.cv.wait(&mut st);
+                    }
+                    if st.poison.is_some() && st.running != Some(tid) {
+                        // Simulation died before we ever ran; unwind quietly.
+                        finish_task(&carrier_inner, tid, None);
+                        return;
+                    }
+                }
+                let r = catch_unwind(AssertUnwindSafe(f));
+                let panic_msg = r.as_ref().err().map(panic_message);
+                *slot.lock() = Some(r);
+                finish_task(&carrier_inner, tid, panic_msg);
+            })
+            .expect("failed to spawn carrier thread");
+        JoinHandle {
+            inner,
+            tid,
+            result,
+            carrier: Some(handle),
+        }
+    }
+
+    /// Run the simulation to completion: dispatch tasks in virtual-time
+    /// order until every simulated thread has finished.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised in any simulated thread, and panics
+    /// on virtual-time deadlock (live tasks, none runnable).
+    pub fn run(&self) {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.started, "Sim::run called twice");
+            st.started = true;
+            if st.running.is_none() && SimInner::dispatch_next(&mut st) {
+                self.inner.cv.notify_all();
+            }
+        }
+        let mut st = self.inner.state.lock();
+        while st.live > 0 && st.poison.is_none() {
+            self.inner.cv.wait(&mut st);
+        }
+        if let Some(msg) = st.poison.clone() {
+            drop(st);
+            // Release any carriers still parked so their OS threads exit.
+            self.inner.cv.notify_all();
+            panic!("{msg}");
+        }
+    }
+
+    /// Current virtual time. Callable from the host (between/after `run`)
+    /// or from simulated threads.
+    pub fn now(&self) -> SimTime {
+        self.inner.state.lock().now
+    }
+
+    /// Number of carrier context switches performed so far (a measure of
+    /// scheduler work; used by the engine micro-benchmarks).
+    pub fn context_switches(&self) -> u64 {
+        self.inner.state.lock().switches
+    }
+
+    /// Number of fast-path time advances (sleeps that did not require a
+    /// carrier switch because the sleeper remained the earliest task).
+    pub fn fast_advances(&self) -> u64 {
+        self.inner.state.lock().fast_advances
+    }
+}
+
+fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn finish_task(inner: &Arc<SimInner>, tid: TaskId, panic_msg: Option<String>) {
+    let mut st = inner.state.lock();
+    let waiters = if let Some(info) = st.tasks.get_mut(&tid) {
+        info.state = TaskState::Finished;
+        info.gen += 1;
+        std::mem::take(&mut info.join_waiters)
+    } else {
+        Vec::new()
+    };
+    for w in waiters {
+        if let Some(info) = st.tasks.get_mut(&w) {
+            if info.state == TaskState::Blocked {
+                info.state = TaskState::Ready;
+                let now = st.now;
+                SimInner::push_ready(&mut st, w, now);
+            }
+        }
+    }
+    st.live -= 1;
+    if let Some(msg) = panic_msg {
+        if st.poison.is_none() {
+            let name = st
+                .tasks
+                .get(&tid)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
+            st.poison = Some(format!("simulated thread '{name}' panicked: {msg}"));
+        }
+    }
+    if st.running == Some(tid) {
+        st.running = None;
+        SimInner::dispatch_next(&mut st);
+        SimInner::check_deadlock(&mut st);
+    }
+    inner.cv.notify_all();
+}
+
+/// Handle to a spawned simulated thread.
+pub struct JoinHandle<T> {
+    inner: Arc<SimInner>,
+    tid: TaskId,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    carrier: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The simulated thread's id.
+    pub fn id(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Block (in virtual time when called from a simulated thread, in real
+    /// time when called from the host after `run`) until the thread
+    /// finishes, returning its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joined thread panicked.
+    pub fn join(mut self) -> T {
+        if on_sim_thread() {
+            let me = current_task();
+            loop {
+                let finished = {
+                    let mut st = self.inner.state.lock();
+                    match st.tasks.get_mut(&self.tid) {
+                        None => true,
+                        Some(i) if i.state == TaskState::Finished => true,
+                        Some(i) => {
+                            i.join_waiters.push(me);
+                            false
+                        }
+                    }
+                };
+                if finished {
+                    break;
+                }
+                // Safe check-then-block: no other simulated thread can run
+                // between the registration above and this block.
+                block(None);
+            }
+        }
+        if let Some(c) = self.carrier.take() {
+            let _ = c.join();
+        }
+        match self.result.lock().take() {
+            Some(Ok(v)) => v,
+            Some(Err(e)) => std::panic::resume_unwind(e),
+            None => panic!("joined thread produced no result (never ran?)"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions usable from within simulated threads.
+// ---------------------------------------------------------------------------
+
+/// Current virtual time (from within a simulated thread).
+pub fn now() -> SimTime {
+    with_current(|inner, _| inner.state.lock().now)
+}
+
+/// Current virtual time, or `None` when called off a simulated thread
+/// (e.g. during host-side construction before the simulation starts).
+pub fn try_now() -> Option<SimTime> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(inner, _)| inner.state.lock().now)
+    })
+}
+
+/// The calling simulated thread's id.
+pub fn current_task() -> TaskId {
+    with_current(|_, tid| tid)
+}
+
+/// The calling simulated thread's name.
+pub fn current_task_name() -> String {
+    with_current(|inner, tid| {
+        inner
+            .state
+            .lock()
+            .tasks
+            .get(&tid)
+            .map(|i| i.name.clone())
+            .unwrap_or_default()
+    })
+}
+
+/// Advance virtual time by `d` for the calling thread.
+///
+/// Fast path: when the sleeper would still be the earliest runnable task at
+/// its wake time, the clock simply jumps forward without a carrier switch.
+pub fn sleep(d: Duration) {
+    with_current(|inner, tid| {
+        let mut st = inner.state.lock();
+        SimInner::poison_check(&st);
+        debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
+        let wake = st.now + d;
+        // Fast path: nothing else can legally run before `wake`. A peeked
+        // entry with wake time strictly earlier must run first; an equal
+        // wake time also runs first because its sequence number is older.
+        let must_switch = match st.heap.peek() {
+            Some(top) => top.wake <= wake,
+            None => false,
+        };
+        if !must_switch {
+            st.now = wake;
+            st.fast_advances += 1;
+            return;
+        }
+        // Slow path: hand over and wait for our turn.
+        let info = st.tasks.get_mut(&tid).expect("unknown task");
+        info.state = TaskState::Ready;
+        SimInner::push_ready(&mut st, tid, wake);
+        st.running = None;
+        let dispatched = SimInner::dispatch_next(&mut st);
+        debug_assert!(dispatched, "we just pushed a ready entry");
+        inner.cv.notify_all();
+        while st.running != Some(tid) && st.poison.is_none() {
+            inner.cv.wait(&mut st);
+        }
+        SimInner::poison_check(&st);
+    });
+}
+
+/// Sleep until the given virtual instant (no-op if already past).
+pub fn sleep_until(t: SimTime) {
+    let n = now();
+    if t > n {
+        sleep(t - n);
+    }
+}
+
+/// Let equal-time peers run before continuing.
+pub fn yield_now() {
+    with_current(|inner, tid| {
+        let mut st = inner.state.lock();
+        SimInner::poison_check(&st);
+        if st.heap.peek().is_none() {
+            return; // nobody to yield to
+        }
+        let info = st.tasks.get_mut(&tid).expect("unknown task");
+        info.state = TaskState::Ready;
+        let now = st.now;
+        SimInner::push_ready(&mut st, tid, now);
+        st.running = None;
+        SimInner::dispatch_next(&mut st);
+        inner.cv.notify_all();
+        while st.running != Some(tid) && st.poison.is_none() {
+            inner.cv.wait(&mut st);
+        }
+        SimInner::poison_check(&st);
+    });
+}
+
+/// Deschedule the calling thread until another thread calls [`wake`] on it,
+/// or until `deadline` (if given) elapses. Returns how it was woken.
+///
+/// This is the primitive on which all of [`crate::sync`] is built. The
+/// single-running-thread invariant makes the check-then-block pattern safe:
+/// no other simulated thread can run between a caller registering itself in
+/// a wait list and this call descheduling it.
+pub fn block(deadline: Option<SimTime>) -> WakeReason {
+    with_current(|inner, tid| {
+        let mut st = inner.state.lock();
+        SimInner::poison_check(&st);
+        debug_assert_eq!(st.running, Some(tid));
+        {
+            let info = st.tasks.get_mut(&tid).expect("unknown task");
+            info.state = TaskState::Blocked;
+            info.gen += 1;
+        }
+        if let Some(dl) = deadline {
+            // Register the timeout as a heap entry against the *blocked*
+            // generation; dispatch_next interprets popping a Blocked task
+            // as a timeout firing.
+            let gen = st.tasks[&tid].gen;
+            st.seq += 1;
+            let seq = st.seq;
+            let wake = dl.max(st.now);
+            st.heap.push(Entry { wake, seq, tid, gen });
+        }
+        st.running = None;
+        SimInner::dispatch_next(&mut st);
+        SimInner::check_deadlock(&mut st);
+        inner.cv.notify_all();
+        while st.running != Some(tid) && st.poison.is_none() {
+            inner.cv.wait(&mut st);
+        }
+        SimInner::poison_check(&st);
+        st.tasks[&tid].wake_reason
+    })
+}
+
+/// Make a blocked thread runnable at the current virtual time. No-op if the
+/// thread is not blocked (e.g. already woken by a timeout).
+///
+/// Callable only from simulated threads, with one exception: after
+/// [`Sim::run`] returns, destructors of sync primitives may run on the host
+/// thread; at that point no task can be blocked (the run would have
+/// deadlocked otherwise), so an off-sim `wake` is a sound no-op.
+pub fn wake(tid: TaskId) {
+    if !on_sim_thread() {
+        return;
+    }
+    with_current(|inner, _| {
+        let mut st = inner.state.lock();
+        let Some(info) = st.tasks.get_mut(&tid) else {
+            return;
+        };
+        if info.state != TaskState::Blocked {
+            return;
+        }
+        info.state = TaskState::Ready;
+        let now = st.now;
+        SimInner::push_ready(&mut st, tid, now);
+        // The waker keeps running; the woken thread enters the calendar.
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_thread_advances_clock() {
+        let sim = Sim::new();
+        let s2 = sim.clone();
+        sim.spawn("a", move || {
+            assert_eq!(now(), SimTime::ZERO);
+            sleep(Duration::from_millis(5));
+            assert_eq!(now().as_nanos(), 5_000_000);
+            assert!(on_sim_thread());
+            let _ = s2; // keep a handle alive inside the sim
+        });
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 5_000_000);
+        assert!(!on_sim_thread());
+    }
+
+    #[test]
+    fn two_threads_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, step_ms) in [("a", 10u64), ("b", 15u64)] {
+            let log = log.clone();
+            sim.spawn(name, move || {
+                for i in 0..3 {
+                    sleep(Duration::from_millis(step_ms));
+                    log.lock().push((name, i, now().as_nanos() / 1_000_000));
+                }
+            });
+        }
+        sim.run();
+        let got = log.lock().clone();
+        // At the t=30 tie, b's calendar entry was pushed (at t=15) before
+        // a's (at t=20), so FIFO order runs b first.
+        assert_eq!(
+            got,
+            vec![
+                ("a", 0, 10),
+                ("b", 0, 15),
+                ("a", 1, 20),
+                ("b", 1, 30),
+                ("a", 2, 30),
+                ("b", 2, 45),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_time_fifo_order_is_deterministic() {
+        for _ in 0..20 {
+            let sim = Sim::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..8 {
+                let log = log.clone();
+                sim.spawn(format!("t{i}"), move || {
+                    sleep(Duration::from_millis(1));
+                    log.lock().push(i);
+                });
+            }
+            sim.run();
+            assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn spawn_from_sim_thread() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let hit = Arc::new(AtomicU64::new(0));
+        let hit2 = hit.clone();
+        sim.spawn("parent", move || {
+            sleep(Duration::from_millis(1));
+            let h = sim2.spawn("child", move || {
+                sleep(Duration::from_millis(2));
+                hit2.store(now().as_nanos(), Ordering::SeqCst);
+                42u32
+            });
+            assert_eq!(h.join(), 42);
+        });
+        sim.run();
+        assert_eq!(hit.load(Ordering::SeqCst), 3_000_000);
+    }
+
+    #[test]
+    fn block_and_wake() {
+        let sim = Sim::new();
+        let slot: Arc<Mutex<Option<TaskId>>> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        sim.spawn("sleeper", move || {
+            *slot2.lock() = Some(current_task());
+            let r = block(None);
+            assert_eq!(r, WakeReason::Notified);
+            o1.lock().push(("woken", now().as_nanos()));
+        });
+        sim.spawn("waker", move || {
+            sleep(Duration::from_millis(7));
+            let tid = slot.lock().expect("sleeper registered");
+            wake(tid);
+            o2.lock().push(("waker-done", now().as_nanos()));
+        });
+        sim.run();
+        let got = order.lock().clone();
+        assert_eq!(
+            got,
+            vec![("waker-done", 7_000_000), ("woken", 7_000_000)],
+            "waker continues; woken thread runs when waker blocks/finishes"
+        );
+    }
+
+    #[test]
+    fn block_timeout_fires() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            let dl = now() + Duration::from_millis(3);
+            let r = block(Some(dl));
+            assert_eq!(r, WakeReason::Timeout);
+            assert_eq!(now().as_nanos(), 3_000_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn wake_beats_timeout() {
+        let sim = Sim::new();
+        let slot: Arc<Mutex<Option<TaskId>>> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        sim.spawn("sleeper", move || {
+            *slot2.lock() = Some(current_task());
+            let r = block(Some(now() + Duration::from_secs(10)));
+            assert_eq!(r, WakeReason::Notified);
+            assert_eq!(now().as_nanos(), 1_000_000);
+            // The stale timeout entry must not fire later.
+            sleep(Duration::from_secs(20));
+        });
+        sim.spawn("waker", move || {
+            sleep(Duration::from_millis(1));
+            wake(slot.lock().unwrap());
+        });
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 20_001_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        let sim = Sim::new();
+        sim.spawn("stuck", || {
+            block(None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_propagates() {
+        let sim = Sim::new();
+        sim.spawn("bad", || panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn fast_path_is_used_for_lone_sleeper() {
+        let sim = Sim::new();
+        sim.spawn("t", || {
+            for _ in 0..100 {
+                sleep(Duration::from_micros(10));
+            }
+        });
+        sim.run();
+        assert!(
+            sim.fast_advances() >= 100,
+            "lone sleeper should use the fast path, got {}",
+            sim.fast_advances()
+        );
+    }
+
+    #[test]
+    fn try_now_and_names() {
+        assert_eq!(try_now(), None, "host thread has no virtual clock");
+        let sim = Sim::new();
+        sim.spawn("pipeline-worker", || {
+            assert_eq!(try_now(), Some(SimTime::ZERO));
+            assert_eq!(current_task_name(), "pipeline-worker");
+            sleep(Duration::from_millis(2));
+            sleep_until(SimTime::from_nanos(1_000_000)); // already past: no-op
+            assert_eq!(now().as_nanos(), 2_000_000);
+            sleep_until(SimTime::from_nanos(5_000_000));
+            assert_eq!(now().as_nanos(), 5_000_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn join_returns_value_and_time() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.spawn("main", move || {
+            let h = sim2.spawn("worker", || {
+                sleep(Duration::from_millis(4));
+                "done"
+            });
+            assert_eq!(h.join(), "done");
+            assert!(now().as_nanos() >= 4_000_000);
+        });
+        sim.run();
+    }
+}

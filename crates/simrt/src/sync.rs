@@ -1,0 +1,746 @@
+//! Virtual-time synchronization primitives.
+//!
+//! All primitives here block in *virtual* time via [`crate::block`] /
+//! [`crate::wake`]. Because the scheduler runs exactly one simulated thread
+//! at a time, the classic check-then-block race cannot occur: registering in
+//! a wait list and then descheduling is atomic with respect to all other
+//! simulated threads.
+//!
+//! Internal state still lives behind `parking_lot::Mutex` because carrier
+//! threads are real OS threads — but those locks are always uncontended.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::sched::{block, current_task, wake, TaskId, WakeReason};
+use crate::time::SimTime;
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+/// Error returned by [`Sender::send`] when all receivers are gone or the
+/// channel was closed.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline elapsed with no message.
+    Timeout,
+    /// Channel closed and drained.
+    Closed,
+}
+
+struct ChanState<T> {
+    buf: VecDeque<T>,
+    cap: Option<usize>,
+    closed: bool,
+    senders: usize,
+    receivers: usize,
+    recv_waiters: VecDeque<TaskId>,
+    send_waiters: VecDeque<TaskId>,
+}
+
+struct ChanInner<T> {
+    st: Mutex<ChanState<T>>,
+}
+
+impl<T> ChanInner<T> {
+    fn wake_one_recv(st: &mut ChanState<T>) {
+        if let Some(w) = st.recv_waiters.pop_front() {
+            wake(w);
+        }
+    }
+    fn wake_one_send(st: &mut ChanState<T>) {
+        if let Some(w) = st.send_waiters.pop_front() {
+            wake(w);
+        }
+    }
+    fn wake_all(st: &mut ChanState<T>) {
+        for w in st.recv_waiters.drain(..) {
+            wake(w);
+        }
+        for w in st.send_waiters.drain(..) {
+            wake(w);
+        }
+    }
+}
+
+/// Sending half of a virtual-time MPMC channel.
+pub struct Sender<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+/// Receiving half of a virtual-time MPMC channel.
+pub struct Receiver<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.st.lock().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.st.lock().receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.st.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Receivers must observe end-of-stream.
+            for w in st.recv_waiters.drain(..) {
+                wake(w);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.st.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            for w in st.send_waiters.drain(..) {
+                wake(w);
+            }
+        }
+    }
+}
+
+/// Create a channel. `cap = None` means unbounded; `Some(n)` blocks senders
+/// once `n` messages are queued (the back-pressure that makes `prefetch`
+/// buffers and bounded pipeline queues behave like TensorFlow's).
+pub fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(ChanInner {
+        st: Mutex::new(ChanState {
+            buf: VecDeque::new(),
+            cap,
+            closed: false,
+            senders: 1,
+            receivers: 1,
+            recv_waiters: VecDeque::new(),
+            send_waiters: VecDeque::new(),
+        }),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking in virtual time while the channel is full.
+    pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if st.closed || st.receivers == 0 {
+                    return Err(SendError(v));
+                }
+                let full = st.cap.map(|c| st.buf.len() >= c).unwrap_or(false);
+                if !full {
+                    st.buf.push_back(v);
+                    ChanInner::wake_one_recv(&mut st);
+                    return Ok(());
+                }
+                let me = current_task();
+                st.send_waiters.push_back(me);
+            }
+            block(None);
+        }
+    }
+
+    /// Non-blocking send; returns the value back if the channel is full.
+    pub fn try_send(&self, v: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.st.lock();
+        if st.closed || st.receivers == 0 {
+            return Err(SendError(v));
+        }
+        let full = st.cap.map(|c| st.buf.len() >= c).unwrap_or(false);
+        if full {
+            return Err(SendError(v));
+        }
+        st.buf.push_back(v);
+        ChanInner::wake_one_recv(&mut st);
+        Ok(())
+    }
+
+    /// Close the channel: receivers drain remaining messages then observe
+    /// end-of-stream; further sends fail.
+    pub fn close(&self) {
+        let mut st = self.inner.st.lock();
+        st.closed = true;
+        ChanInner::wake_all(&mut st);
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.st.lock().buf.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking in virtual time. Returns `None` once the channel is
+    /// closed (or all senders dropped) and drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if let Some(v) = st.buf.pop_front() {
+                    ChanInner::wake_one_send(&mut st);
+                    return Some(v);
+                }
+                if st.closed || st.senders == 0 {
+                    return None;
+                }
+                let me = current_task();
+                st.recv_waiters.push_back(me);
+            }
+            block(None);
+        }
+    }
+
+    /// Receive with a deadline in virtual time.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = crate::sched::now() + timeout;
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if let Some(v) = st.buf.pop_front() {
+                    ChanInner::wake_one_send(&mut st);
+                    return Ok(v);
+                }
+                if st.closed || st.senders == 0 {
+                    return Err(RecvTimeoutError::Closed);
+                }
+                if crate::sched::now() >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let me = current_task();
+                st.recv_waiters.push_back(me);
+            }
+            if block(Some(deadline)) == WakeReason::Timeout {
+                // Purge our (stale) registration so wake_one skips cheaply.
+                let mut st = self.inner.st.lock();
+                let me = current_task();
+                st.recv_waiters.retain(|t| *t != me);
+                if let Some(v) = st.buf.pop_front() {
+                    ChanInner::wake_one_send(&mut st);
+                    return Ok(v);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.inner.st.lock();
+        let v = st.buf.pop_front();
+        if v.is_some() {
+            ChanInner::wake_one_send(&mut st);
+        }
+        v
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.st.lock().buf.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+/// A counting semaphore on virtual time. The building block for modelling
+/// capacity-limited resources (RPC slots, device queue depth, thread pools).
+pub struct Semaphore {
+    st: Mutex<SemState>,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<(TaskId, usize)>,
+}
+
+impl Semaphore {
+    /// Create with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            st: Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Acquire `n` permits, blocking in virtual time. FIFO-fair: a large
+    /// request at the head is not starved by small requests behind it.
+    pub fn acquire_many(&self, n: usize) {
+        loop {
+            {
+                let mut st = self.st.lock();
+                let first_in_line = st.waiters.front().map(|(t, _)| *t) == Some(current_task())
+                    || st.waiters.is_empty();
+                if first_in_line && st.permits >= n {
+                    if !st.waiters.is_empty() {
+                        st.waiters.pop_front();
+                    }
+                    st.permits -= n;
+                    // Grant any further satisfiable head-of-line waiters.
+                    Self::wake_head(&mut st);
+                    return;
+                }
+                let me = current_task();
+                if !st.waiters.iter().any(|(t, _)| *t == me) {
+                    st.waiters.push_back((me, n));
+                }
+            }
+            block(None);
+        }
+    }
+
+    /// Acquire one permit.
+    pub fn acquire(&self) {
+        self.acquire_many(1);
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.st.lock();
+        if st.waiters.is_empty() && st.permits >= 1 {
+            st.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release `n` permits.
+    pub fn release_many(&self, n: usize) {
+        let mut st = self.st.lock();
+        st.permits += n;
+        Self::wake_head(&mut st);
+    }
+
+    /// Release one permit.
+    pub fn release(&self) {
+        self.release_many(1);
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.st.lock().permits
+    }
+
+    fn wake_head(st: &mut SemState) {
+        if let Some((t, need)) = st.waiters.front() {
+            if st.permits >= *need {
+                wake(*t);
+            }
+        }
+    }
+}
+
+/// RAII guard over a [`Semaphore`] permit.
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+    n: usize,
+}
+
+impl Semaphore {
+    /// Acquire one permit, released when the guard drops.
+    pub fn guard(&self) -> SemaphoreGuard<'_> {
+        self.acquire();
+        SemaphoreGuard { sem: self, n: 1 }
+    }
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.sem.release_many(self.n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event (one-shot) and Notify
+// ---------------------------------------------------------------------------
+
+/// A one-shot event: waiters block until `set` is called; once set, all
+/// current and future waits return immediately.
+pub struct Event {
+    st: Mutex<EventState>,
+}
+
+struct EventState {
+    set: bool,
+    waiters: Vec<TaskId>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Create an unset event.
+    pub fn new() -> Self {
+        Event {
+            st: Mutex::new(EventState {
+                set: false,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Set the event, waking all waiters.
+    pub fn set(&self) {
+        let mut st = self.st.lock();
+        st.set = true;
+        for w in st.waiters.drain(..) {
+            wake(w);
+        }
+    }
+
+    /// True if already set.
+    pub fn is_set(&self) -> bool {
+        self.st.lock().set
+    }
+
+    /// Block in virtual time until set.
+    pub fn wait(&self) {
+        loop {
+            {
+                let mut st = self.st.lock();
+                if st.set {
+                    return;
+                }
+                st.waiters.push(current_task());
+            }
+            block(None);
+        }
+    }
+
+    /// Block until set or until `deadline`. Returns true if set.
+    pub fn wait_deadline(&self, deadline: SimTime) -> bool {
+        loop {
+            {
+                let mut st = self.st.lock();
+                if st.set {
+                    return true;
+                }
+                if crate::sched::now() >= deadline {
+                    return false;
+                }
+                st.waiters.push(current_task());
+            }
+            if block(Some(deadline)) == WakeReason::Timeout {
+                let mut st = self.st.lock();
+                let me = current_task();
+                st.waiters.retain(|t| *t != me);
+                return st.set;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+/// A reusable barrier for `n` simulated threads (used by the data-parallel
+/// trainer's gradient synchronization).
+pub struct Barrier {
+    st: Mutex<BarrierState>,
+    n: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    waiters: Vec<TaskId>,
+}
+
+impl Barrier {
+    /// Create a barrier for `n` participants. `n` must be positive.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Barrier {
+            st: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            }),
+            n,
+        }
+    }
+
+    /// Wait for all `n` participants. Returns true for exactly one "leader"
+    /// per generation.
+    pub fn wait(&self) -> bool {
+        let my_gen;
+        {
+            let mut st = self.st.lock();
+            my_gen = st.generation;
+            st.count += 1;
+            if st.count == self.n {
+                st.count = 0;
+                st.generation += 1;
+                for w in st.waiters.drain(..) {
+                    wake(w);
+                }
+                return true;
+            }
+            st.waiters.push(current_task());
+        }
+        loop {
+            block(None);
+            let st = self.st.lock();
+            if st.generation != my_gen {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{now, sleep, Sim};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn unbounded_channel_delivers_in_order() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>(None);
+        sim.spawn("producer", move || {
+            for i in 0..100 {
+                sleep(Duration::from_micros(1));
+                tx.send(i).unwrap();
+            }
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        sim.spawn("consumer", move || {
+            while let Some(v) = rx.recv() {
+                got2.lock().push(v);
+            }
+        });
+        sim.run();
+        assert_eq!(*got.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u64>(Some(2));
+        sim.spawn("producer", move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            // Producer does no sleeping; it can only finish once the slow
+            // consumer has drained 3 items (5 sent - 2 buffered).
+            assert!(now() >= SimTime::from_nanos(3_000));
+        });
+        sim.spawn("consumer", move || {
+            for _ in 0..5 {
+                sleep(Duration::from_micros(1));
+                rx.recv().unwrap();
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_returns_none_when_senders_drop() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u8>(None);
+        sim.spawn("producer", move || {
+            tx.send(1).unwrap();
+            // tx dropped here
+        });
+        sim.spawn("consumer", move || {
+            assert_eq!(rx.recv(), Some(1));
+            assert_eq!(rx.recv(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn send_fails_after_close() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u8>(None);
+        sim.spawn("t", move || {
+            tx.close();
+            assert_eq!(tx.send(9), Err(SendError(9)));
+            assert_eq!(rx.recv(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_in_virtual_time() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u8>(None);
+        sim.spawn("t", move || {
+            let t0 = now();
+            let r = rx.recv_timeout(Duration::from_millis(5));
+            assert_eq!(r, Err(RecvTimeoutError::Timeout));
+            assert_eq!(now() - t0, Duration::from_millis(5));
+            drop(tx); // keep sender alive until after the timeout
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Sim::new();
+        let sem = Arc::new(Semaphore::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let (sem, peak, cur) = (sem.clone(), peak.clone(), cur.clone());
+            sim.spawn(format!("w{i}"), move || {
+                let _g = sem.guard();
+                let c = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(c, Ordering::SeqCst);
+                sleep(Duration::from_millis(1));
+                cur.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.load(Ordering::SeqCst), 2);
+        // 6 jobs, 2 at a time, 1 ms each → 3 ms.
+        assert_eq!(sim.now(), SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn semaphore_fifo_no_starvation() {
+        let sim = Sim::new();
+        let sem = Arc::new(Semaphore::new(2));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // t0 takes both permits; t1 wants both; t2 wants one. FIFO fairness
+        // means t1 must get its pair before t2 sneaks in.
+        {
+            let sem = sem.clone();
+            sim.spawn("hog", move || {
+                sem.acquire_many(2);
+                sleep(Duration::from_millis(2));
+                sem.release_many(2);
+            });
+        }
+        for (name, want, delay_us) in [("pair", 2usize, 10u64), ("single", 1, 20)] {
+            let sem = sem.clone();
+            let order = order.clone();
+            sim.spawn(name, move || {
+                sleep(Duration::from_micros(delay_us));
+                sem.acquire_many(want);
+                order.lock().push(name);
+                sem.release_many(want);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock(), vec!["pair", "single"]);
+    }
+
+    #[test]
+    fn event_wakes_all_waiters() {
+        let sim = Sim::new();
+        let ev = Arc::new(Event::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let (ev, done) = (ev.clone(), done.clone());
+            sim.spawn(format!("w{i}"), move || {
+                ev.wait();
+                assert_eq!(now(), SimTime::from_nanos(1_000_000));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let ev = ev.clone();
+            sim.spawn("setter", move || {
+                sleep(Duration::from_millis(1));
+                ev.set();
+            });
+        }
+        sim.run();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert!(ev.is_set());
+    }
+
+    #[test]
+    fn event_wait_deadline() {
+        let sim = Sim::new();
+        let ev = Arc::new(Event::new());
+        sim.spawn("t", move || {
+            let hit = ev.wait_deadline(now() + Duration::from_millis(2));
+            assert!(!hit);
+            assert_eq!(now(), SimTime::from_nanos(2_000_000));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_elects_leader() {
+        let sim = Sim::new();
+        let bar = Arc::new(Barrier::new(3));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        for i in 0..3 {
+            let (bar, leaders) = (bar.clone(), leaders.clone());
+            sim.spawn(format!("w{i}"), move || {
+                sleep(Duration::from_millis(i as u64));
+                if bar.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+                // All released at the last arrival (t = 2 ms).
+                assert_eq!(now(), SimTime::from_nanos(2_000_000));
+            });
+        }
+        sim.run();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn try_send_and_try_recv() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u8>(Some(1));
+        sim.spawn("t", move || {
+            assert!(tx.try_send(1).is_ok());
+            assert_eq!(tx.try_send(2), Err(SendError(2)));
+            assert_eq!(rx.try_recv(), Some(1));
+            assert_eq!(rx.try_recv(), None);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,170 @@
+//! Virtual time: instants and durations on the simulation clock.
+//!
+//! The simulation clock counts nanoseconds since simulation start. We use a
+//! newtype over `u64` rather than `std::time::Instant` because instants on
+//! the virtual clock must be constructible, serializable, and comparable
+//! across runs (determinism is a core guarantee of [`crate::Sim`]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the virtual clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as an "infinite" deadline.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Construct from seconds since simulation start.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "virtual time cannot be negative");
+        SimTime((secs * 1e9) as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates to zero if `earlier`
+    /// is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Convenience constructors mirroring `Duration`, used pervasively by the
+/// storage and compute cost models.
+pub mod dur {
+    use std::time::Duration;
+
+    /// Duration from floating-point seconds (must be non-negative and finite).
+    #[inline]
+    pub fn secs_f64(s: f64) -> Duration {
+        debug_assert!(s.is_finite() && s >= 0.0, "bad duration {s}");
+        Duration::from_secs_f64(s.max(0.0))
+    }
+
+    /// Duration from milliseconds as float.
+    #[inline]
+    pub fn millis_f64(ms: f64) -> Duration {
+        secs_f64(ms / 1e3)
+    }
+
+    /// Duration from microseconds as float.
+    #[inline]
+    pub fn micros_f64(us: f64) -> Duration {
+        secs_f64(us / 1e6)
+    }
+
+    /// Time to move `bytes` at `bytes_per_sec` throughput.
+    #[inline]
+    pub fn transfer(bytes: u64, bytes_per_sec: f64) -> Duration {
+        debug_assert!(bytes_per_sec > 0.0, "throughput must be positive");
+        secs_f64(bytes as f64 / bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_500_000_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+        let t2 = t + Duration::from_millis(500);
+        assert_eq!(t2.as_nanos(), 2_000_000_000);
+        assert_eq!(t2 - t, Duration::from_millis(500));
+        assert_eq!(t - t2, Duration::ZERO, "saturating subtraction");
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::FAR_FUTURE > SimTime::from_secs_f64(1e9));
+        assert_eq!(
+            SimTime::FAR_FUTURE.saturating_add(Duration::from_secs(1)),
+            SimTime::FAR_FUTURE
+        );
+    }
+
+    #[test]
+    fn transfer_duration() {
+        // 100 MiB at 100 MiB/s = 1 s.
+        let mib = 1024.0 * 1024.0;
+        let d = dur::transfer(100 * 1024 * 1024, 100.0 * mib);
+        assert_eq!(d, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(2.25)), "2.250000s");
+    }
+}

@@ -1,0 +1,487 @@
+//! Page-cache model.
+//!
+//! The cache holds no data — file content is a pure function of
+//! `(seed, offset)` — it is a *timing and behaviour* model: which byte
+//! ranges of which files would currently be resident, so that reads split
+//! into memory-speed hits and device-speed misses. The paper's methodology
+//! (drop the page cache before every run, train a single epoch to avoid
+//! re-reading cached data) only works if the substrate actually has a
+//! cache to drop; this is it.
+//!
+//! Granularity is byte ranges (merged intervals) with LRU eviction over an
+//! ordered (last-use, key, start) index. Dirty ranges (buffered writes) are
+//! pinned until flushed by `fsync`/`close`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Identifies a file across filesystems: (filesystem instance id, file id).
+pub type CacheKey = (u64, u64);
+
+/// A contiguous byte run produced by [`PageCache::plan_read`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// Start offset of the run within the file.
+    pub offset: u64,
+    /// Length of the run in bytes.
+    pub len: u64,
+    /// Whether the run is resident (memory-speed) or must hit the device.
+    pub hit: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    end: u64,
+    tick: u64,
+    dirty: bool,
+}
+
+#[derive(Default)]
+struct FileIntervals {
+    /// start → interval
+    map: BTreeMap<u64, Interval>,
+}
+
+struct CacheState {
+    files: HashMap<CacheKey, FileIntervals>,
+    /// LRU index: (tick, key, start). Clean intervals only.
+    lru: BTreeSet<(u64, CacheKey, u64)>,
+    used: u64,
+    tick: u64,
+}
+
+/// Statistics, primarily for tests and reports.
+#[derive(Default)]
+pub struct CacheStats {
+    /// Bytes served from cache.
+    pub hit_bytes: AtomicU64,
+    /// Bytes that missed.
+    pub miss_bytes: AtomicU64,
+    /// Bytes evicted under pressure.
+    pub evicted_bytes: AtomicU64,
+}
+
+/// A shared page cache with byte-range granularity and LRU eviction.
+pub struct PageCache {
+    st: Mutex<CacheState>,
+    capacity: u64,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Create a cache holding at most `capacity` bytes of clean+dirty data.
+    pub fn new(capacity: u64) -> Self {
+        PageCache {
+            st: Mutex::new(CacheState {
+                files: HashMap::new(),
+                lru: BTreeSet::new(),
+                used: 0,
+                tick: 0,
+            }),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.st.lock().used
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.stats.hit_bytes.load(Ordering::Relaxed),
+            self.stats.miss_bytes.load(Ordering::Relaxed),
+            self.stats.evicted_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Split `[offset, offset+len)` of `key` into hit/miss runs, refreshing
+    /// LRU position of touched intervals. Does not insert anything.
+    pub fn plan_read(&self, key: CacheKey, offset: u64, len: u64) -> Vec<Run> {
+        let mut st = self.st.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let mut runs = Vec::new();
+        let end = offset + len;
+        let mut cur = offset;
+
+        // Collect overlapping intervals first to avoid borrow conflicts.
+        let overlaps: Vec<(u64, Interval)> = match st.files.get(&key) {
+            None => Vec::new(),
+            Some(fi) => fi
+                .map
+                .range(..end)
+                .rev()
+                .take_while(|(_, iv)| iv.end > offset)
+                .map(|(s, iv)| (*s, *iv))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect(),
+        };
+        for (s, iv) in &overlaps {
+            let hit_start = (*s).max(offset);
+            let hit_end = iv.end.min(end);
+            if hit_start > cur {
+                runs.push(Run {
+                    offset: cur,
+                    len: hit_start - cur,
+                    hit: false,
+                });
+            }
+            if hit_end > hit_start {
+                runs.push(Run {
+                    offset: hit_start,
+                    len: hit_end - hit_start,
+                    hit: true,
+                });
+            }
+            cur = cur.max(hit_end);
+        }
+        if cur < end {
+            runs.push(Run {
+                offset: cur,
+                len: end - cur,
+                hit: false,
+            });
+        }
+        // Coalesce adjacent runs with the same hit state (differing-state
+        // intervals are stored split but read identically).
+        let mut coalesced: Vec<Run> = Vec::with_capacity(runs.len());
+        for r in runs {
+            match coalesced.last_mut() {
+                Some(prev) if prev.hit == r.hit && prev.offset + prev.len == r.offset => {
+                    prev.len += r.len;
+                }
+                _ => coalesced.push(r),
+            }
+        }
+        let runs = coalesced;
+
+        // Refresh LRU ticks of the touched (clean) intervals.
+        if let Some(fi) = st.files.get_mut(&key) {
+            let mut refreshed = Vec::new();
+            for (s, iv) in &overlaps {
+                if let Some(cur_iv) = fi.map.get_mut(s) {
+                    if !cur_iv.dirty {
+                        refreshed.push((cur_iv.tick, *s));
+                        cur_iv.tick = tick;
+                    }
+                    let _ = iv;
+                }
+            }
+            for (old_tick, s) in refreshed {
+                st.lru.remove(&(old_tick, key, s));
+                st.lru.insert((tick, key, s));
+            }
+        }
+
+        for r in &runs {
+            if r.hit {
+                self.stats.hit_bytes.fetch_add(r.len, Ordering::Relaxed);
+            } else {
+                self.stats.miss_bytes.fetch_add(r.len, Ordering::Relaxed);
+            }
+        }
+        runs
+    }
+
+    /// Insert `[offset, offset+len)` of `key` as resident. `dirty` pins the
+    /// range until [`PageCache::take_dirty`] flushes it. Evicts LRU clean
+    /// ranges if over capacity.
+    ///
+    /// Same-state neighbours coalesce; differing-state overlaps are split
+    /// so that dirtying one page never marks adjacent *clean* cached data
+    /// dirty (a clean gigabyte must not become an msync of a gigabyte).
+    pub fn insert(&self, key: CacheKey, offset: u64, len: u64, dirty: bool) {
+        if len == 0 {
+            return;
+        }
+        let mut st = self.st.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let end = offset + len;
+
+        let mut new_start = offset;
+        let mut new_end = end;
+        let fi = st.files.entry(key).or_default();
+        // Candidates: any interval overlapping or touching [offset, end).
+        let keys: Vec<u64> = fi
+            .map
+            .range(..=end)
+            .rev()
+            .take_while(|(_, iv)| iv.end >= offset)
+            .map(|(s, _)| *s)
+            .collect();
+        let mut removed: Vec<(u64, Interval)> = Vec::new();
+        let mut fragments: Vec<(u64, Interval)> = Vec::new();
+        for s in keys {
+            let iv = fi.map.remove(&s).expect("key just listed");
+            removed.push((s, iv));
+            if iv.dirty == dirty {
+                new_start = new_start.min(s);
+                new_end = new_end.max(iv.end);
+            } else {
+                // Keep the old interval's parts outside the new range; the
+                // overlapped middle takes the new state.
+                if s < offset {
+                    fragments.push((
+                        s,
+                        Interval {
+                            end: iv.end.min(offset),
+                            tick: iv.tick,
+                            dirty: iv.dirty,
+                        },
+                    ));
+                }
+                if iv.end > end {
+                    fragments.push((
+                        s.max(end),
+                        Interval {
+                            end: iv.end,
+                            tick: iv.tick,
+                            dirty: iv.dirty,
+                        },
+                    ));
+                }
+            }
+        }
+        fi.map.insert(
+            new_start,
+            Interval {
+                end: new_end,
+                tick,
+                dirty,
+            },
+        );
+        let mut resident_after = new_end - new_start;
+        for (s, iv) in &fragments {
+            debug_assert!(iv.end > *s);
+            fi.map.insert(*s, *iv);
+            resident_after += iv.end - s;
+        }
+        let mut delta = resident_after;
+        for (s, iv) in &removed {
+            delta -= iv.end - s;
+            if !iv.dirty {
+                st.lru.remove(&(iv.tick, key, *s));
+            }
+        }
+        st.used += delta;
+        // Re-index clean pieces.
+        if !dirty {
+            st.lru.insert((tick, key, new_start));
+        }
+        for (s, iv) in &fragments {
+            if !iv.dirty {
+                st.lru.insert((iv.tick, key, *s));
+            }
+        }
+
+        // Evict clean LRU ranges while over capacity.
+        while st.used > self.capacity {
+            let Some(&(t, k, s)) = st.lru.iter().next() else {
+                break; // everything left is dirty/pinned
+            };
+            st.lru.remove(&(t, k, s));
+            if let Some(fi) = st.files.get_mut(&k) {
+                if let Some(iv) = fi.map.remove(&s) {
+                    let n = iv.end - s;
+                    st.used -= n;
+                    self.stats.evicted_bytes.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Take (and mark clean) all dirty ranges of `key`, returning them for
+    /// the caller to write to the device.
+    pub fn take_dirty(&self, key: CacheKey) -> Vec<(u64, u64)> {
+        let mut st = self.st.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let mut out = Vec::new();
+        let mut to_clean = Vec::new();
+        if let Some(fi) = st.files.get_mut(&key) {
+            for (s, iv) in fi.map.iter_mut() {
+                if iv.dirty {
+                    out.push((*s, iv.end - *s));
+                    iv.dirty = false;
+                    iv.tick = tick;
+                    to_clean.push(*s);
+                }
+            }
+        }
+        for s in to_clean {
+            st.lru.insert((tick, key, s));
+        }
+        out
+    }
+
+    /// Drop all ranges of one file (e.g. on unlink).
+    pub fn invalidate(&self, key: CacheKey) {
+        let mut st = self.st.lock();
+        if let Some(fi) = st.files.remove(&key) {
+            for (s, iv) in fi.map {
+                st.used -= iv.end - s;
+                if !iv.dirty {
+                    st.lru.remove(&(iv.tick, key, s));
+                }
+            }
+        }
+    }
+
+    /// `echo 3 > /proc/sys/vm/drop_caches`: drop every *clean* range.
+    /// Dirty (unflushed) ranges survive, as on Linux.
+    pub fn drop_caches(&self) {
+        let mut st = self.st.lock();
+        let st = &mut *st;
+        st.lru.clear();
+        for (_, fi) in st.files.iter_mut() {
+            fi.map.retain(|s, iv| {
+                if iv.dirty {
+                    true
+                } else {
+                    st.used -= iv.end - *s;
+                    false
+                }
+            });
+        }
+        st.files.retain(|_, fi| !fi.map.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: CacheKey = (1, 1);
+
+    fn runs(v: &[(u64, u64, bool)]) -> Vec<Run> {
+        v.iter()
+            .map(|&(offset, len, hit)| Run { offset, len, hit })
+            .collect()
+    }
+
+    #[test]
+    fn cold_read_is_all_miss() {
+        let c = PageCache::new(1 << 20);
+        assert_eq!(c.plan_read(K, 100, 50), runs(&[(100, 50, false)]));
+    }
+
+    #[test]
+    fn warm_read_is_all_hit() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 0, 1000, false);
+        assert_eq!(c.plan_read(K, 100, 50), runs(&[(100, 50, true)]));
+        assert_eq!(c.used(), 1000);
+    }
+
+    #[test]
+    fn partial_overlap_splits_into_runs() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 100, 100, false); // [100, 200)
+        c.insert(K, 400, 100, false); // [400, 500)
+        let got = c.plan_read(K, 50, 500); // [50, 550)
+        assert_eq!(
+            got,
+            runs(&[
+                (50, 50, false),
+                (100, 100, true),
+                (200, 200, false),
+                (400, 100, true),
+                (500, 50, false),
+            ])
+        );
+    }
+
+    #[test]
+    fn adjacent_inserts_merge() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 0, 100, false);
+        c.insert(K, 100, 100, false);
+        c.insert(K, 50, 100, false); // fully inside the merged range
+        assert_eq!(c.used(), 200);
+        assert_eq!(c.plan_read(K, 0, 200), runs(&[(0, 200, true)]));
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let c = PageCache::new(250);
+        c.insert(K, 0, 100, false);
+        c.insert(K, 1000, 100, false);
+        // Touch the first range so the second is LRU.
+        let _ = c.plan_read(K, 0, 100);
+        c.insert(K, 2000, 100, false); // 300 used > 250 → evict LRU ([1000,1100))
+        assert!(c.used() <= 250);
+        assert_eq!(c.plan_read(K, 0, 100), runs(&[(0, 100, true)]));
+        assert_eq!(c.plan_read(K, 1000, 100), runs(&[(1000, 100, false)]));
+        let (_, _, evicted) = c.stats();
+        assert_eq!(evicted, 100);
+    }
+
+    #[test]
+    fn dirty_ranges_are_pinned_and_flushable() {
+        let c = PageCache::new(150);
+        c.insert(K, 0, 100, true);
+        c.insert(K, 1000, 100, false); // over capacity; only clean evictable
+        assert_eq!(c.plan_read(K, 0, 100), runs(&[(0, 100, true)]));
+        let dirty = c.take_dirty(K);
+        assert_eq!(dirty, vec![(0, 100)]);
+        assert!(c.take_dirty(K).is_empty(), "flush clears dirty state");
+    }
+
+    #[test]
+    fn drop_caches_keeps_dirty() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 0, 100, false);
+        c.insert(K, 500, 100, true);
+        c.drop_caches();
+        assert_eq!(c.plan_read(K, 0, 100), runs(&[(0, 100, false)]));
+        assert_eq!(c.plan_read(K, 500, 100), runs(&[(500, 100, true)]));
+        assert_eq!(c.used(), 100);
+    }
+
+    #[test]
+    fn invalidate_removes_file() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 0, 100, false);
+        c.insert((1, 2), 0, 100, false);
+        c.invalidate(K);
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.plan_read(K, 0, 100), runs(&[(0, 100, false)]));
+        assert_eq!(c.plan_read((1, 2), 0, 100), runs(&[(0, 100, true)]));
+    }
+
+    #[test]
+    fn clean_insert_does_not_absorb_dirty_neighbours() {
+        let c = PageCache::new(1 << 20);
+        c.insert(K, 0, 100, true);
+        c.insert(K, 50, 100, false); // overlaps: middle becomes clean
+        let dirty = c.take_dirty(K);
+        assert_eq!(dirty, vec![(0, 50)], "only the untouched dirty prefix");
+        assert_eq!(c.plan_read(K, 0, 150), runs(&[(0, 150, true)]));
+    }
+
+    #[test]
+    fn dirty_write_does_not_poison_clean_cache() {
+        // The msync regression: a 1 KB dirty write inside a clean megabyte
+        // must flush ~1 KB, not the megabyte.
+        let c = PageCache::new(1 << 30);
+        c.insert(K, 0, 1 << 20, false);
+        c.insert(K, 4096, 1024, true);
+        let dirty = c.take_dirty(K);
+        assert_eq!(dirty, vec![(4096, 1024)]);
+        assert_eq!(c.plan_read(K, 0, 1 << 20), runs(&[(0, 1 << 20, true)]));
+        assert_eq!(c.used(), 1 << 20);
+    }
+}

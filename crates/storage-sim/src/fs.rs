@@ -1,0 +1,490 @@
+//! The filesystem abstraction shared by the local (ext4-like) and
+//! Lustre-like implementations, plus the common in-memory namespace.
+//!
+//! Paths are flat strings with `/` separators; directories are implicit
+//! (the paper's workloads never manipulate directories, only files under
+//! dataset roots). All operations *charge virtual time* appropriate to the
+//! filesystem and must therefore be called from simulated threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::content;
+use crate::device::Device;
+
+/// Filesystem error, mapped to errno by the POSIX layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist (`ENOENT`).
+    NotFound,
+    /// Path already exists on exclusive create (`EEXIST`).
+    Exists,
+    /// Device full (`ENOSPC`).
+    NoSpace,
+    /// Underlying device fault (`EIO`).
+    Io,
+    /// Bad handle or offset (`EBADF`/`EINVAL`).
+    Invalid,
+    /// Opened without the required access mode (`EBADF`).
+    BadAccess,
+}
+
+/// Result alias for filesystem operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Open flags, the subset POSIX `open(2)` needs here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpenOptions {
+    /// Allow reads.
+    pub read: bool,
+    /// Allow writes.
+    pub write: bool,
+    /// Create if missing.
+    pub create: bool,
+    /// Fail if it already exists (with `create`).
+    pub create_new: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+}
+
+impl OpenOptions {
+    /// Read-only open.
+    pub fn reading() -> Self {
+        OpenOptions {
+            read: true,
+            ..Default::default()
+        }
+    }
+
+    /// Create-or-truncate for writing (what `fopen(path, "w")` does).
+    pub fn writing() -> Self {
+        OpenOptions {
+            write: true,
+            create: true,
+            truncate: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Stat result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Metadata {
+    /// File size in bytes.
+    pub size: u64,
+    /// Filesystem-unique file id (inode number).
+    pub file_id: u64,
+}
+
+/// Payload of a write: literal bytes (retained for small files so tests can
+/// read them back) or a synthetic length (large writes such as checkpoints,
+/// where only size/time/counters matter).
+#[derive(Debug)]
+pub enum WritePayload<'a> {
+    /// Real bytes.
+    Bytes(&'a [u8]),
+    /// Length-only write.
+    Synthetic(u64),
+}
+
+impl WritePayload<'_> {
+    /// Number of bytes this payload represents.
+    pub fn len(&self) -> u64 {
+        match self {
+            WritePayload::Bytes(b) => b.len() as u64,
+            WritePayload::Synthetic(n) => *n,
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Opaque handle to an open file within one filesystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FsHandle(pub u64);
+
+/// The filesystem interface used by the POSIX layer and by the dataset
+/// generators. Implementations charge virtual time internally.
+pub trait FileSystem: Send + Sync {
+    /// Implementation name ("local" / "lustre"), for reports.
+    fn kind(&self) -> &'static str;
+
+    /// Unique instance id (for page-cache keys and staging identity).
+    fn instance_id(&self) -> u64;
+
+    /// Open (optionally creating/truncating) a file.
+    fn open(&self, path: &str, opts: &OpenOptions) -> FsResult<FsHandle>;
+
+    /// Close a handle, flushing buffered dirty data.
+    fn close(&self, h: FsHandle) -> FsResult<()>;
+
+    /// Read up to `len` bytes at `offset`. Returns bytes read (0 at EOF).
+    /// When `buf` is given, it is filled with the file's content (it must
+    /// be at least `len` long).
+    fn read_at(&self, h: FsHandle, offset: u64, len: u64, buf: Option<&mut [u8]>) -> FsResult<u64>;
+
+    /// Write at `offset`, extending the file if needed. Returns bytes
+    /// written.
+    fn write_at(&self, h: FsHandle, offset: u64, payload: WritePayload<'_>) -> FsResult<u64>;
+
+    /// Flush dirty buffered data of this file to its device.
+    fn fsync(&self, h: FsHandle) -> FsResult<()>;
+
+    /// Stat by path.
+    fn stat(&self, path: &str) -> FsResult<Metadata>;
+
+    /// Stat by handle.
+    fn fstat(&self, h: FsHandle) -> FsResult<Metadata>;
+
+    /// Remove a file. Open handles keep working (POSIX semantics).
+    fn unlink(&self, path: &str) -> FsResult<()>;
+
+    /// Rename a file.
+    fn rename(&self, from: &str, to: &str) -> FsResult<()>;
+
+    /// List `(path, size)` of all files, sorted by path.
+    fn list(&self) -> Vec<(String, u64)>;
+
+    /// Devices backing this filesystem (for dstat).
+    fn devices(&self) -> Vec<Arc<Device>>;
+
+    /// Instantly materialize a synthetic file (dataset generation): no
+    /// virtual time is charged; content derives from `seed`.
+    fn create_synthetic(&self, path: &str, size: u64, seed: u64) -> FsResult<()>;
+
+    /// Bytes of free capacity remaining.
+    fn free_bytes(&self) -> u64;
+
+    /// Size and (for synthetic files) content seed of a path, charged no
+    /// virtual time. Used by [`crate::stack::StorageStack::migrate`] to
+    /// clone files across mounts without materializing bytes.
+    fn content_info(&self, path: &str) -> FsResult<(u64, Option<u64>)>;
+
+    /// Copy up to `buf.len()` content bytes at `offset` into `buf` without
+    /// charging time or counters. For callers that already paid for the
+    /// data (e.g. the STDIO read-ahead buffer re-serving resident bytes).
+    /// Returns bytes copied (clipped at EOF).
+    fn peek(&self, h: FsHandle, offset: u64, buf: &mut [u8]) -> FsResult<u64>;
+}
+
+// ---------------------------------------------------------------------------
+// Shared namespace machinery
+// ---------------------------------------------------------------------------
+
+static NEXT_FS_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique filesystem instance id.
+pub fn next_instance_id() -> u64 {
+    NEXT_FS_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How a file's readable content is defined.
+#[derive(Clone, Debug)]
+pub enum FileContent {
+    /// Content = `content::fill(seed, offset, ..)`.
+    Synthetic {
+        /// Seed of the generator.
+        seed: u64,
+    },
+    /// Real bytes, retained while the file stays small.
+    Literal(Vec<u8>),
+    /// The file grew past the literal retention limit; only its size is
+    /// tracked and reads return seed-less synthetic bytes.
+    Opaque,
+}
+
+/// Retain literal bytes up to this size; beyond it, written files become
+/// [`FileContent::Opaque`].
+pub const MAX_LITERAL_BYTES: usize = 8 * 1024 * 1024;
+
+/// An inode.
+#[derive(Debug)]
+pub struct FileNode {
+    /// Inode number, unique within the filesystem.
+    pub id: u64,
+    /// Current size in bytes.
+    pub size: u64,
+    /// Content definition.
+    pub content: FileContent,
+    /// Base byte address of the file's extent on its device.
+    pub extent_base: u64,
+    /// Bytes reserved for the extent (growth beyond this relocates it).
+    pub extent_reserved: u64,
+    /// Index of the backing device (filesystem-specific meaning).
+    pub device_index: usize,
+}
+
+impl FileNode {
+    /// Fill `buf` with this file's content at `offset` (clipped by caller).
+    pub fn fill(&self, offset: u64, buf: &mut [u8]) {
+        match &self.content {
+            FileContent::Synthetic { seed } => content::fill(*seed, offset, buf),
+            FileContent::Literal(bytes) => {
+                let off = offset as usize;
+                let n = buf.len().min(bytes.len().saturating_sub(off));
+                buf[..n].copy_from_slice(&bytes[off..off + n]);
+                for b in &mut buf[n..] {
+                    *b = 0;
+                }
+            }
+            FileContent::Opaque => content::fill(self.id, offset, buf),
+        }
+    }
+
+    /// Apply a write to the content model.
+    pub fn apply_write(&mut self, offset: u64, payload: &WritePayload<'_>) {
+        let len = payload.len();
+        let end = offset + len;
+        match (&mut self.content, payload) {
+            (FileContent::Literal(bytes), WritePayload::Bytes(data))
+                if end as usize <= MAX_LITERAL_BYTES =>
+            {
+                if bytes.len() < end as usize {
+                    bytes.resize(end as usize, 0);
+                }
+                bytes[offset as usize..end as usize].copy_from_slice(data);
+            }
+            (content_ref, _) => {
+                // Writing into a synthetic file, or growing past the
+                // retention limit: content becomes opaque.
+                *content_ref = FileContent::Opaque;
+            }
+        }
+        self.size = self.size.max(end);
+    }
+}
+
+/// Shared open-handle table + path namespace used by both filesystems.
+pub struct Namespace {
+    st: Mutex<NsState>,
+}
+
+struct NsState {
+    files: HashMap<String, Arc<Mutex<FileNode>>>,
+    handles: HashMap<u64, Arc<Mutex<FileNode>>>,
+    next_handle: u64,
+    next_inode: u64,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Namespace {
+    /// Empty namespace.
+    pub fn new() -> Self {
+        Namespace {
+            st: Mutex::new(NsState {
+                files: HashMap::new(),
+                handles: HashMap::new(),
+                next_handle: 1,
+                next_inode: 1,
+            }),
+        }
+    }
+
+    /// Allocate an inode number.
+    pub fn alloc_inode(&self) -> u64 {
+        let mut st = self.st.lock();
+        let id = st.next_inode;
+        st.next_inode += 1;
+        id
+    }
+
+    /// Insert a node at `path` (replacing any existing).
+    pub fn insert(&self, path: &str, node: FileNode) -> Arc<Mutex<FileNode>> {
+        let node = Arc::new(Mutex::new(node));
+        self.st.lock().files.insert(path.to_string(), node.clone());
+        node
+    }
+
+    /// Atomically return the node at `path`, inserting `make()` if absent.
+    /// Concurrent creators (e.g. a collective `MPI_File_open`) must all
+    /// observe the same inode.
+    pub fn get_or_insert(
+        &self,
+        path: &str,
+        make: impl FnOnce() -> FileNode,
+    ) -> (Arc<Mutex<FileNode>>, bool) {
+        let mut st = self.st.lock();
+        if let Some(n) = st.files.get(path) {
+            return (n.clone(), false);
+        }
+        let node = Arc::new(Mutex::new(make()));
+        st.files.insert(path.to_string(), node.clone());
+        (node, true)
+    }
+
+    /// Look up a node by path.
+    pub fn get(&self, path: &str) -> Option<Arc<Mutex<FileNode>>> {
+        self.st.lock().files.get(path).cloned()
+    }
+
+    /// True if the path exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.st.lock().files.contains_key(path)
+    }
+
+    /// Remove a path (open handles keep their node alive).
+    pub fn remove(&self, path: &str) -> Option<Arc<Mutex<FileNode>>> {
+        self.st.lock().files.remove(path)
+    }
+
+    /// Rename a path.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut st = self.st.lock();
+        let node = st.files.remove(from).ok_or(FsError::NotFound)?;
+        st.files.insert(to.to_string(), node);
+        Ok(())
+    }
+
+    /// Register an open handle for `node`.
+    pub fn open_handle(&self, node: Arc<Mutex<FileNode>>) -> FsHandle {
+        let mut st = self.st.lock();
+        let h = st.next_handle;
+        st.next_handle += 1;
+        st.handles.insert(h, node);
+        FsHandle(h)
+    }
+
+    /// Resolve a handle.
+    pub fn handle(&self, h: FsHandle) -> FsResult<Arc<Mutex<FileNode>>> {
+        self.st
+            .lock()
+            .handles
+            .get(&h.0)
+            .cloned()
+            .ok_or(FsError::Invalid)
+    }
+
+    /// Drop a handle.
+    pub fn close_handle(&self, h: FsHandle) -> FsResult<Arc<Mutex<FileNode>>> {
+        self.st.lock().handles.remove(&h.0).ok_or(FsError::Invalid)
+    }
+
+    /// Sorted `(path, size)` listing.
+    pub fn list(&self) -> Vec<(String, u64)> {
+        let st = self.st.lock();
+        let mut v: Vec<(String, u64)> = st
+            .files
+            .iter()
+            .map(|(p, n)| (p.clone(), n.lock().size))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.st.lock().files.len()
+    }
+
+    /// True when no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_write_and_fill_roundtrip() {
+        let mut node = FileNode {
+            id: 1,
+            size: 0,
+            content: FileContent::Literal(Vec::new()),
+            extent_base: 0,
+            extent_reserved: 0,
+            device_index: 0,
+        };
+        node.apply_write(0, &WritePayload::Bytes(b"hello"));
+        node.apply_write(5, &WritePayload::Bytes(b" world"));
+        assert_eq!(node.size, 11);
+        let mut buf = [0u8; 11];
+        node.fill(0, &mut buf);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn sparse_literal_write_zero_fills() {
+        let mut node = FileNode {
+            id: 1,
+            size: 0,
+            content: FileContent::Literal(Vec::new()),
+            extent_base: 0,
+            extent_reserved: 0,
+            device_index: 0,
+        };
+        node.apply_write(4, &WritePayload::Bytes(b"x"));
+        let mut buf = [9u8; 5];
+        node.fill(0, &mut buf);
+        assert_eq!(&buf, &[0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn synthetic_write_makes_opaque() {
+        let mut node = FileNode {
+            id: 7,
+            size: 0,
+            content: FileContent::Literal(Vec::new()),
+            extent_base: 0,
+            extent_reserved: 0,
+            device_index: 0,
+        };
+        node.apply_write(0, &WritePayload::Synthetic(1 << 24));
+        assert!(matches!(node.content, FileContent::Opaque));
+        assert_eq!(node.size, 1 << 24);
+    }
+
+    #[test]
+    fn namespace_handles_survive_unlink() {
+        let ns = Namespace::new();
+        let node = ns.insert(
+            "/a",
+            FileNode {
+                id: ns.alloc_inode(),
+                size: 3,
+                content: FileContent::Literal(b"abc".to_vec()),
+                extent_base: 0,
+                extent_reserved: 0,
+                device_index: 0,
+            },
+        );
+        let h = ns.open_handle(node);
+        ns.remove("/a");
+        assert!(ns.get("/a").is_none());
+        assert_eq!(ns.handle(h).unwrap().lock().size, 3);
+        ns.close_handle(h).unwrap();
+        assert_eq!(ns.handle(h).err(), Some(FsError::Invalid));
+    }
+
+    #[test]
+    fn rename_moves_node() {
+        let ns = Namespace::new();
+        ns.insert(
+            "/a",
+            FileNode {
+                id: 1,
+                size: 1,
+                content: FileContent::Opaque,
+                extent_base: 0,
+                extent_reserved: 0,
+                device_index: 0,
+            },
+        );
+        ns.rename("/a", "/b").unwrap();
+        assert!(ns.get("/a").is_none());
+        assert!(ns.get("/b").is_some());
+        assert_eq!(ns.rename("/missing", "/c"), Err(FsError::NotFound));
+    }
+}

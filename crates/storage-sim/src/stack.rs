@@ -1,0 +1,265 @@
+//! The storage stack: mount table + cross-mount file migration (staging).
+//!
+//! A [`StorageStack`] maps path prefixes to filesystems, exactly like a
+//! mount table: `/data/hdd` → the HDD's ext4, `/data/optane` → the Optane
+//! tier, `/scratch` → Lustre. The POSIX layer resolves every path through
+//! it. [`StorageStack::migrate`] implements the paper's §V.B optimization —
+//! moving selected files to a faster tier — either instantly (the paper
+//! stages *before* the timed training run) or charged in virtual time.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::device::Device;
+use crate::fs::{FileSystem, FsError, FsHandle, FsResult, Metadata, OpenOptions, WritePayload};
+
+/// A single mount entry.
+#[derive(Clone)]
+pub struct Mount {
+    /// Path prefix, e.g. `/data/hdd`.
+    pub prefix: String,
+    /// Filesystem serving paths under the prefix.
+    pub fs: Arc<dyn FileSystem>,
+}
+
+/// A mount table. Longest-prefix match wins, as in a real VFS.
+#[derive(Clone, Default)]
+pub struct StorageStack {
+    mounts: Arc<RwLock<Vec<Mount>>>,
+}
+
+impl StorageStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a mount. Prefixes must be distinct.
+    pub fn mount(&self, prefix: impl Into<String>, fs: Arc<dyn FileSystem>) {
+        let prefix = prefix.into();
+        let mut m = self.mounts.write();
+        assert!(
+            !m.iter().any(|e| e.prefix == prefix),
+            "duplicate mount prefix {prefix}"
+        );
+        m.push(Mount { prefix, fs });
+        // Longest prefix first so resolution can take the first match.
+        m.sort_by_key(|e| std::cmp::Reverse(e.prefix.len()));
+    }
+
+    /// Resolve a path to its filesystem. The full path stays the
+    /// filesystem-internal key (simplifies staging identity).
+    pub fn resolve(&self, path: &str) -> FsResult<Arc<dyn FileSystem>> {
+        let m = self.mounts.read();
+        m.iter()
+            .find(|e| {
+                path.starts_with(&e.prefix)
+                    && (path.len() == e.prefix.len()
+                        || path.as_bytes()[e.prefix.len()] == b'/'
+                        || e.prefix.is_empty())
+            })
+            .map(|e| e.fs.clone())
+            .ok_or(FsError::NotFound)
+    }
+
+    /// All mounts.
+    pub fn mounts(&self) -> Vec<Mount> {
+        self.mounts.read().clone()
+    }
+
+    /// All distinct devices in the stack (for dstat).
+    pub fn devices(&self) -> Vec<Arc<Device>> {
+        let mut seen: Vec<Arc<Device>> = Vec::new();
+        for m in self.mounts.read().iter() {
+            for d in m.fs.devices() {
+                if !seen.iter().any(|s| Arc::ptr_eq(s, &d)) {
+                    seen.push(d);
+                }
+            }
+        }
+        seen
+    }
+
+    // -- path-routed convenience wrappers ---------------------------------
+
+    /// Open via mount resolution; returns the filesystem too so the caller
+    /// can hold it for handle-based calls.
+    pub fn open(&self, path: &str, opts: &OpenOptions) -> FsResult<(Arc<dyn FileSystem>, FsHandle)> {
+        let fs = self.resolve(path)?;
+        let h = fs.open(path, opts)?;
+        Ok((fs, h))
+    }
+
+    /// Stat via mount resolution.
+    pub fn stat(&self, path: &str) -> FsResult<Metadata> {
+        self.resolve(path)?.stat(path)
+    }
+
+    /// Unlink via mount resolution.
+    pub fn unlink(&self, path: &str) -> FsResult<()> {
+        self.resolve(path)?.unlink(path)
+    }
+
+    /// Create a synthetic file via mount resolution (dataset generation).
+    pub fn create_synthetic(&self, path: &str, size: u64, seed: u64) -> FsResult<()> {
+        self.resolve(path)?.create_synthetic(path, size, seed)
+    }
+
+    /// Move `src` to `dst` (possibly on another mount).
+    ///
+    /// With `timed = false` this is the paper's setup step ("we move all
+    /// those files into our Intel Optane SSD" before the measured epoch):
+    /// content metadata is cloned instantly. With `timed = true` the copy
+    /// is performed through read/write and charged in virtual time.
+    pub fn migrate(&self, src: &str, dst: &str, timed: bool) -> FsResult<()> {
+        let src_fs = self.resolve(src)?;
+        let dst_fs = self.resolve(dst)?;
+        if src_fs.instance_id() == dst_fs.instance_id() {
+            return src_fs.rename(src, dst);
+        }
+        let (size, seed) = src_fs.content_info(src)?;
+        if timed {
+            let sh = src_fs.open(src, &OpenOptions::reading())?;
+            let dh = dst_fs.open(
+                dst,
+                &OpenOptions {
+                    write: true,
+                    create: true,
+                    truncate: true,
+                    ..Default::default()
+                },
+            )?;
+            let mut off = 0u64;
+            const CHUNK: u64 = 1 << 20;
+            while off < size {
+                let n = src_fs.read_at(sh, off, CHUNK, None)?;
+                if n == 0 {
+                    break;
+                }
+                dst_fs.write_at(dh, off, WritePayload::Synthetic(n))?;
+                off += n;
+            }
+            src_fs.close(sh)?;
+            dst_fs.close(dh)?;
+            // Preserve synthetic identity if the source had one.
+            if let Some(seed) = seed {
+                dst_fs.unlink(dst)?;
+                dst_fs.create_synthetic(dst, size, seed)?;
+            }
+        } else {
+            dst_fs.create_synthetic(dst, size, seed.unwrap_or(size))?;
+        }
+        src_fs.unlink(src)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PageCache;
+    use crate::device::DeviceSpec;
+    use crate::local::{LocalFs, LocalFsParams};
+    use simrt::Sim;
+    use std::time::Duration;
+
+    fn two_tier() -> (StorageStack, Arc<LocalFs>, Arc<LocalFs>) {
+        let cache = Arc::new(PageCache::new(1 << 30));
+        let hdd = LocalFs::new(
+            Device::new(DeviceSpec::hdd("hdd0")),
+            cache.clone(),
+            LocalFsParams::default(),
+        );
+        let optane = LocalFs::new(
+            Device::new(DeviceSpec::optane("nvme0")),
+            cache,
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/data/hdd", hdd.clone() as Arc<dyn FileSystem>);
+        stack.mount("/data/optane", optane.clone() as Arc<dyn FileSystem>);
+        (stack, hdd, optane)
+    }
+
+    #[test]
+    fn longest_prefix_resolution() {
+        let (stack, hdd, optane) = two_tier();
+        assert_eq!(
+            stack.resolve("/data/hdd/a/b").unwrap().instance_id(),
+            hdd.instance_id()
+        );
+        assert_eq!(
+            stack.resolve("/data/optane/x").unwrap().instance_id(),
+            optane.instance_id()
+        );
+        assert!(stack.resolve("/other/x").is_err());
+        // "/data/hddx" must NOT match the /data/hdd mount.
+        assert!(stack.resolve("/data/hddx/y").is_err());
+    }
+
+    #[test]
+    fn untimed_migrate_moves_instantly_and_preserves_content() {
+        let (stack, hdd, optane) = two_tier();
+        stack
+            .create_synthetic("/data/hdd/f1", 2 << 20, 42)
+            .unwrap();
+        let sim = Sim::new();
+        let stack2 = stack.clone();
+        sim.spawn("t", move || {
+            let t0 = simrt::now();
+            stack2
+                .migrate("/data/hdd/f1", "/data/optane/f1", false)
+                .unwrap();
+            // Only namespace administration (microseconds), no data movement.
+            assert!(simrt::now() - t0 < Duration::from_millis(1));
+            assert!(stack2.stat("/data/hdd/f1").is_err());
+            assert_eq!(stack2.stat("/data/optane/f1").unwrap().size, 2 << 20);
+        });
+        sim.run();
+        assert_eq!(optane.content_info("/data/optane/f1").unwrap().1, Some(42));
+        assert!(hdd.content_info("/data/hdd/f1").is_err());
+    }
+
+    #[test]
+    fn timed_migrate_charges_both_devices() {
+        let (stack, hdd, optane) = two_tier();
+        stack
+            .create_synthetic("/data/hdd/f1", 4 << 20, 7)
+            .unwrap();
+        let sim = Sim::new();
+        let stack2 = stack.clone();
+        sim.spawn("t", move || {
+            stack2
+                .migrate("/data/hdd/f1", "/data/optane/f1", true)
+                .unwrap();
+        });
+        sim.run();
+        assert!(sim.now().as_secs_f64() > 0.01, "copy takes real virtual time");
+        // 4 MiB of data + one cold inode block on the source open.
+        assert_eq!(hdd.device().snapshot().bytes_read, (4 << 20) + 512);
+        assert_eq!(optane.device().snapshot().bytes_written, 4 << 20);
+        assert_eq!(optane.content_info("/data/optane/f1").unwrap().1, Some(7));
+    }
+
+    #[test]
+    fn same_fs_migrate_is_rename() {
+        let (stack, hdd, _) = two_tier();
+        stack.create_synthetic("/data/hdd/a", 100, 1).unwrap();
+        let sim = Sim::new();
+        let stack2 = stack.clone();
+        sim.spawn("t", move || {
+            stack2.migrate("/data/hdd/a", "/data/hdd/b", false).unwrap();
+        });
+        sim.run();
+        assert!(hdd.content_info("/data/hdd/b").is_ok());
+    }
+
+    #[test]
+    fn devices_are_deduplicated() {
+        let (stack, hdd, _) = two_tier();
+        // Mount the HDD fs twice under another prefix.
+        stack.mount("/mnt/alias", hdd as Arc<dyn FileSystem>);
+        assert_eq!(stack.devices().len(), 2);
+    }
+}

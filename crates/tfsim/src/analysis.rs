@@ -1,0 +1,182 @@
+//! The TF Profiler's **Input-pipeline analysis** page, computed from the
+//! collected trace itself (as TensorBoard does), not from trainer-side
+//! bookkeeping: per-step wait-vs-compute breakdown and the headline
+//! "% of step time waiting for input data" of the paper's Fig. 7a ("the
+//! training is highly input bounded. Approximately 96% of the sampled
+//! step time is to wait for input data").
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::XSpace;
+
+/// One sampled step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepBreakdown {
+    /// Step number.
+    pub step: usize,
+    /// Time waiting for the input pipeline (ns).
+    pub wait_ns: u64,
+    /// Device/compute time (ns).
+    pub compute_ns: u64,
+}
+
+/// The analysis over all sampled steps of a trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InputPipelineAnalysis {
+    /// Per-step breakdown, in step order.
+    pub steps: Vec<StepBreakdown>,
+}
+
+impl InputPipelineAnalysis {
+    /// Extract from a collected trace's host plane (`wait_for_input` and
+    /// `train_step` spans carry a `step` stat).
+    pub fn from_space(space: &XSpace) -> Self {
+        let mut by_step: BTreeMap<usize, StepBreakdown> = BTreeMap::new();
+        let Some(host) = space.plane("/host:CPU") else {
+            return Self::default();
+        };
+        for line in &host.lines {
+            for ev in &line.events {
+                let step = ev
+                    .stats
+                    .iter()
+                    .find(|s| s.name == "step")
+                    .and_then(|s| s.value.parse::<usize>().ok());
+                let Some(step) = step else { continue };
+                let e = by_step.entry(step).or_insert(StepBreakdown {
+                    step,
+                    wait_ns: 0,
+                    compute_ns: 0,
+                });
+                match ev.name.as_str() {
+                    "wait_for_input" => e.wait_ns += ev.dur_ns,
+                    "train_step" => e.compute_ns += ev.dur_ns,
+                    _ => {}
+                }
+            }
+        }
+        InputPipelineAnalysis {
+            steps: by_step.into_values().collect(),
+        }
+    }
+
+    /// Steps sampled.
+    pub fn sampled_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Fraction of the sampled step time spent waiting for input — the
+    /// overview-page headline.
+    pub fn input_bound_fraction(&self) -> f64 {
+        let wait: u64 = self.steps.iter().map(|s| s.wait_ns).sum();
+        let comp: u64 = self.steps.iter().map(|s| s.compute_ns).sum();
+        if wait + comp == 0 {
+            0.0
+        } else {
+            wait as f64 / (wait + comp) as f64
+        }
+    }
+
+    /// Average step time.
+    pub fn mean_step_time(&self) -> Duration {
+        if self.steps.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u64 = self.steps.iter().map(|s| s.wait_ns + s.compute_ns).sum();
+        Duration::from_nanos(total / self.steps.len() as u64)
+    }
+
+    /// The overview-page verdict text TensorBoard shows.
+    pub fn verdict(&self) -> &'static str {
+        let f = self.input_bound_fraction();
+        if f > 0.5 {
+            "Your program is HIGHLY input-bound: focus on the input pipeline"
+        } else if f > 0.2 {
+            "Your program is MODERATELY input-bound"
+        } else {
+            "Your program is NOT input-bound"
+        }
+    }
+
+    /// Render the page.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== Input-pipeline analysis ==");
+        let _ = writeln!(
+            out,
+            "{} ({:.1}% of {} sampled steps' time is waiting for input data; \
+             mean step time {:.1} ms)",
+            self.verdict(),
+            self.input_bound_fraction() * 100.0,
+            self.sampled_steps(),
+            self.mean_step_time().as_secs_f64() * 1e3,
+        );
+        for s in self.steps.iter().take(20) {
+            let total = (s.wait_ns + s.compute_ns).max(1);
+            let bars = (s.wait_ns * 30 / total) as usize;
+            let _ = writeln!(
+                out,
+                "step {:>4}: [{}{}] wait {:>8.2} ms | compute {:>8.2} ms",
+                s.step,
+                "#".repeat(bars),
+                ".".repeat(30 - bars),
+                s.wait_ns as f64 / 1e6,
+                s.compute_ns as f64 / 1e6,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::XEvent;
+
+    fn space_with_steps(steps: &[(usize, u64, u64)]) -> XSpace {
+        let mut space = XSpace::default();
+        let line = space.plane_mut("/host:CPU").line_mut("trainer (t0)");
+        let mut t = 0u64;
+        for &(step, wait, comp) in steps {
+            line.events
+                .push(XEvent::new("wait_for_input", t, wait).with_stat("step", step));
+            t += wait;
+            line.events
+                .push(XEvent::new("train_step", t, comp).with_stat("step", step));
+            t += comp;
+        }
+        space
+    }
+
+    #[test]
+    fn breakdown_from_trace() {
+        let space = space_with_steps(&[(0, 90, 10), (1, 80, 20), (2, 70, 30)]);
+        let a = InputPipelineAnalysis::from_space(&space);
+        assert_eq!(a.sampled_steps(), 3);
+        assert_eq!(a.steps[1], StepBreakdown { step: 1, wait_ns: 80, compute_ns: 20 });
+        assert!((a.input_bound_fraction() - 0.8).abs() < 1e-9);
+        assert_eq!(a.mean_step_time(), Duration::from_nanos(100));
+        assert!(a.verdict().contains("HIGHLY"));
+        assert!(a.render().contains("80.0%"));
+    }
+
+    #[test]
+    fn compute_bound_verdict() {
+        let space = space_with_steps(&[(0, 5, 95), (1, 10, 90)]);
+        let a = InputPipelineAnalysis::from_space(&space);
+        assert!(a.input_bound_fraction() < 0.1);
+        assert!(a.verdict().contains("NOT input-bound"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let a = InputPipelineAnalysis::from_space(&XSpace::default());
+        assert_eq!(a.sampled_steps(), 0);
+        assert_eq!(a.input_bound_fraction(), 0.0);
+        assert_eq!(a.mean_step_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,455 @@
+//! Keras-style training: `model.fit(dataset, …)` with callbacks.
+//!
+//! The trainer consumes batches from a [`crate::data::Dataset`] pipeline
+//! and "computes" on a GPU cost model. Per-step wait-vs-compute accounting
+//! feeds the Input-Pipeline analysis (the paper's "96%/99% of step time
+//! waiting for input"). Callbacks reproduce the two the paper uses:
+//! [`TensorBoardCallback`] (automatic profiling of a batch range) and
+//! [`ModelCheckpoint`] (per-step checkpoints whose `fwrite`s Darshan's
+//! STDIO module captures, §IV.D).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simrt::SimTime;
+
+use crate::data::Dataset;
+use crate::ops;
+use crate::profiler::ProfilerOptions;
+use crate::runtime::TfRuntime;
+use crate::trace::XSpace;
+use crate::traceme::TraceMe;
+
+/// GPU/compute cost model of a network (concrete models live in the
+/// `workloads` crate).
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: String,
+    /// GPU compute time per training step (batch already divided across
+    /// replicas, allreduce included).
+    pub step_time: Duration,
+    /// Graph ops executed per step (drives profiler tracing overhead).
+    pub graph_ops_per_step: u64,
+    /// Variable sizes in bytes (checkpoint payload).
+    pub variables: Vec<u64>,
+}
+
+impl ModelSpec {
+    /// Total checkpoint payload.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.variables.iter().sum()
+    }
+}
+
+/// Per-step timing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStat {
+    /// Time blocked waiting for the input pipeline.
+    pub wait: Duration,
+    /// Time computing (GPU busy).
+    pub compute: Duration,
+}
+
+/// Result of a `fit` run.
+#[derive(Clone, Debug, Default)]
+pub struct FitResult {
+    /// Per-step stats.
+    pub steps: Vec<StepStat>,
+    /// Wall-clock (virtual) duration of the fit call.
+    pub wall: Duration,
+    /// Raw input bytes consumed.
+    pub bytes_read: u64,
+    /// Steps actually executed (dataset may exhaust early).
+    pub steps_run: usize,
+}
+
+impl FitResult {
+    /// Fraction of sampled step time spent waiting for input — the
+    /// headline number of TF Profiler's overview page.
+    pub fn input_bound_fraction(&self) -> f64 {
+        let wait: f64 = self.steps.iter().map(|s| s.wait.as_secs_f64()).sum();
+        let comp: f64 = self.steps.iter().map(|s| s.compute.as_secs_f64()).sum();
+        if wait + comp == 0.0 {
+            0.0
+        } else {
+            wait / (wait + comp)
+        }
+    }
+}
+
+/// Keras-style callback hooks.
+#[allow(unused_variables)]
+pub trait Callback: Send {
+    /// Before the first step.
+    fn on_train_begin(&mut self, rt: &Arc<TfRuntime>) {}
+    /// Before step `step` (0-based) requests its batch.
+    fn on_step_begin(&mut self, rt: &Arc<TfRuntime>, step: usize) {}
+    /// After step `step` completed.
+    fn on_step_end(&mut self, rt: &Arc<TfRuntime>, step: usize) {}
+    /// After the last step.
+    fn on_train_end(&mut self, rt: &Arc<TfRuntime>) {}
+}
+
+/// `tf.keras.callbacks.TensorBoard(profile_batch=(from, to))`: starts the
+/// profiler at the beginning of step `from` and stops it at the end of
+/// step `to`, storing the collected trace.
+pub struct TensorBoardCallback {
+    /// First profiled step (0-based, inclusive).
+    pub profile_from: usize,
+    /// Last profiled step (inclusive).
+    pub profile_to: usize,
+    /// Session options.
+    pub options: ProfilerOptions,
+    /// Collected trace after the profiled range completes.
+    pub space: Arc<Mutex<Option<XSpace>>>,
+}
+
+impl TensorBoardCallback {
+    /// Profile steps `[from, to]` with default options.
+    pub fn profile_batch(from: usize, to: usize) -> Self {
+        TensorBoardCallback {
+            profile_from: from,
+            profile_to: to,
+            options: ProfilerOptions::default(),
+            space: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+impl Callback for TensorBoardCallback {
+    fn on_step_begin(&mut self, rt: &Arc<TfRuntime>, step: usize) {
+        if step == self.profile_from {
+            let _ = rt.profiler_start(self.options.clone());
+        }
+    }
+
+    fn on_step_end(&mut self, rt: &Arc<TfRuntime>, step: usize) {
+        if step == self.profile_to {
+            if let Ok(space) = rt.profiler_stop() {
+                *self.space.lock() = Some(space);
+            }
+        }
+    }
+
+    fn on_train_end(&mut self, rt: &Arc<TfRuntime>) {
+        // Range extended past the end of training: close the session.
+        if rt.profiling_active() {
+            if let Ok(space) = rt.profiler_stop() {
+                *self.space.lock() = Some(space);
+            }
+        }
+    }
+}
+
+/// `tf.keras.callbacks.ModelCheckpoint`: saves the model every
+/// `every_steps` steps, keeping all checkpoints (paper §IV.D keeps 10).
+pub struct ModelCheckpoint {
+    /// Checkpoint period in steps.
+    pub every_steps: usize,
+    /// Directory/prefix for checkpoint files.
+    pub path_prefix: String,
+    /// Variable sizes (from the model).
+    pub variables: Vec<u64>,
+    /// Bytes per `fwrite` call.
+    pub fwrite_chunk: u64,
+    /// Number of checkpoints written.
+    pub saved: usize,
+}
+
+impl ModelCheckpoint {
+    /// Checkpoint `model` every `every_steps` under `path_prefix`.
+    pub fn new(model: &ModelSpec, every_steps: usize, path_prefix: impl Into<String>) -> Self {
+        ModelCheckpoint {
+            every_steps: every_steps.max(1),
+            path_prefix: path_prefix.into(),
+            variables: model.variables.clone(),
+            fwrite_chunk: 1_900_000,
+            saved: 0,
+        }
+    }
+}
+
+impl Callback for ModelCheckpoint {
+    fn on_step_end(&mut self, rt: &Arc<TfRuntime>, step: usize) {
+        if (step + 1).is_multiple_of(self.every_steps) {
+            let path = format!("{}-{:04}.ckpt", self.path_prefix, step + 1);
+            if ops::save_checkpoint(rt, &path, &self.variables, self.fwrite_chunk).is_ok() {
+                self.saved += 1;
+            }
+        }
+    }
+}
+
+/// Train `model` for up to `steps` steps over one epoch of `dataset`.
+///
+/// Runs on the calling simulated thread; the pipeline runs on its own
+/// threads. Mirrors `model.fit(dataset, steps_per_epoch=…, callbacks=…)`.
+pub fn fit(
+    rt: &Arc<TfRuntime>,
+    model: &ModelSpec,
+    dataset: &Dataset,
+    steps: usize,
+    callbacks: &mut [&mut dyn Callback],
+) -> FitResult {
+    let t_begin = simrt::now();
+    for cb in callbacks.iter_mut() {
+        cb.on_train_begin(rt);
+    }
+    let mut it = dataset.iterate(rt);
+    let mut result = FitResult::default();
+    for step in 0..steps {
+        for cb in callbacks.iter_mut() {
+            cb.on_step_begin(rt, step);
+        }
+        let t0 = simrt::now();
+        let batch = {
+            let mut span = TraceMe::new(rt.recorder(), "wait_for_input");
+            span.stat("step", step);
+            let Some(batch) = it.next() else {
+                break;
+            };
+            batch
+        };
+        let t1 = simrt::now();
+        {
+            let mut span = TraceMe::new(rt.recorder(), "train_step");
+            span.stat("step", step);
+            span.stat("batch_size", batch.len);
+            simrt::sleep(model.step_time);
+            // Host-side executor tracing cost while profiled.
+            let per_op = rt.graph_op_overhead();
+            if !per_op.is_zero() {
+                simrt::sleep(per_op * model.graph_ops_per_step as u32);
+            }
+        }
+        let t2 = simrt::now();
+        result.steps.push(StepStat {
+            wait: t1 - t0,
+            compute: t2 - t1,
+        });
+        result.bytes_read += batch.bytes;
+        result.steps_run += 1;
+        for cb in callbacks.iter_mut() {
+            cb.on_step_end(rt, step);
+        }
+    }
+    drop(it);
+    for cb in callbacks.iter_mut() {
+        cb.on_train_end(rt);
+    }
+    result.wall = simrt::now() - t_begin;
+    result
+}
+
+/// Run the input pipeline with **no model attached** — the paper's STREAM
+/// benchmark ("performs no computation and preprocessing other than
+/// reading files and forming batches"). Returns the per-batch completion
+/// times for bandwidth-over-time plots.
+pub fn stream(
+    rt: &Arc<TfRuntime>,
+    dataset: &Dataset,
+    steps: usize,
+    mut on_batch: impl FnMut(usize, SimTime, u64),
+) -> FitResult {
+    let t_begin = simrt::now();
+    let mut it = dataset.iterate(rt);
+    let mut result = FitResult::default();
+    for step in 0..steps {
+        let t0 = simrt::now();
+        let Some(batch) = it.next() else {
+            break;
+        };
+        let t1 = simrt::now();
+        result.steps.push(StepStat {
+            wait: t1 - t0,
+            compute: Duration::ZERO,
+        });
+        result.bytes_read += batch.bytes;
+        result.steps_run += 1;
+        on_batch(step, t1, batch.bytes);
+    }
+    drop(it);
+    result.wall = simrt::now() - t_begin;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Element, MapFn, Parallelism};
+    use posix_sim::Process;
+    use simrt::Sim;
+    use storage_sim::StorageStack;
+
+    fn runtime(sim: &Sim) -> Arc<TfRuntime> {
+        TfRuntime::new(Process::new(StorageStack::new()), sim.clone(), 8)
+    }
+
+    fn tiny_model() -> ModelSpec {
+        ModelSpec {
+            name: "tiny".into(),
+            step_time: Duration::from_millis(2),
+            graph_ops_per_step: 100,
+            variables: vec![1 << 20],
+        }
+    }
+
+    fn slow_input(cost_ms: u64) -> MapFn {
+        Arc::new(move |_ctx, index, _path| {
+            simrt::sleep(Duration::from_millis(cost_ms));
+            Element {
+                index,
+                bytes: 1000,
+            }
+        })
+    }
+
+    fn files(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("/d/{i}")).collect()
+    }
+
+    #[test]
+    fn fit_counts_steps_and_waits() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("trainer", move || {
+            let ds = Dataset::from_files(files(32))
+                .map(slow_input(10), Parallelism::Fixed(1))
+                .batch(4)
+                .prefetch(2);
+            let r = fit(&rt, &tiny_model(), &ds, 8, &mut []);
+            assert_eq!(r.steps_run, 8);
+            assert_eq!(r.bytes_read, 32_000);
+            // Input: 40 ms per batch on one worker; compute 2 ms → heavily
+            // input bound.
+            assert!(r.input_bound_fraction() > 0.9, "{}", r.input_bound_fraction());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn compute_bound_when_input_is_fast() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("trainer", move || {
+            let ds = Dataset::from_files(files(64))
+                .map(slow_input(0), Parallelism::Fixed(8))
+                .batch(8)
+                .prefetch(4);
+            let r = fit(&rt, &tiny_model(), &ds, 8, &mut []);
+            assert!(r.input_bound_fraction() < 0.2, "{}", r.input_bound_fraction());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn fit_stops_at_dataset_end() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("trainer", move || {
+            let ds = Dataset::from_files(files(10))
+                .map(slow_input(1), Parallelism::Fixed(2))
+                .batch(4);
+            let r = fit(&rt, &tiny_model(), &ds, 100, &mut []);
+            assert_eq!(r.steps_run, 3, "10 files / batch 4 = 3 batches");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn tensorboard_callback_profiles_requested_range() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("trainer", move || {
+            let ds = Dataset::from_files(files(64))
+                .map(slow_input(1), Parallelism::Fixed(2))
+                .batch(4)
+                .prefetch(2);
+            let mut tb = TensorBoardCallback::profile_batch(2, 5);
+            let space = tb.space.clone();
+            let r = fit(&rt, &tiny_model(), &ds, 10, &mut [&mut tb]);
+            assert_eq!(r.steps_run, 10);
+            assert!(!rt.profiling_active());
+            let space = space.lock().take().expect("profile collected");
+            let host = space.plane("/host:CPU").expect("host plane");
+            let steps: Vec<&str> = host
+                .lines
+                .iter()
+                .flat_map(|l| &l.events)
+                .filter(|e| e.name == "train_step")
+                .flat_map(|e| &e.stats)
+                .filter(|s| s.name == "step")
+                .map(|s| s.value.as_str())
+                .collect();
+            assert_eq!(steps, vec!["2", "3", "4", "5"]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn tensorboard_callback_closes_session_at_train_end() {
+        // profile_batch range extends past the dataset: the callback must
+        // still close the session and deliver the trace.
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("trainer", move || {
+            let ds = Dataset::from_files(files(8))
+                .map(slow_input(1), Parallelism::Fixed(2))
+                .batch(4);
+            let mut tb = TensorBoardCallback::profile_batch(0, 999);
+            let space = tb.space.clone();
+            let r = fit(&rt, &tiny_model(), &ds, 100, &mut [&mut tb]);
+            assert_eq!(r.steps_run, 2);
+            assert!(!rt.profiling_active(), "session closed at train end");
+            assert!(space.lock().is_some(), "trace delivered");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn profiling_adds_graph_op_overhead() {
+        let run = |profile: bool| {
+            let sim = Sim::new();
+            let rt = runtime(&sim);
+            sim.spawn("trainer", move || {
+                let ds = Dataset::from_files(files(40))
+                    .map(slow_input(0), Parallelism::Fixed(4))
+                    .batch(4)
+                    .prefetch(2);
+                if profile {
+                    rt.profiler_start(ProfilerOptions::default()).unwrap();
+                }
+                fit(&rt, &tiny_model(), &ds, 10, &mut []);
+                if profile {
+                    rt.profiler_stop().unwrap();
+                }
+            });
+            sim.run();
+            sim.now()
+        };
+        let base = run(false);
+        let profiled = run(true);
+        assert!(profiled > base);
+    }
+
+    #[test]
+    fn stream_reports_batch_completions() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("t", move || {
+            let ds = Dataset::from_files(files(20))
+                .map(slow_input(1), Parallelism::Fixed(4))
+                .batch(5);
+            let mut seen = Vec::new();
+            let r = stream(&rt, &ds, 4, |step, at, bytes| {
+                seen.push((step, at, bytes));
+            });
+            assert_eq!(r.steps_run, 4);
+            assert_eq!(seen.len(), 4);
+            assert!(seen.windows(2).all(|w| w[0].1 <= w[1].1));
+        });
+        sim.run();
+    }
+}

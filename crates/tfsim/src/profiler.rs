@@ -1,0 +1,195 @@
+//! The profiler plugin interface (TensorFlow 2.2's `ProfilerInterface`).
+//!
+//! TensorFlow 2.2 made tracers modular: the runtime manages session
+//! start/stop and data collection, while tracers (host CPU, CUPTI for
+//! GPUs — and, with this paper, Darshan) do the source-specific work.
+//! tf-Darshan's `DarshanTracer` implements [`Tracer`] in the `tfdarshan`
+//! crate and registers through [`TracerFactory`].
+//!
+//! All three invocation styles from the paper are supported:
+//! * **automatically** via the Keras TensorBoard callback
+//!   ([`crate::model::TensorBoardCallback`], `profile_batch` range);
+//! * **manually** via `TfRuntime::profiler_start` / `profiler_stop`;
+//! * **interactively** via [`ProfilerServer`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::runtime::TfRuntime;
+use crate::trace::XSpace;
+
+/// Options of a profiling session.
+#[derive(Clone, Debug)]
+pub struct ProfilerOptions {
+    /// Cost charged per recorded TraceMe host event.
+    pub traceme_overhead: Duration,
+    /// Cost charged per traced graph op per training step (host tracing of
+    /// executor ops + CUPTI callbacks). This is what makes the "TF
+    /// Profiler" bars of Fig. 5 nonzero.
+    pub per_graph_op_overhead: Duration,
+}
+
+impl Default for ProfilerOptions {
+    fn default() -> Self {
+        ProfilerOptions {
+            traceme_overhead: Duration::from_nanos(400),
+            per_graph_op_overhead: Duration::from_micros(3),
+        }
+    }
+}
+
+/// Errors of the session state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfilerError {
+    /// `start` while a session is running.
+    AlreadyActive,
+    /// `stop` without a session.
+    NotActive,
+}
+
+impl std::fmt::Display for ProfilerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfilerError::AlreadyActive => write!(f, "profiler already active"),
+            ProfilerError::NotActive => write!(f, "no active profiling session"),
+        }
+    }
+}
+
+/// A pluggable tracer: started implicitly at session start (factory
+/// `create`), stopped and drained at session stop.
+pub trait Tracer: Send + Sync {
+    /// Tracer name (diagnostics).
+    fn name(&self) -> &str;
+    /// Stop collecting.
+    fn stop(&self);
+    /// Export collected data into the session's `XSpace`.
+    fn collect(&self, space: &mut XSpace);
+}
+
+/// Creates a tracer per profiling session.
+pub trait TracerFactory: Send + Sync {
+    /// Create a tracer for a new session (`None` to sit this session out).
+    fn create(&self, rt: &Arc<TfRuntime>, options: &ProfilerOptions) -> Option<Arc<dyn Tracer>>;
+}
+
+/// The "interactive" mode: TensorBoard connects over a socket and toggles
+/// profiling on a running program (`tf.profiler.experimental.server.start`).
+/// The socket is elided; the control surface is the same.
+pub struct ProfilerServer {
+    rt: Arc<TfRuntime>,
+    port: u16,
+}
+
+impl ProfilerServer {
+    /// Start a profiler server for `rt` on `port`.
+    pub fn start(rt: Arc<TfRuntime>, port: u16) -> Self {
+        ProfilerServer { rt, port }
+    }
+
+    /// The port the server listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Remote "capture profile" request: begin a session.
+    pub fn remote_start(&self, options: ProfilerOptions) -> Result<(), ProfilerError> {
+        self.rt.profiler_start(options)
+    }
+
+    /// Remote stop: end the session, returning the trace that would be
+    /// shipped back to TensorBoard.
+    pub fn remote_stop(&self) -> Result<XSpace, ProfilerError> {
+        self.rt.profiler_stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traceme::TraceMe;
+    use parking_lot::Mutex;
+    use posix_sim::Process;
+    use simrt::Sim;
+    use storage_sim::StorageStack;
+
+    fn runtime(sim: &Sim) -> Arc<TfRuntime> {
+        let stack = StorageStack::new();
+        TfRuntime::new(Process::new(stack), sim.clone(), 8)
+    }
+
+    struct DummyTracer {
+        stopped: Mutex<bool>,
+    }
+
+    impl Tracer for DummyTracer {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn stop(&self) {
+            *self.stopped.lock() = true;
+        }
+        fn collect(&self, space: &mut XSpace) {
+            assert!(*self.stopped.lock(), "collect after stop");
+            space.plane_mut("/dummy");
+        }
+    }
+
+    struct DummyFactory;
+    impl TracerFactory for DummyFactory {
+        fn create(&self, _rt: &Arc<TfRuntime>, _o: &ProfilerOptions) -> Option<Arc<dyn Tracer>> {
+            Some(Arc::new(DummyTracer {
+                stopped: Mutex::new(false),
+            }))
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_and_tracer_plumbing() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("t", move || {
+            rt.register_tracer_factory(Arc::new(DummyFactory));
+            assert_eq!(rt.profiler_stop().unwrap_err(), ProfilerError::NotActive);
+            rt.profiler_start(ProfilerOptions::default()).unwrap();
+            assert!(rt.profiling_active());
+            assert_eq!(
+                rt.profiler_start(ProfilerOptions::default()).unwrap_err(),
+                ProfilerError::AlreadyActive
+            );
+            {
+                let _span = TraceMe::new(rt.recorder(), "an_op");
+            }
+            let space = rt.profiler_stop().unwrap();
+            assert!(!rt.profiling_active());
+            assert!(space.plane("/dummy").is_some());
+            let host = space.plane("/host:CPU").unwrap();
+            assert_eq!(host.lines.len(), 1);
+            assert_eq!(host.lines[0].events[0].name, "an_op");
+            // Sessions are restartable.
+            rt.profiler_start(ProfilerOptions::default()).unwrap();
+            let space2 = rt.profiler_stop().unwrap();
+            assert_eq!(
+                space2.plane("/host:CPU").map(|p| p.lines.len()).unwrap_or(0),
+                0,
+                "second session starts clean"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn interactive_server_start_stop() {
+        let sim = Sim::new();
+        let rt = runtime(&sim);
+        sim.spawn("t", move || {
+            let srv = ProfilerServer::start(rt.clone(), 6009);
+            assert_eq!(srv.port(), 6009);
+            srv.remote_start(ProfilerOptions::default()).unwrap();
+            assert!(rt.profiling_active());
+            let space = srv.remote_stop().unwrap();
+            assert_eq!(space.event_count(), 0);
+        });
+        sim.run();
+    }
+}

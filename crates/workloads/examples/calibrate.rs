@@ -1,0 +1,43 @@
+//! Quick calibration probe: prints the headline bandwidths.
+use tfsim::Parallelism;
+use workloads::{run, Profiling, RunConfig, Scale, Workload};
+
+fn main() {
+    // Malware training: 1 thread, 16 threads, staged (scale 0.3 for speed).
+    let scale = Scale::of(0.3);
+    for (label, threads, stage) in [
+        ("malware 1t", 1usize, None),
+        ("malware 16t", 16, None),
+        ("malware 1t+staged", 1, Some(2u64 << 20)),
+    ] {
+        let mut cfg = RunConfig::paper(Workload::Malware, scale);
+        cfg.threads = Parallelism::Fixed(threads);
+        cfg.profiling = Profiling::TfDarshan { full_export: true };
+        cfg.stage_below = stage;
+        let out = run(Workload::Malware, cfg);
+        println!(
+            "{label}: {:.1} MiB/s (report {:.1}), wall {:.0}s, input-bound {:.1}%",
+            out.mean_read_mibps(),
+            out.report.as_ref().map(|r| r.io.read_bandwidth_mibps).unwrap_or(0.0),
+            out.wall.as_secs_f64(),
+            out.fit.input_bound_fraction() * 100.0
+        );
+    }
+    // ImageNet: 1 thread vs 28 threads (scale 0.05 → 6400 files, 25 steps).
+    let scale = Scale::of(0.05);
+    let mut bw1 = 0.0;
+    for threads in [1usize, 28] {
+        let mut cfg = RunConfig::paper(Workload::ImageNet, scale);
+        cfg.threads = Parallelism::Fixed(threads);
+        cfg.profiling = Profiling::TfDarshan { full_export: true };
+        let out = run(Workload::ImageNet, cfg);
+        let bw = out.mean_read_mibps();
+        if threads == 1 { bw1 = bw; }
+        println!(
+            "imagenet {threads}t: {:.2} MiB/s, wall {:.0}s, input-bound {:.1}%, speedup {:.1}x",
+            bw, out.wall.as_secs_f64(),
+            out.fit.input_bound_fraction() * 100.0,
+            bw / bw1.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Synthetic datasets matched to the paper's Table II.
+//!
+//! | Name              | Files   | Total    | Median  | Character          |
+//! |-------------------|---------|----------|---------|--------------------|
+//! | ImageNet          | 128,000 | ~11.6 GB | ~88 KB  | many small files   |
+//! | Kaggle BIG 2015   | 10,868  | ~48 GB   | ~4 MB   | large single files |
+//! | STREAM(ImageNet)  | 12,800  | ~1 GB    | ~76 KB  | validation subset  |
+//! | STREAM(Malware)   | 6,400   | ~35 GB   | ~7.3 MB | validation subset  |
+//!
+//! The malware distribution is bimodal, tuned so the paper's §V.B census
+//! holds: ≈40% of the files are below 2 MB yet account for only ≈8% of the
+//! bytes (≈3.7 GB) — the fact the staging optimization exploits.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use storage_sim::StorageStack;
+
+/// A generated dataset: paths live under one mount prefix; the file list
+/// is pre-shuffled (training reads in shuffled order, so consecutive reads
+/// land on unrelated disk extents — seeks on HDD).
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// Dataset label (Table II name).
+    pub name: String,
+    /// Shuffled file list, as the input pipeline will visit it.
+    pub files: Vec<String>,
+    /// Per-file sizes, aligned with `files`.
+    pub sizes: Vec<u64>,
+}
+
+impl GeneratedDataset {
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Median file size.
+    pub fn median_size(&self) -> u64 {
+        if self.sizes.is_empty() {
+            return 0;
+        }
+        let mut s = self.sizes.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    /// Count and bytes of files strictly below `threshold`.
+    pub fn census_below(&self, threshold: u64) -> (usize, u64) {
+        let mut n = 0;
+        let mut bytes = 0;
+        for &s in &self.sizes {
+            if s < threshold {
+                n += 1;
+                bytes += s;
+            }
+        }
+        (n, bytes)
+    }
+
+    /// Apply a staging remap: replace moved paths (returned by
+    /// `tfdarshan::apply_staging`) in the file list.
+    pub fn remap(&mut self, mapping: &[(String, String)]) {
+        use std::collections::HashMap;
+        let map: HashMap<&str, &str> = mapping
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        for f in self.files.iter_mut() {
+            if let Some(n) = map.get(f.as_str()) {
+                *f = n.to_string();
+            }
+        }
+    }
+}
+
+/// Draw log-normal sizes with the given median and shape, clipped, then
+/// rescaled so the total matches `total` (±rounding).
+fn lognormal_sizes(
+    rng: &mut StdRng,
+    n: usize,
+    median: f64,
+    sigma: f64,
+    min: u64,
+    max: u64,
+    total: u64,
+) -> Vec<u64> {
+    let mu = median.ln();
+    let mut sizes: Vec<f64> = (0..n)
+        .map(|_| {
+            // Box-Muller standard normal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mu + sigma * z).exp().clamp(min as f64, max as f64)
+        })
+        .collect();
+    let sum: f64 = sizes.iter().sum();
+    let scale = total as f64 / sum;
+    for s in sizes.iter_mut() {
+        *s = (*s * scale).clamp(min as f64, max as f64);
+    }
+    sizes.into_iter().map(|s| s.round() as u64).collect()
+}
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Multiplier on file count (1.0 = paper size). Totals scale with it.
+    pub files: f64,
+}
+
+impl Scale {
+    /// Paper-size datasets.
+    pub const FULL: Scale = Scale { files: 1.0 };
+
+    /// Scaled-down by `f` (file count × f).
+    pub fn of(f: f64) -> Scale {
+        assert!(f > 0.0 && f <= 1.0);
+        Scale { files: f }
+    }
+
+    fn apply(&self, n: usize) -> usize {
+        ((n as f64 * self.files).round() as usize).max(8)
+    }
+}
+
+fn materialize(
+    stack: &StorageStack,
+    name: &str,
+    prefix: &str,
+    sizes: Vec<u64>,
+    seed: u64,
+) -> GeneratedDataset {
+    let mut files = Vec::with_capacity(sizes.len());
+    for (i, &s) in sizes.iter().enumerate() {
+        let path = format!("{prefix}/{name}/{i:07}");
+        stack
+            .create_synthetic(&path, s, seed ^ (i as u64) << 1)
+            .unwrap_or_else(|e| panic!("creating {path}: {e:?}"));
+        files.push(path);
+    }
+    // Shuffle the *visit order* (training order ≠ on-disk layout order).
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_F11E);
+    order.shuffle(&mut rng);
+    let files_shuffled: Vec<String> = order.iter().map(|&i| files[i].clone()).collect();
+    let sizes_shuffled: Vec<u64> = order.iter().map(|&i| sizes[i]).collect();
+    GeneratedDataset {
+        name: name.to_string(),
+        files: files_shuffled,
+        sizes: sizes_shuffled,
+    }
+}
+
+/// ImageNet (Fall 2011 subset the paper trains on): 128 k small files.
+pub fn imagenet(stack: &StorageStack, prefix: &str, scale: Scale) -> GeneratedDataset {
+    let n = scale.apply(128_000);
+    let total = (11.6e9 * scale.files) as u64;
+    let mut rng = StdRng::seed_from_u64(0x1337_0001);
+    let sizes = lognormal_sizes(&mut rng, n, 88.0e3, 0.45, 4_096, 1 << 20, total);
+    materialize(stack, "imagenet", prefix, sizes, 0xA11CE)
+}
+
+/// Kaggle BIG 2015 malware byte-code files: 10 868 large files, bimodal so
+/// that ≈40% of files are <2 MB holding ≈8% of bytes.
+pub fn malware(stack: &StorageStack, prefix: &str, scale: Scale) -> GeneratedDataset {
+    let n = scale.apply(10_868);
+    let n_small = (n as f64 * 0.4067) as usize; // → ≈4 420 at full scale
+    let n_big = n - n_small;
+    let small_total = (3.7e9 * scale.files) as u64;
+    let big_total = (44.3e9 * scale.files) as u64;
+    let mut rng = StdRng::seed_from_u64(0x1337_0002);
+    let mut sizes = lognormal_sizes(
+        &mut rng,
+        n_small,
+        750.0e3,
+        0.6,
+        64 << 10,
+        (2 << 20) - 1,
+        small_total,
+    );
+    sizes.extend(lognormal_sizes(
+        &mut rng,
+        n_big,
+        5.5e6,
+        0.5,
+        2 << 20,
+        60 << 20,
+        big_total,
+    ));
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.shuffle(&mut rng);
+    let sizes: Vec<u64> = order.into_iter().map(|i| sizes[i]).collect();
+    materialize(stack, "malware", prefix, sizes, 0xB16B0)
+}
+
+/// Pack a generated dataset into TFRecord-style shards *without charging
+/// virtual time* (the offline preparation happened before the measured
+/// run): shard files are created synthetically with record offsets
+/// matching the dataset's sizes in visit order.
+pub fn pack_untimed(
+    stack: &StorageStack,
+    ds: &GeneratedDataset,
+    shard_bytes: u64,
+    dst_prefix: &str,
+) -> Vec<tfsim::TfRecordShard> {
+    let mut shards = Vec::new();
+    let mut lens: Vec<u64> = Vec::new();
+    let mut bytes = 0u64;
+    let flush = |lens: &mut Vec<u64>, bytes: &mut u64, shards: &mut Vec<tfsim::TfRecordShard>| {
+        if lens.is_empty() {
+            return;
+        }
+        let idx = shards.len();
+        let path = format!("{dst_prefix}/{}-{idx:05}.tfrecord", ds.name);
+        let total: u64 = lens
+            .iter()
+            .map(|l| l + tfsim::tfrecord::RECORD_OVERHEAD)
+            .sum();
+        stack
+            .create_synthetic(&path, total, 0xEC0 ^ idx as u64)
+            .expect("shard created");
+        shards.push(tfsim::TfRecordShard {
+            path,
+            record_lens: std::mem::take(lens),
+        });
+        *bytes = 0;
+    };
+    for &size in &ds.sizes {
+        lens.push(size);
+        bytes += size + tfsim::tfrecord::RECORD_OVERHEAD;
+        if bytes >= shard_bytes {
+            flush(&mut lens, &mut bytes, &mut shards);
+        }
+    }
+    flush(&mut lens, &mut bytes, &mut shards);
+    shards
+}
+
+/// STREAM(ImageNet) validation subset: 12 800 files, ~1 GB, ~76 KB median.
+pub fn stream_imagenet(stack: &StorageStack, prefix: &str, scale: Scale) -> GeneratedDataset {
+    let n = scale.apply(12_800);
+    let total = (1.0e9 * scale.files) as u64;
+    let mut rng = StdRng::seed_from_u64(0x1337_0003);
+    let sizes = lognormal_sizes(&mut rng, n, 76.0e3, 0.35, 4_096, 512 << 10, total);
+    materialize(stack, "stream-imagenet", prefix, sizes, 0xC0FFE)
+}
+
+/// STREAM(Malware) validation subset: 6 400 files, ~35 GB, ~7.3 MB median.
+pub fn stream_malware(stack: &StorageStack, prefix: &str, scale: Scale) -> GeneratedDataset {
+    let n = scale.apply(6_400);
+    let total = (35.0e9 * scale.files) as u64;
+    let mut rng = StdRng::seed_from_u64(0x1337_0004);
+    let sizes = lognormal_sizes(&mut rng, n, 7.3e6, 0.35, 1 << 20, 60 << 20, total);
+    materialize(stack, "stream-malware", prefix, sizes, 0xD00D5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform;
+
+    fn within(x: f64, target: f64, tol: f64) -> bool {
+        (x - target).abs() <= target * tol
+    }
+
+    #[test]
+    fn imagenet_matches_table2() {
+        let m = platform::greendog();
+        let ds = imagenet(&m.stack, platform::mounts::HDD, Scale::of(0.1));
+        assert_eq!(ds.len(), 12_800);
+        assert!(
+            within(ds.total_bytes() as f64, 1.16e9, 0.05),
+            "total {}",
+            ds.total_bytes()
+        );
+        let med = ds.median_size() as f64;
+        assert!(within(med, 88.0e3, 0.25), "median {med}");
+    }
+
+    #[test]
+    fn malware_census_matches_section_vb() {
+        let m = platform::greendog();
+        let ds = malware(&m.stack, platform::mounts::HDD, Scale::FULL);
+        assert_eq!(ds.len(), 10_868);
+        assert!(
+            within(ds.total_bytes() as f64, 48.0e9, 0.05),
+            "total {}",
+            ds.total_bytes()
+        );
+        let (n_small, small_bytes) = ds.census_below(2 << 20);
+        // Paper: ~4 420 files below 2 MB, ~3.7 GB ≈ 8% of bytes, ~40% of files.
+        assert!(
+            (4_000..=4_800).contains(&n_small),
+            "small file count {n_small}"
+        );
+        let byte_frac = small_bytes as f64 / ds.total_bytes() as f64;
+        assert!(
+            (0.05..=0.11).contains(&byte_frac),
+            "small byte fraction {byte_frac:.3}"
+        );
+        let file_frac = n_small as f64 / ds.len() as f64;
+        assert!(
+            (0.35..=0.45).contains(&file_frac),
+            "small file fraction {file_frac:.3}"
+        );
+        let med = ds.median_size();
+        assert!(
+            ((2 << 20)..(7 << 20)).contains(&med),
+            "median around 4 MB, got {med}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m1 = platform::greendog();
+        let m2 = platform::greendog();
+        let a = stream_imagenet(&m1.stack, platform::mounts::HDD, Scale::of(0.05));
+        let b = stream_imagenet(&m2.stack, platform::mounts::HDD, Scale::of(0.05));
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.sizes, b.sizes);
+    }
+
+    #[test]
+    fn visit_order_is_shuffled_but_stat_consistent() {
+        let m = platform::greendog();
+        let ds = stream_malware(&m.stack, platform::mounts::HDD, Scale::of(0.02));
+        // Shuffled: not sorted by path.
+        let mut sorted = ds.files.clone();
+        sorted.sort();
+        assert_ne!(ds.files, sorted);
+        // Sizes align with paths.
+        for (f, &s) in ds.files.iter().zip(&ds.sizes).take(20) {
+            let meta = m.stack.resolve(f).unwrap().content_info(f).unwrap();
+            assert_eq!(meta.0, s);
+        }
+    }
+
+    #[test]
+    fn remap_rewrites_paths() {
+        let m = platform::greendog();
+        let mut ds = stream_imagenet(&m.stack, platform::mounts::HDD, Scale::of(0.01));
+        let victim = ds.files[3].clone();
+        let new = victim.replace("/data/hdd", "/data/optane");
+        ds.remap(&[(victim.clone(), new.clone())]);
+        assert_eq!(ds.files[3], new);
+        assert!(!ds.files.contains(&victim));
+    }
+}

@@ -1,0 +1,19 @@
+//! # workloads — the paper's evaluation workloads and experiment drivers
+//!
+//! Simulated platforms ([`platform`]: Greendog workstation, Kebnekaise
+//! cluster node), synthetic datasets matched to Table II ([`dataset`]),
+//! model/preprocessing cost models ([`models`]), and the experiment
+//! drivers that benches, examples, and integration tests share
+//! ([`experiments`]).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod experiments;
+pub mod lmdb;
+pub mod models;
+pub mod platform;
+
+pub use dataset::{GeneratedDataset, Scale};
+pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Workload};
+pub use platform::{greendog, kebnekaise, mounts, Machine};

@@ -1,0 +1,141 @@
+//! Model and preprocessing cost models for the paper's two use-cases.
+//!
+//! Both applications are Keras models trained with SGD (lr = 0.01,
+//! momentum = 0) and categorical cross-entropy; what matters for I/O
+//! characterization is their *time structure*: AlexNet has a noticeable
+//! GPU step; the malware CNN's compute is negligible (paper §V.B), so the
+//! latter is purely I/O bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simrt::dur;
+use tfsim::{Element, MapFn, ModelSpec, PipelineCtx};
+
+/// AlexNet on Kebnekaise's 2 × V100 (data-parallel): per-step compute
+/// for `batch` images split across `gpus`, plus gradient allreduce.
+pub fn alexnet(batch: usize, gpus: usize) -> ModelSpec {
+    assert!(gpus > 0);
+    // ~1.05 ms per image per V100 (fwd+bwd, fp32) + 30 ms allreduce of
+    // ~244 MB of gradients over PCIe/NCCL.
+    let per_image = Duration::from_micros(1_050);
+    let compute = per_image * (batch as u32) / (gpus as u32);
+    let allreduce = Duration::from_millis(30);
+    ModelSpec {
+        name: format!("alexnet-b{batch}-g{gpus}"),
+        step_time: compute + allreduce,
+        graph_ops_per_step: 700,
+        variables: alexnet_variables(),
+    }
+}
+
+/// AlexNet's variables (weights + biases per layer), ≈244 MB of fp32.
+pub fn alexnet_variables() -> Vec<u64> {
+    // conv1..conv5 weights+biases, fc6, fc7, fc8 — parameter counts from
+    // the standard AlexNet, × 4 bytes.
+    let params: [u64; 16] = [
+        34_848, 96, // conv1
+        614_400, 256, // conv2
+        884_736, 384, // conv3
+        1_327_104, 384, // conv4
+        884_736, 256, // conv5
+        37_748_736, 4_096, // fc6
+        16_777_216, 4_096, // fc7
+        4_096_000, 1_000, // fc8
+    ];
+    params.iter().map(|p| p * 4).collect()
+}
+
+/// The malware-detection CNN: a simple two-layer network whose GPU time is
+/// negligible next to reading multi-megabyte byte-code files.
+pub fn malware_cnn(batch: usize) -> ModelSpec {
+    let per_sample = Duration::from_micros(45);
+    ModelSpec {
+        name: format!("malware-cnn-b{batch}"),
+        step_time: per_sample * batch as u32,
+        graph_ops_per_step: 120,
+        variables: vec![2_359_296, 512, 9_437_184, 1_024, 36_864 * 4, 36], // ≈12 MB
+    }
+}
+
+/// Preprocessing cost of one ImageNet sample on one CPU core: JPEG
+/// decode, resize, normalize. Dominated by decode, roughly linear in the
+/// compressed size.
+pub fn imagenet_decode_cost(bytes: u64) -> Duration {
+    // ~70 ns/byte ⇒ ≈6 ms for the 88 KB median image, plus fixed overhead.
+    Duration::from_micros(600) + dur::secs_f64(bytes as f64 * 70e-9)
+}
+
+/// Preprocessing cost of one malware sample: reinterpreting byte code as a
+/// grayscale image is a cheap reshape + cast.
+pub fn malware_decode_cost(bytes: u64) -> Duration {
+    Duration::from_micros(200) + dur::secs_f64(bytes as f64 * 2.2e-9)
+}
+
+/// Capture function for the image-classification pipeline: `tf.io.read_file`
+/// then decode/resize/batch prep (paper §IV.A).
+pub fn imagenet_capture() -> MapFn {
+    Arc::new(|ctx: &PipelineCtx, index, path: &str| {
+        let bytes = tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0);
+        tfsim::ops::compute(&ctx.rt, "DecodeJpeg+Resize", imagenet_decode_cost(bytes));
+        Element { index, bytes }
+    })
+}
+
+/// Capture function for the malware pipeline: read byte code, decode as
+/// grayscale image.
+pub fn malware_capture() -> MapFn {
+    Arc::new(|ctx: &PipelineCtx, index, path: &str| {
+        let bytes = tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0);
+        tfsim::ops::compute(&ctx.rt, "DecodeBytesAsImage", malware_decode_cost(bytes));
+        Element { index, bytes }
+    })
+}
+
+/// STREAM capture: read only, no preprocessing ("performs no computation
+/// and preprocessing other than reading files and forming batches").
+pub fn stream_capture() -> MapFn {
+    Arc::new(|ctx: &PipelineCtx, index, path: &str| {
+        let bytes = tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0);
+        Element { index, bytes }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_sizes_add_up() {
+        let vars = alexnet_variables();
+        let total: u64 = vars.iter().sum();
+        // ~61 M parameters × 4 B ≈ 244 MB.
+        assert!((230_000_000..260_000_000).contains(&total), "{total}");
+        assert_eq!(vars.len(), 16);
+    }
+
+    #[test]
+    fn alexnet_scales_with_gpus() {
+        let one = alexnet(256, 1).step_time;
+        let two = alexnet(256, 2).step_time;
+        assert!(two < one);
+        assert!(two > one / 2, "allreduce does not parallelize");
+    }
+
+    #[test]
+    fn malware_cnn_is_fast() {
+        let m = malware_cnn(32);
+        assert!(m.step_time < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn decode_costs_scale_with_bytes() {
+        assert!(imagenet_decode_cost(88_000) > imagenet_decode_cost(10_000));
+        let d = imagenet_decode_cost(88_000);
+        assert!(
+            (Duration::from_millis(4)..Duration::from_millis(10)).contains(&d),
+            "{d:?}"
+        );
+        assert!(malware_decode_cost(4 << 20) < Duration::from_millis(15));
+    }
+}

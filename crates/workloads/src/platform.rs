@@ -1,0 +1,187 @@
+//! The paper's two evaluation platforms (§IV.A), as simulated machines.
+//!
+//! * **Greendog** — workstation: i7-7820X (8 cores / 16 threads), 32 GB
+//!   RAM, 2 × 2 TB HDD, 1 TB SATA SSD, 480 GB Intel Optane 900p; ext4.
+//! * **Kebnekaise** — HPC cluster node: 2 × Xeon Gold 6132 (28 cores),
+//!   192 GB RAM, 2 × V100; Lustre parallel filesystem.
+
+use std::sync::Arc;
+
+use posix_sim::Process;
+use simrt::Sim;
+use storage_sim::{
+    Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, LustreFs, LustreParams, PageCache,
+    StorageStack,
+};
+use tfsim::TfRuntime;
+
+/// A fully wired simulated machine.
+pub struct Machine {
+    /// The simulation this machine lives in.
+    pub sim: Sim,
+    /// Mount table.
+    pub stack: StorageStack,
+    /// The (single) process running TensorFlow.
+    pub process: Arc<Process>,
+    /// The TensorFlow runtime.
+    pub rt: Arc<TfRuntime>,
+    /// OS page cache (shared by local mounts).
+    pub cache: Arc<PageCache>,
+    /// Local filesystems by mount point (for direct device access).
+    pub local_mounts: Vec<(String, Arc<LocalFs>)>,
+    /// Lustre filesystem, if any.
+    pub lustre: Option<Arc<LustreFs>>,
+    /// Logical cores.
+    pub cores: usize,
+}
+
+impl Machine {
+    /// `echo 3 > /proc/sys/vm/drop_caches`, as the paper does before every
+    /// Greendog experiment.
+    pub fn drop_caches(&self) {
+        self.cache.drop_caches();
+    }
+
+    /// All block devices (for dstat).
+    pub fn devices(&self) -> Vec<Arc<Device>> {
+        self.stack.devices()
+    }
+
+    /// The device backing a mount prefix.
+    pub fn device_of(&self, prefix: &str) -> Option<Arc<Device>> {
+        self.local_mounts
+            .iter()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, fs)| fs.device().clone())
+    }
+}
+
+/// Mount points used by the experiments.
+pub mod mounts {
+    /// Greendog HDD (datasets live here).
+    pub const HDD: &str = "/data/hdd";
+    /// Greendog second HDD.
+    pub const HDD2: &str = "/data/hdd2";
+    /// Greendog SATA SSD.
+    pub const SSD: &str = "/data/ssd";
+    /// Greendog Optane 900p.
+    pub const OPTANE: &str = "/data/optane";
+    /// Kebnekaise Lustre scratch.
+    pub const LUSTRE: &str = "/scratch";
+}
+
+/// Build the Greendog workstation.
+pub fn greendog() -> Machine {
+    let sim = Sim::new();
+    let cache = Arc::new(PageCache::new(26 << 30)); // 32 GB minus OS/app
+    let stack = StorageStack::new();
+    let mut local_mounts = Vec::new();
+    for (prefix, spec, capacity) in [
+        (mounts::HDD, DeviceSpec::hdd("sda"), 2u64 << 41),
+        (mounts::HDD2, DeviceSpec::hdd("sdb"), 2 << 41),
+        (mounts::SSD, DeviceSpec::sata_ssd("sdc"), 1 << 40),
+        (mounts::OPTANE, DeviceSpec::optane("nvme0n1"), 480 << 30),
+    ] {
+        let fs = LocalFs::new(
+            Device::new(spec),
+            cache.clone(),
+            LocalFsParams {
+                capacity,
+                ..Default::default()
+            },
+        );
+        stack.mount(prefix, fs.clone() as Arc<dyn FileSystem>);
+        local_mounts.push((prefix.to_string(), fs));
+    }
+    let process = Process::new(stack.clone());
+    let cores = 16; // 8 cores, HT on (the paper's 16-thread runs use HT)
+    let rt = TfRuntime::new(process.clone(), sim.clone(), cores);
+    Machine {
+        sim,
+        stack,
+        process,
+        rt,
+        cache,
+        local_mounts,
+        lustre: None,
+        cores,
+    }
+}
+
+/// Build one Kebnekaise compute node (plus its shared Lustre filesystem).
+pub fn kebnekaise() -> Machine {
+    let sim = Sim::new();
+    let cache = Arc::new(PageCache::new(160 << 30));
+    let stack = StorageStack::new();
+    let lustre = LustreFs::new(LustreParams::default(), cache.clone());
+    stack.mount(mounts::LUSTRE, lustre.clone() as Arc<dyn FileSystem>);
+    let process = Process::new(stack.clone());
+    let cores = 28;
+    let rt = TfRuntime::new(process.clone(), sim.clone(), cores);
+    Machine {
+        sim,
+        stack,
+        process,
+        rt,
+        cache,
+        local_mounts: Vec::new(),
+        lustre: Some(lustre),
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use posix_sim::OpenFlags;
+
+    #[test]
+    fn greendog_has_four_local_tiers() {
+        let m = greendog();
+        assert_eq!(m.local_mounts.len(), 4);
+        assert_eq!(m.devices().len(), 4);
+        assert!(m.lustre.is_none());
+        assert_eq!(m.cores, 16);
+        assert!(m.device_of(mounts::OPTANE).is_some());
+        assert!(m.device_of("/nope").is_none());
+    }
+
+    #[test]
+    fn kebnekaise_routes_scratch_to_lustre() {
+        let m = kebnekaise();
+        assert!(m.lustre.is_some());
+        assert_eq!(m.devices().len(), 4, "four OSTs");
+        m.stack
+            .create_synthetic("/scratch/ds/f0", 1000, 1)
+            .unwrap();
+        let (p, sim) = (m.process.clone(), m.sim.clone());
+        sim.spawn("t", move || {
+            let fd = p.open("/scratch/ds/f0", OpenFlags::rdonly()).unwrap();
+            assert_eq!(p.pread(fd, 0, 4096, None).unwrap(), 1000);
+            p.close(fd).unwrap();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn drop_caches_forces_device_reads() {
+        let m = greendog();
+        m.stack
+            .create_synthetic("/data/ssd/f", 1 << 20, 9)
+            .unwrap();
+        let (p, sim) = (m.process.clone(), m.sim.clone());
+        let cache = m.cache.clone();
+        sim.spawn("t", move || {
+            for _ in 0..2 {
+                let fd = p.open("/data/ssd/f", OpenFlags::rdonly()).unwrap();
+                p.pread(fd, 0, 1 << 20, None).unwrap();
+                p.close(fd).unwrap();
+                cache.drop_caches();
+            }
+        });
+        sim.run();
+        let ssd = m.device_of(mounts::SSD).unwrap();
+        // Each pass: one cold inode block + one data read.
+        assert_eq!(ssd.snapshot().reads, 4, "both passes hit the device");
+    }
+}

@@ -1,0 +1,68 @@
+//! Darshan-driven auto-tuning in action (paper §VII): the tuner watches
+//! tf-Darshan's in-situ window bandwidth and adjusts `num_parallel_calls`
+//! while the training runs — climbing on Lustre, backing off on HDD.
+//!
+//! ```text
+//! cargo run --release --example autotuned_training
+//! ```
+
+use tf_darshan::tfdarshan::{IoAutoTuner, TfDarshanConfig, TfDarshanWrapper};
+use tf_darshan::tfsim::{fit, Callback, Dataset, DynamicParallelism, Parallelism};
+use tf_darshan::workloads::{self, dataset, models, mounts, Scale};
+
+fn main() {
+    println!("== ImageNet on Lustre: tuner starts at 1 thread ==");
+    let m = workloads::kebnekaise();
+    let ds = dataset::imagenet(&m.stack, mounts::LUSTRE, Scale::of(0.04));
+    let wrapper = TfDarshanWrapper::install(m.process.clone(), TfDarshanConfig::default());
+    let ctl = DynamicParallelism::new(1, 28);
+    let mut tuner = IoAutoTuner::new(wrapper, ctl.clone(), 4);
+    let rt = m.rt.clone();
+    let files = ds.files.clone();
+    let steps = ds.len() / 256;
+    let h = m.sim.spawn("train", move || {
+        let pipeline = Dataset::from_files(files)
+            .map(models::imagenet_capture(), Parallelism::Dynamic(ctl))
+            .batch(256)
+            .prefetch(10);
+        let model = models::alexnet(256, 2);
+        let mut cbs: Vec<&mut dyn Callback> = vec![&mut tuner];
+        fit(&rt, &model, &pipeline, steps, &mut cbs);
+        tuner.history
+    });
+    m.sim.run();
+    for (i, step) in h.join().iter().enumerate() {
+        println!(
+            "  window {i}: {} threads → {:.1} MiB/s (next: {})",
+            step.target, step.bandwidth, step.next_target
+        );
+    }
+
+    println!("\n== Malware on HDD: tuner starts at 16 threads ==");
+    let m = workloads::greendog();
+    let ds = dataset::malware(&m.stack, mounts::HDD, Scale::of(0.25));
+    m.drop_caches();
+    let wrapper = TfDarshanWrapper::install(m.process.clone(), TfDarshanConfig::default());
+    let ctl = DynamicParallelism::new(16, 16);
+    let mut tuner = IoAutoTuner::new(wrapper, ctl.clone(), 10);
+    let rt = m.rt.clone();
+    let files = ds.files.clone();
+    let steps = ds.len() / 32;
+    let h = m.sim.spawn("train", move || {
+        let pipeline = Dataset::from_files(files)
+            .map(models::malware_capture(), Parallelism::Dynamic(ctl))
+            .batch(32)
+            .prefetch(10);
+        let model = models::malware_cnn(32);
+        let mut cbs: Vec<&mut dyn Callback> = vec![&mut tuner];
+        fit(&rt, &model, &pipeline, steps, &mut cbs);
+        tuner.history
+    });
+    m.sim.run();
+    for (i, step) in h.join().iter().enumerate() {
+        println!(
+            "  window {i}: {} threads → {:.1} MiB/s (next: {})",
+            step.target, step.bandwidth, step.next_target
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The classic (pre-tf-Darshan) Darshan workflow, for comparison with the
+//! in-situ path: attach, run the application to completion, shut down,
+//! write the binary log, and parse it offline — Table I's left column.
+//!
+//! Also demonstrates the `darshan-parser`-style text summary and the
+//! binary round trip.
+//!
+//! ```text
+//! cargo run --release --example darshan_classic
+//! ```
+
+use std::sync::Arc;
+
+use tf_darshan::darshan::{DarshanConfig, DarshanLibrary, DarshanLog};
+use tf_darshan::posix::{OpenFlags, Process};
+use tf_darshan::storage::{
+    Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
+};
+
+fn main() {
+    let sim = simrt::Sim::new();
+    let fs = LocalFs::new(
+        Device::new(DeviceSpec::hdd("sda")),
+        Arc::new(PageCache::new(1 << 30)),
+        LocalFsParams::default(),
+    );
+    let stack = StorageStack::new();
+    stack.mount("/data", fs.clone() as Arc<dyn FileSystem>);
+    for i in 0..16u64 {
+        fs.create_synthetic(&format!("/data/sample-{i:02}"), (i + 1) * 10_000, i)
+            .unwrap();
+    }
+    let process = Process::new(stack);
+
+    let h = sim.spawn("application", move || {
+        // "LD_PRELOAD" equivalent: attach before the application's I/O.
+        let lib = DarshanLibrary::load_into(&process, DarshanConfig::default());
+        lib.attach(&process).unwrap();
+
+        // The application: read every sample once, sequentially.
+        for i in 0..16u64 {
+            let path = format!("/data/sample-{i:02}");
+            let fd = process.open(&path, OpenFlags::rdonly()).unwrap();
+            let mut off = 0;
+            loop {
+                let n = process.pread(fd, off, 1 << 20, None).unwrap();
+                if n == 0 {
+                    break;
+                }
+                off += n;
+            }
+            process.close(fd).unwrap();
+        }
+
+        // Application exit → Darshan shutdown: reduce and emit the log.
+        lib.shutdown(&process).unwrap()
+    });
+    sim.run();
+    let log = h.join();
+
+    // Offline: binary round trip + darshan-parser-style summary. The log
+    // is also written to the host filesystem for the standalone parser:
+    //   cargo run -p darshan-sim --bin darshan-parser -- results/classic.darshan
+    let bytes = log.encode();
+    std::fs::create_dir_all("results").ok();
+    if std::fs::write("results/classic.darshan", &bytes).is_ok() {
+        println!("log written to results/classic.darshan");
+    }
+    println!("binary log: {} bytes", bytes.len());
+    let parsed = DarshanLog::decode(&bytes).expect("valid log");
+    println!(
+        "job: {:.3}s, {} POSIX records, {} name records, {} files with DXT",
+        parsed.job_end - parsed.job_start,
+        parsed.posix.len(),
+        parsed.names.len(),
+        parsed.dxt.len()
+    );
+    println!("\n--- darshan-parser output (non-zero counters) ---");
+    print!("{}", parsed.summary());
+}

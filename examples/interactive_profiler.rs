@@ -1,0 +1,71 @@
+//! The third invocation mode (paper §III.A): *interactive* profiling —
+//! TensorBoard connects to a profiler server on a running training and
+//! captures a window on demand, without the application cooperating.
+//!
+//! Here a long training runs, and a "remote operator" thread captures a
+//! 10-second window mid-flight through the [`ProfilerServer`] control
+//! surface; tf-Darshan contributes its plane to the captured trace.
+//!
+//! ```text
+//! cargo run --release --example interactive_profiler
+//! ```
+
+use std::time::Duration;
+
+use tf_darshan::tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper, DXT_PLANE};
+use tf_darshan::tfsim::{fit, Dataset, Parallelism, ProfilerOptions, ProfilerServer};
+use tf_darshan::workloads::{self, dataset, models, mounts, Scale};
+
+fn main() {
+    // A Greendog machine with the malware dataset.
+    let m = workloads::greendog();
+    let ds = dataset::malware(&m.stack, mounts::HDD, Scale::of(0.1));
+    m.drop_caches();
+    let wrapper = TfDarshanWrapper::install(m.process.clone(), TfDarshanConfig::default());
+    let tfd = DarshanTracerFactory::register(&m.rt, wrapper);
+
+    // The training job (knows nothing about profiling).
+    {
+        let rt = m.rt.clone();
+        let files = ds.files.clone();
+        m.sim.spawn("training", move || {
+            let pipeline = Dataset::from_files(files)
+                .map(models::malware_capture(), Parallelism::Fixed(1))
+                .batch(32)
+                .prefetch(10);
+            let model = models::malware_cnn(32);
+            let r = fit(&rt, &model, &pipeline, 33, &mut []);
+            println!(
+                "training done: {} steps in {:.1}s",
+                r.steps_run,
+                r.wall.as_secs_f64()
+            );
+        });
+    }
+
+    // The remote operator: start the server, wait a bit, capture 10 s.
+    {
+        let rt = m.rt.clone();
+        let tfd = tfd.clone();
+        m.sim.spawn("tensorboard-operator", move || {
+            let server = ProfilerServer::start(rt, 6009);
+            simrt::sleep(Duration::from_secs(5)); // training is mid-flight
+            println!("operator: capturing 10s window via port {}", server.port());
+            server.remote_start(ProfilerOptions::default()).unwrap();
+            simrt::sleep(Duration::from_secs(10));
+            let space = server.remote_stop().unwrap();
+            let report = tfd.last_report().expect("in-situ analysis ran");
+            println!(
+                "operator: captured {} events; POSIX bandwidth in window: {:.1} MiB/s ({} reads)",
+                space.event_count(),
+                report.io.read_bandwidth_mibps,
+                report.io.reads
+            );
+            let dxt_lines = space.plane(DXT_PLANE).map(|p| p.lines.len()).unwrap_or(0);
+            println!("operator: {dxt_lines} file timelines for the TraceViewer");
+        });
+    }
+
+    m.sim.run();
+    println!("virtual time: {}", m.sim.now());
+}

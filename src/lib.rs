@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the tf-Darshan reproduction stack.
+pub use darshan_sim as darshan;
+pub use dstat_sim as dstat;
+pub use mpi_sim as mpi;
+pub use posix_sim as posix;
+pub use simrt;
+pub use storage_sim as storage;
+pub use tfdarshan;
+pub use tfsim;
+pub use workloads;

@@ -1,0 +1,95 @@
+//! End-to-end advisor test: profile the two case studies, feed the *real*
+//! reports to the advisor, and verify it recommends exactly the paper's
+//! optimizations — then apply them and verify they work.
+
+use tf_darshan::tfdarshan::{recommend, AdvisorContext, Recommendation, StorageClass};
+use tf_darshan::tfsim::Parallelism;
+use tf_darshan::workloads::{run, Profiling, RunConfig, Scale, Workload};
+
+#[test]
+fn advisor_reproduces_case_study_one() {
+    // §V.A: ImageNet on Lustre at one thread → "add threads".
+    let mut cfg = RunConfig::paper(Workload::ImageNet, Scale::of(0.02));
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::ImageNet, cfg);
+    let report = out.report.expect("report");
+    let recs = recommend(
+        &report,
+        &AdvisorContext {
+            storage: StorageClass::ParallelFs,
+            threads: 1,
+            fast_tier_budget: 0,
+        },
+    );
+    let advised = recs
+        .iter()
+        .find_map(|r| match r {
+            Recommendation::IncreaseParallelism { to, .. } => Some(*to),
+            _ => None,
+        })
+        .expect("advisor must suggest threading");
+    assert!(advised >= 8);
+    assert!(recs
+        .iter()
+        .any(|r| matches!(r, Recommendation::ZeroReadSignature { .. })));
+
+    // Apply the advice and verify the improvement is real.
+    let mut cfg = RunConfig::paper(Workload::ImageNet, Scale::of(0.02));
+    cfg.threads = Parallelism::Fixed(advised.min(28));
+    cfg.profiling = Profiling::TfDarshan { full_export: false };
+    let fixed = run(Workload::ImageNet, cfg);
+    let before = report.io.read_bandwidth_mibps;
+    let after = fixed.report.unwrap().io.read_bandwidth_mibps;
+    assert!(
+        after > before * 3.0,
+        "advice must pay off: {before:.1} → {after:.1} MiB/s"
+    );
+}
+
+#[test]
+fn advisor_reproduces_case_study_two() {
+    // §V.B: Malware on HDD at 16 threads → "back off threads" and "stage
+    // small files".
+    let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.1));
+    cfg.threads = Parallelism::Fixed(16);
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::Malware, cfg);
+    let report = out.report.expect("report");
+    let recs = recommend(
+        &report,
+        &AdvisorContext {
+            storage: StorageClass::Rotational,
+            threads: 16,
+            fast_tier_budget: 48 << 30, // plenty of Optane
+        },
+    );
+    assert!(
+        matches!(recs[0], Recommendation::DecreaseParallelism { to: 1, .. }),
+        "first advice must be to back off threads, got {recs:?}"
+    );
+    let (threshold, byte_fraction) = recs
+        .iter()
+        .find_map(|r| match r {
+            Recommendation::StageSmallFiles {
+                threshold,
+                byte_fraction,
+                ..
+            } => Some((*threshold, *byte_fraction)),
+            _ => None,
+        })
+        .expect("advisor must suggest staging");
+    assert!(byte_fraction < 0.5);
+
+    // Apply both pieces of advice.
+    let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.1));
+    cfg.threads = Parallelism::Fixed(1);
+    cfg.profiling = Profiling::TfDarshan { full_export: false };
+    cfg.stage_below = Some(threshold.min(2 << 20));
+    let fixed = run(Workload::Malware, cfg);
+    let before = report.io.read_bandwidth_mibps;
+    let after = fixed.report.unwrap().io.read_bandwidth_mibps;
+    assert!(
+        after > before * 1.2,
+        "advice must pay off: {before:.1} → {after:.1} MiB/s"
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the §VII extension paths: TFRecord containers
+//! beat per-file reads on metadata-bound storage, and the mmap data path
+//! is invisible to the instrumented symbol layer while fully visible to
+//! the device.
+
+use std::sync::Arc;
+
+use tf_darshan::darshan::{DarshanConfig, DarshanLibrary, PosixCounter as P};
+use tf_darshan::storage::{FileSystem, LustreFs, LustreParams, PageCache, StorageStack};
+use tf_darshan::tfsim::{self, TfRecordDataset, TfRuntime};
+use tf_darshan::workloads::{self, lmdb, mounts};
+
+#[test]
+fn tfrecord_beats_per_file_on_lustre() {
+    let sim = simrt::Sim::new();
+    let stack = StorageStack::new();
+    let lustre = LustreFs::new(LustreParams::default(), Arc::new(PageCache::new(1 << 34)));
+    stack.mount("/scratch", lustre as Arc<dyn FileSystem>);
+    let n = 400usize;
+    let files: Vec<String> = (0..n)
+        .map(|i| {
+            let p = format!("/scratch/src/{i:05}");
+            stack.create_synthetic(&p, 88 * 1024, i as u64).unwrap();
+            p
+        })
+        .collect();
+    let rt = TfRuntime::new(tf_darshan::posix::Process::new(stack.clone()), sim.clone(), 8);
+    let h = sim.spawn("t", move || {
+        // Per-file epoch.
+        let t0 = simrt::now();
+        let ds = tfsim::Dataset::from_files(files.clone())
+            .map(
+                Arc::new(|ctx: &tfsim::PipelineCtx, index, path: &str| tfsim::Element {
+                    index,
+                    bytes: tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0),
+                }),
+                tfsim::Parallelism::Fixed(4),
+            )
+            .batch(32);
+        let mut it = ds.iterate(&rt);
+        let mut per_file_bytes = 0u64;
+        while let Some(b) = it.next() {
+            per_file_bytes += b.bytes;
+        }
+        let per_file_time = simrt::now() - t0;
+
+        // Pack once, then read the container.
+        let shards = tfsim::pack_files(&rt, &files, 32 << 20, "/scratch/packed").unwrap();
+        let t0 = simrt::now();
+        let ds = TfRecordDataset::new(shards).parallel_reads(4).batch(32);
+        let mut it = ds.iterate(&rt);
+        let mut packed_bytes = 0u64;
+        while let Some(b) = it.next() {
+            packed_bytes += b.bytes;
+        }
+        let packed_time = simrt::now() - t0;
+        (per_file_bytes, per_file_time, packed_bytes, packed_time)
+    });
+    sim.run();
+    let (per_file_bytes, per_file_time, packed_bytes, packed_time) = h.join();
+    assert_eq!(per_file_bytes, packed_bytes, "same payload either way");
+    assert!(
+        packed_time.as_secs_f64() < per_file_time.as_secs_f64() / 3.0,
+        "containers must amortize metadata: {per_file_time:?} vs {packed_time:?}"
+    );
+}
+
+#[test]
+fn mmap_traffic_is_invisible_to_darshan_but_visible_to_devices() {
+    let m = workloads::greendog();
+    let idx = lmdb::create_untimed(&m.stack, "/data/hdd/db.mdb", &[512 << 10; 100]);
+    m.drop_caches();
+    let lib = DarshanLibrary::new(DarshanConfig::default());
+    let (p, lib2) = (m.process.clone(), lib.clone());
+    let h = m.sim.spawn("caffe", move || {
+        lib2.attach(&p).unwrap();
+        let env = lmdb::LmdbEnv::open(&p, idx).unwrap();
+        let consumed = lmdb::caffe_epoch(
+            &env,
+            10,
+            10,
+            |_| std::time::Duration::ZERO,
+            std::time::Duration::ZERO,
+        )
+        .unwrap();
+        env.put(3).unwrap();
+        env.close().unwrap();
+        lib2.detach(&p).unwrap();
+        (consumed, lib2.runtime().snapshot())
+    });
+    m.sim.run();
+    let (consumed, snap) = h.join();
+    assert_eq!(consumed, 100 * (512 << 10));
+    let r = snap.posix_by_path("/data/hdd/db.mdb").unwrap();
+    assert_eq!(r.get(P::POSIX_OPENS), 1);
+    assert_eq!(r.get(P::POSIX_MMAPS), 1);
+    assert_eq!(r.get(P::POSIX_MSYNCS), 1);
+    assert_eq!(
+        r.get(P::POSIX_BYTES_READ),
+        0,
+        "page faults bypass the symbol layer"
+    );
+    let hdd = m.device_of(mounts::HDD).unwrap().snapshot();
+    assert!(hdd.bytes_read >= consumed, "the device served every byte");
+    assert!(hdd.bytes_written >= 512 << 10, "msync reached the device");
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: full training runs with profiling,
+//! report invariants, and determinism of the whole stack.
+
+use tf_darshan::tfsim::Parallelism;
+use tf_darshan::workloads::{run, Profiling, RunConfig, Scale, Workload};
+
+#[test]
+fn malware_training_report_is_consistent_with_trainer() {
+    let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.05));
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::Malware, cfg);
+    let rep = out.report.expect("report");
+
+    // Darshan's byte count must equal what the trainer consumed (the
+    // pipeline reads whole files; the profiled window covers the fit).
+    assert_eq!(rep.io.bytes_read, out.fit.bytes_read);
+    // One open per file; reads = data segments + one EOF probe per file.
+    assert_eq!(rep.io.files_opened as usize, out.dataset.0);
+    assert_eq!(rep.io.zero_reads, rep.io.opens);
+    assert!(rep.io.reads > rep.io.opens * 2, "multi-MB files read in segments");
+    // Sequential single-reader pattern.
+    assert_eq!(rep.io.seq_fraction(), 1.0);
+    // Every byte accounted in the size histogram.
+    let hist_reads: u64 = rep.io.read_size_hist.iter().sum();
+    assert_eq!(hist_reads, rep.io.reads);
+}
+
+#[test]
+fn imagenet_small_files_shape() {
+    let mut cfg = RunConfig::paper(Workload::ImageNet, Scale::of(0.02));
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::ImageNet, cfg);
+    let rep = out.report.expect("report");
+    // Small files: exactly 2 reads per file (whole-file + zero probe).
+    assert_eq!(rep.io.reads, 2 * rep.io.opens);
+    assert_eq!(rep.io.zero_reads * 2, rep.io.reads);
+    assert!(out.fit.input_bound_fraction() > 0.9);
+    // All data reads are ≤ 1 MB (files below the ReadFile chunk).
+    assert_eq!(rep.io.read_size_hist[5..].iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run_once = || {
+        let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.03));
+        cfg.threads = Parallelism::Fixed(4);
+        cfg.profiling = Profiling::TfDarshan { full_export: true };
+        let out = run(Workload::Malware, cfg);
+        (
+            out.wall,
+            out.fit.bytes_read,
+            out.report.map(|r| (r.io.reads, r.io.bytes_read, r.window)),
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.0, b.0, "identical virtual wall-clock");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "identical Darshan observations");
+}
+
+#[test]
+fn profiler_modes_cost_ordering() {
+    let wall = |profiling: Profiling| {
+        let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.05));
+        cfg.steps = 8;
+        cfg.batch = 64;
+        cfg.profiling = profiling;
+        run(Workload::Malware, cfg).wall
+    };
+    let none = wall(Profiling::None);
+    let tfp = wall(Profiling::TfProfiler);
+    let tfd = wall(Profiling::TfDarshan { full_export: true });
+    assert!(tfp >= none, "TF profiler adds overhead: {tfp:?} vs {none:?}");
+    assert!(tfd > tfp, "tf-Darshan adds more: {tfd:?} vs {tfp:?}");
+    // Within Fig. 5's bands: host profiler is cheap, tf-Darshan moderate.
+    let tfp_pct = (tfp.as_secs_f64() - none.as_secs_f64()) / none.as_secs_f64();
+    let tfd_pct = (tfd.as_secs_f64() - none.as_secs_f64()) / none.as_secs_f64();
+    assert!(tfp_pct < 0.05, "TF profiler {tfp_pct:.3}");
+    assert!(tfd_pct < 0.30, "tf-Darshan {tfd_pct:.3}");
+}
+
+#[test]
+fn trace_contains_all_three_planes_and_is_serializable() {
+    let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.02));
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::Malware, cfg);
+    let space = out.space.expect("trace");
+    assert!(space.plane("/host:CPU").is_some());
+    assert!(space.plane(tf_darshan::tfdarshan::ANALYSIS_PLANE).is_some());
+    assert!(space.plane(tf_darshan::tfdarshan::DXT_PLANE).is_some());
+    // Chrome trace export round-trips through JSON.
+    let chrome = space.to_chrome_trace();
+    let text = serde_json::to_string(&chrome).unwrap();
+    let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert!(back["traceEvents"].as_array().unwrap().len() > 100);
+}
+
+#[test]
+fn stream_has_no_compute_and_training_does() {
+    let mut cfg = RunConfig::paper(Workload::StreamMalware, Scale::of(0.03));
+    cfg.threads = Parallelism::Fixed(8);
+    let stream = run(Workload::StreamMalware, cfg);
+    assert!(stream.fit.steps.iter().all(|s| s.compute.is_zero()));
+
+    let cfg = RunConfig::paper(Workload::Malware, Scale::of(0.03));
+    let train = run(Workload::Malware, cfg);
+    assert!(train.fit.steps.iter().all(|s| !s.compute.is_zero()));
+}
+
+#[test]
+fn trace_derived_input_pipeline_analysis_matches_trainer() {
+    use tf_darshan::tfsim::InputPipelineAnalysis;
+    let mut cfg = RunConfig::paper(Workload::ImageNet, Scale::of(0.02));
+    cfg.profiling = Profiling::TfDarshan { full_export: true };
+    let out = run(Workload::ImageNet, cfg);
+    let space = out.space.expect("trace");
+    let a = InputPipelineAnalysis::from_space(&space);
+    assert_eq!(a.sampled_steps(), out.fit.steps_run);
+    // TensorBoard's trace-derived number agrees with the trainer's own
+    // bookkeeping to within a step of slack.
+    let trainer = out.fit.input_bound_fraction();
+    let traced = a.input_bound_fraction();
+    assert!(
+        (trainer - traced).abs() < 0.02,
+        "trainer {trainer:.3} vs trace {traced:.3}"
+    );
+    assert!(traced > 0.9, "Fig 7a: highly input-bound");
+    assert!(a.verdict().contains("HIGHLY"));
+}
+
+#[test]
+fn manual_windows_cover_the_run_and_report_bandwidth() {
+    let mut cfg = RunConfig::paper(Workload::StreamMalware, Scale::of(0.05));
+    cfg.threads = Parallelism::Fixed(16);
+    cfg.profiling = Profiling::ManualWindows { every_steps: 5 };
+    let out = run(Workload::StreamMalware, cfg);
+    let windows = out.bandwidth_points.len();
+    assert_eq!(windows, out.fit.steps_run.div_ceil(5));
+    for (t, bw) in &out.bandwidth_points {
+        assert!(*t > 0.0);
+        assert!(*bw > 0.0, "every window observed I/O");
+    }
+    // Windows are time-ordered.
+    assert!(out
+        .bandwidth_points
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0));
+}

@@ -1,0 +1,189 @@
+//! Property tests for the extension subsystems: cross-rank reduction,
+//! TFRecord packing, and the dynamic-parallelism knob.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use tf_darshan::darshan::{merge_posix_records, reduce_job, PosixCounter as P, PosixRecord};
+
+fn arb_record(id: u64) -> impl Strategy<Value = PosixRecord> {
+    (
+        0i64..1000,
+        0i64..1_000_000,
+        0i64..1_000_000,
+        0i64..100,
+    )
+        .prop_map(move |(reads, bytes, max_byte, opens)| {
+            let mut r = PosixRecord::new(id);
+            *r.get_mut(P::POSIX_OPENS) = opens;
+            *r.get_mut(P::POSIX_READS) = reads;
+            *r.get_mut(P::POSIX_BYTES_READ) = bytes;
+            *r.get_mut(P::POSIX_MAX_BYTE_READ) = max_byte;
+            *r.get_mut(P::POSIX_SEQ_READS) = reads / 2;
+            r
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reduction is order-insensitive and grouping-insensitive for the
+    /// additive and max counters (MPI reduce semantics).
+    #[test]
+    fn rank_reduction_is_associative_and_commutative(
+        recs in prop::collection::vec(arb_record(42), 2..8),
+        split in 1usize..7,
+    ) {
+        let split = split.min(recs.len() - 1);
+        let all_at_once = merge_posix_records(&recs).unwrap();
+        // Merge in two groups, then merge the merged pair.
+        let left = merge_posix_records(&recs[..split]).unwrap();
+        let right = merge_posix_records(&recs[split..]).unwrap();
+        let grouped = merge_posix_records(&[left, right]).unwrap();
+        let mut rev = recs.clone();
+        rev.reverse();
+        let reversed = merge_posix_records(&rev).unwrap();
+        for c in [
+            P::POSIX_OPENS,
+            P::POSIX_READS,
+            P::POSIX_BYTES_READ,
+            P::POSIX_MAX_BYTE_READ,
+            P::POSIX_SEQ_READS,
+        ] {
+            prop_assert_eq!(all_at_once.get(c), grouped.get(c), "{} grouped", c.name());
+            prop_assert_eq!(all_at_once.get(c), reversed.get(c), "{} reversed", c.name());
+        }
+    }
+
+    /// Job reduction conserves additive totals across arbitrary rank
+    /// partitions of the records.
+    #[test]
+    fn job_reduction_conserves_totals(
+        files in prop::collection::vec(1u64..6, 1..24),
+        ranks in 1usize..5,
+    ) {
+        // Build per-rank record lists: each entry is (rank, file) with a
+        // deterministic payload derived from its index.
+        let mut per_rank: Vec<Vec<PosixRecord>> = vec![Vec::new(); ranks];
+        let mut expect_reads = 0i64;
+        for (i, f) in files.iter().enumerate() {
+            let mut r = PosixRecord::new(*f);
+            *r.get_mut(P::POSIX_READS) = i as i64 + 1;
+            *r.get_mut(P::POSIX_BYTES_READ) = (i as i64 + 1) * 100;
+            expect_reads += i as i64 + 1;
+            per_rank[i % ranks].push(r);
+        }
+        let job = reduce_job(&per_rank);
+        let total_reads: i64 = job.iter().map(|r| r.get(P::POSIX_READS)).sum();
+        let total_bytes: i64 = job.iter().map(|r| r.get(P::POSIX_BYTES_READ)).sum();
+        prop_assert_eq!(total_reads, expect_reads);
+        prop_assert_eq!(total_bytes, expect_reads * 100);
+        // One record per distinct file id.
+        let mut ids: Vec<u64> = files.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(job.len(), ids.len());
+    }
+
+    /// TFRecord pack → read returns exactly the payload bytes, for any
+    /// size mix and shard split.
+    #[test]
+    fn tfrecord_roundtrip_conserves_payload(
+        sizes in prop::collection::vec(1u64..200_000, 1..30),
+        shard_mb in 1u64..4,
+    ) {
+        use tf_darshan::storage::{Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams,
+                                  PageCache, StorageStack};
+        use tf_darshan::tfsim::{TfRecordDataset, TfRuntime};
+
+        let sim = simrt::Sim::new();
+        let fs = LocalFs::new(
+            Device::new(DeviceSpec::optane("nvme0")),
+            Arc::new(PageCache::new(1 << 30)),
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/d", fs.clone() as Arc<dyn FileSystem>);
+        let rt = TfRuntime::new(tf_darshan::posix::Process::new(stack), sim.clone(), 4);
+        let sizes2 = sizes.clone();
+        let h = sim.spawn("t", move || {
+            // Source files.
+            let files: Vec<String> = sizes2
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let path = format!("/d/src/{i}");
+                    fs.create_synthetic(&path, s, i as u64).unwrap();
+                    path
+                })
+                .collect();
+            let shards =
+                tf_darshan::tfsim::pack_files(&rt, &files, shard_mb << 20, "/d/packed").unwrap();
+            let n_records: usize = shards.iter().map(|s| s.len()).sum();
+            let ds = TfRecordDataset::new(shards).batch(4);
+            let mut it = ds.iterate(&rt);
+            let mut bytes = 0u64;
+            let mut count = 0usize;
+            while let Some(b) = it.next() {
+                bytes += b.bytes;
+                count += b.len;
+            }
+            (n_records, count, bytes)
+        });
+        sim.run();
+        let (n_records, count, bytes) = h.join();
+        prop_assert_eq!(n_records, sizes.len());
+        prop_assert_eq!(count, sizes.len());
+        prop_assert_eq!(bytes, sizes.iter().sum::<u64>());
+    }
+
+    /// Dynamic parallelism: for any target sequence, every element is
+    /// processed exactly once and concurrency never exceeds the max.
+    #[test]
+    fn dynamic_parallelism_is_safe_under_target_changes(
+        targets in prop::collection::vec(1usize..6, 1..8),
+        n_files in 8usize..40,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use tf_darshan::tfsim::{Dataset, DynamicParallelism, Element, Parallelism, TfRuntime};
+
+        let sim = simrt::Sim::new();
+        let stack = tf_darshan::storage::StorageStack::new();
+        let rt = TfRuntime::new(tf_darshan::posix::Process::new(stack), sim.clone(), 8);
+        let ctl = DynamicParallelism::new(targets[0], 6);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let (p2, c2, d2) = (peak.clone(), cur.clone(), done.clone());
+            let map: tf_darshan::tfsim::MapFn = Arc::new(move |_ctx, index, _path| {
+                let c = c2.fetch_add(1, Ordering::SeqCst) + 1;
+                p2.fetch_max(c, Ordering::SeqCst);
+                simrt::sleep(Duration::from_micros(50));
+                c2.fetch_sub(1, Ordering::SeqCst);
+                d2.fetch_add(1, Ordering::SeqCst);
+                Element { index, bytes: 1 }
+            });
+            let ctl2 = ctl.clone();
+            let targets2 = targets.clone();
+            let files: Vec<String> = (0..n_files).map(|i| format!("/f{i}")).collect();
+            sim.spawn("consumer", move || {
+                let ds = Dataset::from_files(files)
+                    .map(map, Parallelism::Dynamic(ctl2.clone()))
+                    .batch(2);
+                let mut it = ds.iterate(&rt);
+                let mut i = 0;
+                while it.next().is_some() {
+                    // Retarget as batches arrive.
+                    ctl2.set_target(targets2[i % targets2.len()]);
+                    i += 1;
+                }
+            });
+        }
+        sim.run();
+        prop_assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), n_files);
+        prop_assert!(peak.load(std::sync::atomic::Ordering::SeqCst) <= 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Tool-validation integration tests (paper §IV.B): tf-Darshan's derived
+//! bandwidth must agree with the dstat ground truth, and the optimization
+//! results must hold end to end.
+
+use tf_darshan::tfsim::Parallelism;
+use tf_darshan::workloads::{run, Profiling, RunConfig, Scale, Workload};
+
+#[test]
+fn tfdarshan_bandwidth_tracks_dstat() {
+    let mut cfg = RunConfig::paper(Workload::StreamImageNet, Scale::of(0.25));
+    cfg.threads = Parallelism::Fixed(16);
+    cfg.profiling = Profiling::ManualWindows { every_steps: 5 };
+    cfg.dstat = true;
+    let out = run(Workload::StreamImageNet, cfg);
+    assert!(out.bandwidth_points.len() >= 4);
+    assert!(out.dstat_samples.len() >= 5);
+
+    // Compare each tf-Darshan window to the dstat samples inside it.
+    let mut errs = Vec::new();
+    let mut prev = 0.0f64;
+    for (t, bw) in &out.bandwidth_points {
+        let ds: Vec<f64> = out
+            .dstat_samples
+            .iter()
+            .filter(|s| s.t.as_secs_f64() > prev && s.t.as_secs_f64() <= t + 1.0)
+            .map(|s| s.read_mib_per_s(std::time::Duration::from_secs(1)))
+            .collect();
+        if !ds.is_empty() {
+            let mean = ds.iter().sum::<f64>() / ds.len() as f64;
+            if mean > 0.0 {
+                errs.push(((bw - mean) / mean).abs());
+            }
+        }
+        prev = *t;
+    }
+    assert!(!errs.is_empty());
+    let mare = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mare < 0.10, "mean abs relative error {mare:.3}");
+}
+
+#[test]
+fn threading_hurts_malware_but_helps_imagenet() {
+    let malware_bw = |threads| {
+        let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.1));
+        cfg.threads = Parallelism::Fixed(threads);
+        cfg.profiling = Profiling::TfDarshan { full_export: false };
+        run(Workload::Malware, cfg)
+            .report
+            .map(|r| r.io.read_bandwidth_mibps)
+            .unwrap()
+    };
+    let m1 = malware_bw(1);
+    let m16 = malware_bw(16);
+    assert!(
+        m16 < m1 * 0.95,
+        "threads must hurt malware on HDD: {m1:.1} → {m16:.1}"
+    );
+
+    let imagenet_bw = |threads| {
+        let mut cfg = RunConfig::paper(Workload::ImageNet, Scale::of(0.02));
+        cfg.threads = Parallelism::Fixed(threads);
+        cfg.profiling = Profiling::TfDarshan { full_export: false };
+        run(Workload::ImageNet, cfg)
+            .report
+            .map(|r| r.io.read_bandwidth_mibps)
+            .unwrap()
+    };
+    let i1 = imagenet_bw(1);
+    let i28 = imagenet_bw(28);
+    assert!(
+        i28 > i1 * 4.0,
+        "threads must help imagenet on Lustre: {i1:.1} → {i28:.1}"
+    );
+}
+
+#[test]
+fn staging_improves_bandwidth_with_small_byte_cost() {
+    let bw_of = |stage: Option<u64>| {
+        let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.1));
+        cfg.profiling = Profiling::TfDarshan { full_export: false };
+        cfg.stage_below = stage;
+        let out = run(Workload::Malware, cfg);
+        (
+            out.report.map(|r| r.io.read_bandwidth_mibps).unwrap(),
+            out.staged,
+        )
+    };
+    let (naive, _) = bw_of(None);
+    let (staged, plan) = bw_of(Some(2 << 20));
+    let plan = plan.expect("plan");
+    let gain = (staged - naive) / naive;
+    assert!(
+        (0.08..0.30).contains(&gain),
+        "staging gain {gain:.3} (naive {naive:.1}, staged {staged:.1})"
+    );
+    assert!(plan.byte_fraction() < 0.12, "{}", plan.byte_fraction());
+    assert!((0.3..0.5).contains(&plan.file_fraction()));
+}
+
+#[test]
+fn dstat_observes_checkpoint_writes() {
+    let mut cfg = RunConfig::paper(Workload::Malware, Scale::of(0.05));
+    cfg.steps = 10;
+    cfg.checkpoint_every = Some(2);
+    cfg.dstat = true;
+    let out = run(Workload::Malware, cfg);
+    assert_eq!(out.checkpoints, 5);
+    let written: u64 = out.dstat_samples.iter().map(|s| s.total_write()).sum();
+    // 5 checkpoints × ~12 MB CNN ≈ 60 MB of writes visible to dstat.
+    assert!(
+        written > 50 << 20,
+        "checkpoint writes must reach the device: {written}"
+    );
+}
+
+#[test]
+fn zero_reads_visible_in_both_workloads_with_right_ratio() {
+    let ratio = |w: Workload, scale: f64| {
+        let mut cfg = RunConfig::paper(w, Scale::of(scale));
+        cfg.profiling = Profiling::TfDarshan { full_export: true };
+        let rep = run(w, cfg).report.unwrap();
+        rep.io.zero_read_fraction()
+    };
+    let imagenet = ratio(Workload::ImageNet, 0.02);
+    let malware = ratio(Workload::Malware, 0.05);
+    assert!((0.49..=0.51).contains(&imagenet), "imagenet {imagenet}");
+    assert!(malware < 0.25, "malware {malware} (many segments per file)");
+}
