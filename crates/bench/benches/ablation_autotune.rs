@@ -11,7 +11,6 @@
 //! * Malware on HDD, starting at 16 threads → backs off toward one
 //!   thread (undoing the Fig. 11a mistake automatically).
 
-
 use tfdarshan::{IoAutoTuner, TfDarshanConfig, TfDarshanWrapper};
 use tfsim::{fit, Callback, Dataset, DynamicParallelism, Parallelism};
 use workloads::{dataset, greendog, kebnekaise, models, mounts, Scale};
@@ -35,7 +34,10 @@ fn tune_imagenet(scale: Scale) -> Outcome {
     let steps = ds.len() / 256;
     let h = m.sim.spawn("train", move || {
         let pipeline = Dataset::from_files(files)
-            .map(models::imagenet_capture(), Parallelism::Dynamic(ctl.clone()))
+            .map(
+                models::imagenet_capture(),
+                Parallelism::Dynamic(ctl.clone()),
+            )
             .batch(256)
             .prefetch(10);
         let model = models::alexnet(256, 2);

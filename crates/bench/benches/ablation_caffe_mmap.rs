@@ -18,8 +18,8 @@ use darshan_sim::PosixCounter as P;
 use dstat_sim::Dstat;
 use tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper};
 use tfsim::ProfilerOptions;
-use workloads::lmdb;
 use workloads::greendog;
+use workloads::lmdb;
 
 fn main() {
     bench::header(
@@ -90,7 +90,12 @@ fn main() {
                 .fold((0i64, 0i64), |(a, b), (x, y)| (a + x, b + y))
         })
         .unwrap_or((0, 0));
-    bench::row("POSIX_MMAPS (captured)", "1", &mmaps.to_string(), mmaps == 1);
+    bench::row(
+        "POSIX_MMAPS (captured)",
+        "1",
+        &mmaps.to_string(),
+        mmaps == 1,
+    );
     bench::row(
         "POSIX_MSYNCS (tf-Darshan extension)",
         "5 (one per commit)",

@@ -79,7 +79,8 @@ fn main() {
         // Collective checkpoint: each rank writes its slice of the model.
         let slice = gradients / RANKS as u64;
         let fh = comm.file_open("/scratch/ckpt/model-final", true).unwrap();
-        comm.file_write_at_all(&fh, rank as u64 * slice, slice).unwrap();
+        comm.file_write_at_all(&fh, rank as u64 * slice, slice)
+            .unwrap();
         comm.file_close(fh).unwrap();
 
         // "MPI_Finalize": hand back this rank's POSIX records.
@@ -105,7 +106,10 @@ fn main() {
     let job = reduce_job(&per_rank_records);
     let total_opens: i64 = job.iter().map(|r| r.get(P::POSIX_OPENS)).sum();
     let total_reads: i64 = job.iter().map(|r| r.get(P::POSIX_READS)).sum();
-    println!("\njob-level POSIX view after reduction: {} records", job.len());
+    println!(
+        "\njob-level POSIX view after reduction: {} records",
+        job.len()
+    );
     bench::row(
         "job file records (shards private + 1 shared ckpt)",
         &format!("{}", RANKS * per_rank + 1),

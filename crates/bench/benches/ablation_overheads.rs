@@ -12,7 +12,10 @@ use tfsim::Parallelism;
 use workloads::{run, Profiling, RunConfig, Workload};
 
 fn main() {
-    bench::header("Ablation", "Overhead knobs: DXT export, record cap, in-situ vs post-mortem");
+    bench::header(
+        "Ablation",
+        "Overhead knobs: DXT export, record cap, in-situ vs post-mortem",
+    );
     let scale = bench::scale(0.2);
 
     // -- DXT on/off ---------------------------------------------------------
@@ -79,9 +82,7 @@ fn main() {
     m.sim.run();
     drop(sim);
     for (cap, tracked, partial) in h.join() {
-        println!(
-            "cap {cap:>4}: tracked {tracked:>4}/100 files, partial flag = {partial}"
-        );
+        println!("cap {cap:>4}: tracked {tracked:>4}/100 files, partial flag = {partial}");
     }
 
     // -- in-situ vs post-mortem ------------------------------------------------

@@ -17,7 +17,10 @@ fn bw(threads: Parallelism, prefetch: usize, scale: workloads::Scale) -> f64 {
 }
 
 fn main() {
-    bench::header("Ablation", "Prefetch depth and AUTOTUNE (ImageNet on Lustre)");
+    bench::header(
+        "Ablation",
+        "Prefetch depth and AUTOTUNE (ImageNet on Lustre)",
+    );
     let scale = bench::scale(0.04);
 
     println!("-- thread sweep (prefetch 10) --");

@@ -11,7 +11,11 @@
 use tfsim::Parallelism;
 use workloads::{run, Profiling, RunConfig, Workload};
 
-fn bandwidth(stage_below: Option<u64>, stage_largest: Option<u64>, scale: workloads::Scale) -> (f64, f64) {
+fn bandwidth(
+    stage_below: Option<u64>,
+    stage_largest: Option<u64>,
+    scale: workloads::Scale,
+) -> (f64, f64) {
     let mut cfg = RunConfig::paper(Workload::Malware, scale);
     cfg.threads = Parallelism::Fixed(1);
     cfg.profiling = Profiling::TfDarshan { full_export: false };
@@ -20,9 +24,7 @@ fn bandwidth(stage_below: Option<u64>, stage_largest: Option<u64>, scale: worklo
     let out = run(Workload::Malware, cfg);
     let staged = out.staged.map(|p| p.staged_bytes).unwrap_or(0);
     (
-        out.report
-            .map(|r| r.io.read_bandwidth_mibps)
-            .unwrap_or(0.0),
+        out.report.map(|r| r.io.read_bandwidth_mibps).unwrap_or(0.0),
         staged as f64 / 1e9,
     )
 }
@@ -70,7 +72,10 @@ fn main() {
     let gain_large = (bw_large - base) / base * 100.0;
     println!(
         "{:>12} {:>14.2} {:>14} {:>+8.1}%",
-        "largest", staged_gb, bench::mibps(bw_large), gain_large
+        "largest",
+        staged_gb,
+        bench::mibps(bw_large),
+        gain_large
     );
     let (bw_small, _) = bandwidth(Some(2 << 20), None, scale);
     let gain_small = (bw_small - base) / base * 100.0;

@@ -125,7 +125,12 @@ fn main() {
     bench::row(
         "packing cost per sample (one read + one write each)",
         "a separate I/O pass",
-        &format!("{:.1} ms ({:.0}s for {} files)", per_sample * 1e3, pack_time.as_secs_f64(), ds.len()),
+        &format!(
+            "{:.1} ms ({:.0}s for {} files)",
+            per_sample * 1e3,
+            pack_time.as_secs_f64(),
+            ds.len()
+        ),
         per_sample > 0.0,
     );
     bench::save_json(

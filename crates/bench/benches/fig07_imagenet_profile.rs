@@ -13,7 +13,10 @@ use tfsim::Parallelism;
 use workloads::{run, Profiling, RunConfig, Workload};
 
 fn main() {
-    bench::header("Fig. 7", "ImageNet training profile (1 thread vs 28 threads)");
+    bench::header(
+        "Fig. 7",
+        "ImageNet training profile (1 thread vs 28 threads)",
+    );
     let scale = bench::scale(0.1);
 
     // -- 7a: one thread ----------------------------------------------------

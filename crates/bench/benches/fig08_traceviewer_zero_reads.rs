@@ -8,7 +8,10 @@ use tfsim::Parallelism;
 use workloads::{run, Profiling, RunConfig, Workload};
 
 fn main() {
-    bench::header("Fig. 8", "TraceViewer timelines: trailing zero-length reads");
+    bench::header(
+        "Fig. 8",
+        "TraceViewer timelines: trailing zero-length reads",
+    );
     let mut cfg = RunConfig::paper(Workload::ImageNet, bench::scale(0.02));
     cfg.steps = 4;
     cfg.threads = Parallelism::Fixed(4);

@@ -32,7 +32,12 @@ fn main() {
     let (bw_staged, t_staged) = bw_of(1, Some(2 << 20), scale);
 
     println!("\n-- Fig. 11a: 1 → 16 threads --");
-    bench::row("1 thread", "~94 MB/s", &bench::mibps(bw1), (75.0..=115.0).contains(&bw1));
+    bench::row(
+        "1 thread",
+        "~94 MB/s",
+        &bench::mibps(bw1),
+        (75.0..=115.0).contains(&bw1),
+    );
     bench::row("16 threads", "~77 MB/s", &bench::mibps(bw16), bw16 < bw1);
     let drop = (bw1 - bw16) / bw1 * 100.0;
     bench::row(
@@ -75,9 +80,7 @@ fn main() {
         (0.35..=0.46).contains(&plan.file_fraction()),
     );
 
-    println!(
-        "\nepoch walls: naive {t1:.0}s | 16 threads {t16:.0}s | staged {t_staged:.0}s"
-    );
+    println!("\nepoch walls: naive {t1:.0}s | 16 threads {t16:.0}s | staged {t_staged:.0}s");
     bench::save_json(
         "fig11",
         &serde_json::json!({

@@ -186,12 +186,65 @@ fn bench_got_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_probe_hot_path(c: &mut Criterion) {
+    use posix_sim::{OpenFlags, Process};
+    use probe::CountingSink;
+    use storage_sim::{
+        Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
+    };
+
+    // The probe fast path is a per-thread buffer push: with zero sinks the
+    // bus is inactive and emission is a single atomic load, and growing the
+    // sink count must not grow the per-event cost (sinks are only walked at
+    // flush points, not per operation).
+    let mut g = c.benchmark_group("probe");
+    g.throughput(Throughput::Elements(5_000));
+    for sinks in [0usize, 1, 4] {
+        let name = format!("pread_hot_path_5k_{sinks}_sinks");
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let fs = LocalFs::new(
+                    Device::new(DeviceSpec::optane("nvme0")),
+                    Arc::new(PageCache::new(1 << 30)),
+                    LocalFsParams::default(),
+                );
+                let stack = StorageStack::new();
+                stack.mount("/d", fs.clone() as Arc<dyn FileSystem>);
+                fs.create_synthetic("/d/f", 1 << 20, 1).unwrap();
+                let p = Process::new(stack);
+                let hooks: Vec<Arc<CountingSink>> = (0..sinks)
+                    .map(|_| {
+                        let s = Arc::new(CountingSink::new());
+                        p.probe().register(s.clone());
+                        s
+                    })
+                    .collect();
+                let sim = Sim::new();
+                let p2 = p.clone();
+                sim.spawn("t", move || {
+                    let fd = p2.open("/d/f", OpenFlags::rdonly()).unwrap();
+                    for i in 0..5_000u64 {
+                        p2.pread(fd, (i * 128) % (1 << 20), 128, None).unwrap();
+                    }
+                    p2.close(fd).unwrap();
+                });
+                sim.run();
+                for s in &hooks {
+                    assert!(s.events.load(std::sync::atomic::Ordering::Relaxed) >= 5_000);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_scheduler, bench_darshan, bench_log, bench_got_dispatch
+    targets = bench_scheduler, bench_darshan, bench_log, bench_got_dispatch,
+        bench_probe_hot_path
 }
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use darshan_sim::{DarshanConfig, DarshanLibrary, DarshanLog};
 use posix_sim::{OpenFlags, Process};
-use storage_sim::{Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack};
+use storage_sim::{
+    Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
+};
 use tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper};
 use tfsim::{ProfilerOptions, TfRuntime};
 
@@ -21,7 +23,8 @@ fn fixture() -> (simrt::Sim, Arc<Process>, Arc<TfRuntime>) {
     let stack = StorageStack::new();
     stack.mount("/data", fs.clone() as Arc<dyn FileSystem>);
     for i in 0..8u64 {
-        fs.create_synthetic(&format!("/data/f{i}"), 10_000, i).unwrap();
+        fs.create_synthetic(&format!("/data/f{i}"), 10_000, i)
+            .unwrap();
     }
     let p = Process::new(stack);
     let rt = TfRuntime::new(p.clone(), sim.clone(), 4);
@@ -30,10 +33,7 @@ fn fixture() -> (simrt::Sim, Arc<Process>, Arc<TfRuntime>) {
 
 fn main() {
     bench::header("Table I", "Darshan vs tf-Darshan feature matrix (probed)");
-    println!(
-        "{:<28} {:>22} {:>22}",
-        "Feature", "Darshan", "tf-Darshan"
-    );
+    println!("{:<28} {:>22} {:>22}", "Feature", "Darshan", "tf-Darshan");
 
     // Modules: both expose POSIX, STDIO, DXT.
     println!(
@@ -54,14 +54,18 @@ fn main() {
             // touch 4..8 outside, restart, profile nothing.
             rt2.profiler_start(ProfilerOptions::default()).unwrap();
             for i in 0..4 {
-                let fd = p2.open(&format!("/data/f{i}"), OpenFlags::rdonly()).unwrap();
+                let fd = p2
+                    .open(&format!("/data/f{i}"), OpenFlags::rdonly())
+                    .unwrap();
                 p2.pread(fd, 0, 10_000, None).unwrap();
                 p2.close(fd).unwrap();
             }
             rt2.profiler_stop().unwrap();
             let in_window = tfd2.last_report().unwrap().io.files_opened;
             for i in 4..8 {
-                let fd = p2.open(&format!("/data/f{i}"), OpenFlags::rdonly()).unwrap();
+                let fd = p2
+                    .open(&format!("/data/f{i}"), OpenFlags::rdonly())
+                    .unwrap();
                 p2.pread(fd, 0, 10_000, None).unwrap();
                 p2.close(fd).unwrap();
             }
@@ -106,9 +110,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>22} {:>22}",
-        "Reporting",
-        "after app returns",
-        "after profiling stops"
+        "Reporting", "after app returns", "after profiling stops"
     );
     println!(
         "{:<28} {:>22} {:>22}",

@@ -309,9 +309,9 @@ mod tests {
         assert!(recs
             .iter()
             .any(|r| matches!(r, Recommendation::UseContainers { .. })));
-        assert!(recs
-            .iter()
-            .any(|r| matches!(r, Recommendation::ZeroReadSignature { fraction } if *fraction > 0.45)));
+        assert!(recs.iter().any(
+            |r| matches!(r, Recommendation::ZeroReadSignature { fraction } if *fraction > 0.45)
+        ));
     }
 
     #[test]

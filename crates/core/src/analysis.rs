@@ -39,7 +39,11 @@ fn diff_posix(start: &[PosixRecord], stop: &[PosixRecord]) -> Vec<PosixRecord> {
             }
             // Durations subtract; timestamps keep the stop values (last
             // observed) — matching how tf-Darshan reports windows.
-            for c in [PF::POSIX_F_READ_TIME, PF::POSIX_F_WRITE_TIME, PF::POSIX_F_META_TIME] {
+            for c in [
+                PF::POSIX_F_READ_TIME,
+                PF::POSIX_F_WRITE_TIME,
+                PF::POSIX_F_META_TIME,
+            ] {
                 d.fcounters[c as usize] -= b.fcounters[c as usize];
             }
         }
@@ -279,10 +283,7 @@ pub fn per_file(d: &SnapshotDiff) -> Vec<FileActivity> {
 /// Derive a bandwidth-over-time series from DXT segments: bytes completed
 /// per `bucket_secs` interval, in MiB/s — a per-session equivalent of the
 /// Fig. 3/4 dstat line computed entirely from Darshan's own trace.
-pub fn bandwidth_series(
-    dxt: &[(u64, DxtSegment)],
-    bucket_secs: f64,
-) -> Vec<(f64, f64)> {
+pub fn bandwidth_series(dxt: &[(u64, DxtSegment)], bucket_secs: f64) -> Vec<(f64, f64)> {
     assert!(bucket_secs > 0.0);
     let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for (_, seg) in dxt {

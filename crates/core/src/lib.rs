@@ -158,7 +158,11 @@ mod tests {
                 let last = line.events.last().unwrap();
                 assert_eq!(last.name, "pread");
                 assert_eq!(
-                    last.stats.iter().find(|s| s.name == "length").unwrap().value,
+                    last.stats
+                        .iter()
+                        .find(|s| s.name == "length")
+                        .unwrap()
+                        .value,
                     "0"
                 );
             }

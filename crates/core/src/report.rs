@@ -133,10 +133,13 @@ impl TfDarshanReport {
     /// (tables and textual histograms; no external assets).
     pub fn render_html(&self) -> String {
         let io = &self.io;
-        let esc = |s: &str| s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
-        let hist_pre = |hist: &[u64; 10]| -> String {
-            esc(&super::report::render_hist_for_html(hist))
+        let esc = |s: &str| {
+            s.replace('&', "&amp;")
+                .replace('<', "&lt;")
+                .replace('>', "&gt;")
         };
+        let hist_pre =
+            |hist: &[u64; 10]| -> String { esc(&super::report::render_hist_for_html(hist)) };
         let mut files_rows = String::new();
         for f in self.files.iter().take(50) {
             files_rows.push_str(&format!(

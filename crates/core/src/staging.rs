@@ -114,9 +114,7 @@ pub fn apply(
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use storage_sim::{
-        Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache,
-    };
+    use storage_sim::{Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache};
 
     fn activity(sizes: &[u64]) -> Vec<FileActivity> {
         sizes

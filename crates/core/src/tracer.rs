@@ -15,7 +15,7 @@ use std::sync::Arc;
 use darshan_sim::DxtOp;
 use parking_lot::Mutex;
 use simrt::sleep;
-use tfsim::{ProfilerOptions, Tracer, TracerFactory, TfRuntime, XEvent, XSpace};
+use tfsim::{ProfilerOptions, TfRuntime, Tracer, TracerFactory, XEvent, XSpace};
 
 use crate::analysis::{analyze, diff, per_file};
 use crate::report::TfDarshanReport;
@@ -82,7 +82,10 @@ impl Tracer for DarshanTracer {
                 abs(d.window.0),
                 ((d.window.1 - d.window.0).max(0.0) * 1e9) as u64,
             )
-            .with_stat("posix_read_bw_mibps", format!("{:.3}", io.read_bandwidth_mibps))
+            .with_stat(
+                "posix_read_bw_mibps",
+                format!("{:.3}", io.read_bandwidth_mibps),
+            )
             .with_stat("posix_opens", io.opens)
             .with_stat("posix_reads", io.reads)
             .with_stat("posix_writes", io.writes)
@@ -156,11 +159,7 @@ impl DarshanTracerFactory {
 }
 
 impl TracerFactory for DarshanTracerFactory {
-    fn create(
-        &self,
-        _rt: &Arc<TfRuntime>,
-        _options: &ProfilerOptions,
-    ) -> Option<Arc<dyn Tracer>> {
+    fn create(&self, _rt: &Arc<TfRuntime>, _options: &ProfilerOptions) -> Option<Arc<dyn Tracer>> {
         if self.wrapper.mark_start().is_err() {
             return None;
         }

@@ -24,6 +24,7 @@ pub mod counters;
 pub mod log;
 pub mod reduce;
 pub mod runtime;
+pub mod sink;
 pub mod summary;
 pub mod wrappers;
 
@@ -38,8 +39,9 @@ pub use counters::{
 };
 pub use log::{DarshanLog, LogError};
 pub use reduce::{merge_posix_records, reduce_job};
-pub use summary::JobSummary;
 pub use runtime::{DarshanConfig, DarshanRuntime, DxtOp, DxtSegment, Snapshot, Totals};
+pub use sink::DarshanSink;
+pub use summary::JobSummary;
 pub use wrappers::{DarshanIo, DarshanStdio};
 
 /// Name under which the library registers itself for `dlopen`.
@@ -47,8 +49,8 @@ pub const SONAME: &str = "libdarshan.so";
 
 /// POSIX symbols Darshan instruments.
 pub const INSTRUMENTED_POSIX: &[&str] = &[
-    "open", "close", "read", "pread", "write", "pwrite", "lseek", "stat", "fstat", "fsync",
-    "mmap", "munmap", "msync",
+    "open", "close", "read", "pread", "write", "pwrite", "lseek", "stat", "fstat", "fsync", "mmap",
+    "munmap", "msync",
 ];
 
 /// STDIO symbols Darshan instruments.
@@ -58,6 +60,8 @@ pub const INSTRUMENTED_STDIO: &[&str] = &["fopen", "fclose", "fread", "fwrite", 
 struct AttachState {
     posix_orig: Vec<(String, Arc<dyn posix_sim::LibcIo>)>,
     stdio_orig: Vec<(String, Arc<dyn posix_sim::LibcStdio>)>,
+    /// The record-fold consumer registered on the process's event spine.
+    sink: probe::SinkId,
 }
 
 /// The loaded Darshan shared library: runtime + attachment bookkeeping.
@@ -109,9 +113,15 @@ impl DarshanLibrary {
         // fd→record map is shared, exactly like the real library's globals.
         let posix_wrapper = DarshanIo::new(self.runtime.clone(), got.posix_sym("open"));
         let stdio_wrapper = DarshanStdio::new(self.runtime.clone(), got.stdio_sym("fopen"));
+        // Record mutation happens in the event fold: register the sink on
+        // the process's spine alongside patching the symbols.
+        let sink = process
+            .probe()
+            .register(sink::DarshanSink::new(self.runtime.clone()));
         let mut st = AttachState {
             posix_orig: Vec::new(),
             stdio_orig: Vec::new(),
+            sink,
         };
         for &sym in INSTRUMENTED_POSIX {
             let old = got.patch_posix(sym, posix_wrapper.clone())?;
@@ -138,6 +148,10 @@ impl DarshanLibrary {
         for (sym, orig) in st.stdio_orig {
             got.restore_stdio(&sym, orig)?;
         }
+        // Unregister last; this flushes the calling thread's buffer first,
+        // so every operation completed before detach reaches the records —
+        // a mid-session detach loses nothing.
+        process.probe().unregister(st.sink);
         Ok(())
     }
 
@@ -337,7 +351,11 @@ mod tests {
             assert_eq!(r.get(PosixCounter::POSIX_SEEKS), 1);
             assert_eq!(r.get(PosixCounter::POSIX_STATS), 1);
             assert_eq!(r.get(PosixCounter::POSIX_CONSEC_READS), 2);
-            assert_eq!(r.get(PosixCounter::POSIX_SEQ_READS), 2, "rewound read is not sequential");
+            assert_eq!(
+                r.get(PosixCounter::POSIX_SEQ_READS),
+                2,
+                "rewound read is not sequential"
+            );
             assert_eq!(r.get(PosixCounter::POSIX_BYTES_READ), 9_000);
             // DXT recorded the rewound offset correctly.
             let segs = lib.runtime().dxt_of(r.rec_id);

@@ -47,8 +47,14 @@ pub fn merge_posix_records(records: &[PosixRecord]) -> Option<PosixRecord> {
         }
         // Timestamps: first-start = min nonzero, last-end = max; times sum.
         for (start, end) in [
-            (PF::POSIX_F_OPEN_START_TIMESTAMP, PF::POSIX_F_OPEN_END_TIMESTAMP),
-            (PF::POSIX_F_READ_START_TIMESTAMP, PF::POSIX_F_READ_END_TIMESTAMP),
+            (
+                PF::POSIX_F_OPEN_START_TIMESTAMP,
+                PF::POSIX_F_OPEN_END_TIMESTAMP,
+            ),
+            (
+                PF::POSIX_F_READ_START_TIMESTAMP,
+                PF::POSIX_F_READ_END_TIMESTAMP,
+            ),
             (
                 PF::POSIX_F_WRITE_START_TIMESTAMP,
                 PF::POSIX_F_WRITE_END_TIMESTAMP,
@@ -66,7 +72,11 @@ pub fn merge_posix_records(records: &[PosixRecord]) -> Option<PosixRecord> {
             let e = r.fget(end);
             *out.fget_mut(end) = out.fget(end).max(e);
         }
-        for t in [PF::POSIX_F_READ_TIME, PF::POSIX_F_WRITE_TIME, PF::POSIX_F_META_TIME] {
+        for t in [
+            PF::POSIX_F_READ_TIME,
+            PF::POSIX_F_WRITE_TIME,
+            PF::POSIX_F_META_TIME,
+        ] {
             *out.fget_mut(t) += r.fget(t);
         }
         for t in [PF::POSIX_F_MAX_READ_TIME, PF::POSIX_F_MAX_WRITE_TIME] {

@@ -248,7 +248,11 @@ impl DarshanRuntime {
         }
     }
 
-    fn charge_new_record(&self) {
+    /// Charge the cost of allocating a new module record. Called by the
+    /// wrappers at `open`/`fopen` time (the emission site), *not* by the
+    /// event fold: sink folds run inside the scheduler's switch path where
+    /// sleeping is forbidden.
+    pub fn charge_new_record(&self) {
         if !self.config.new_record_overhead.is_zero() {
             sleep(self.config.new_record_overhead);
         }
@@ -257,7 +261,10 @@ impl DarshanRuntime {
     /// Register (or look up) the name record for `path`.
     pub fn register_name(&self, path: &str) -> u64 {
         let id = record_id(path);
-        self.names.lock().entry(id).or_insert_with(|| path.to_string());
+        self.names
+            .lock()
+            .entry(id)
+            .or_insert_with(|| path.to_string());
         id
     }
 
@@ -280,10 +287,11 @@ impl DarshanRuntime {
             return None;
         }
         if is_new {
-            drop(m);
-            self.charge_new_record();
+            // Record creation itself is pure bookkeeping here; the
+            // new-record *time* cost is charged by the wrapper at the
+            // emission site (this method also runs inside event folds,
+            // which must not sleep).
             self.register_name(path);
-            m = self.posix.lock();
         }
         let r = m.records.entry(id).or_insert_with(|| PosixRecord::new(id));
         *r.get_mut(P::POSIX_OPENS) += 1;
@@ -447,10 +455,8 @@ impl DarshanRuntime {
             return None;
         }
         if is_new {
-            drop(m);
-            self.charge_new_record();
+            // See posix_open: the time cost lives in the wrapper.
             self.register_name(path);
-            m = self.stdio.lock();
         }
         let r = m.records.entry(id).or_insert_with(|| StdioRecord::new(id));
         *r.get_mut(S::STDIO_OPENS) += 1;
@@ -582,6 +588,9 @@ impl DarshanRuntime {
 
     /// Cheap aggregates (no module lock ordering concerns).
     pub fn totals(&self) -> Totals {
+        // Fold any events still buffered on this thread so the aggregates
+        // are complete up to now (parked threads flushed when descheduled).
+        probe::flush_current_thread();
         Totals {
             posix_bytes_read: self.agg_bytes_read.load(Ordering::Relaxed),
             posix_bytes_written: self.agg_bytes_written.load(Ordering::Relaxed),
@@ -595,6 +604,11 @@ impl DarshanRuntime {
     /// copy has the access-size reduction applied; live buffers are not
     /// disturbed.
     pub fn snapshot(&self) -> Snapshot {
+        // Complete the event stream first: any operation this thread
+        // finished but has not yet flushed must be folded into the module
+        // buffers before they are copied. Other threads' buffers drained
+        // when those threads descheduled.
+        probe::flush_current_thread();
         // Extraction deep-copies the module buffers under their locks:
         // charge for the copy while instrumented I/O stalls at the gate.
         let n = self.posix_record_count() + self.stdio_record_count();

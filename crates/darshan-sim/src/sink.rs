@@ -1,0 +1,174 @@
+//! The Darshan event-fold consumer: turns the probe spine's [`IoEvent`]
+//! stream into POSIX/STDIO module records and DXT segments.
+//!
+//! Before the backplane existed, each wrapper updated the module records
+//! inline, taking the module locks on every syscall. Now the wrappers only
+//! charge instrumentation *time*; all record mutation happens here, folding
+//! batches of buffered events at context-switch boundaries. Because simrt
+//! runs one simulated thread at a time and every descheduling point flushes,
+//! events arrive in op-completion order — the same order the inline updates
+//! observed — so order-sensitive counters (SEQ/CONSEC flags, RW_SWITCHES,
+//! access-size histograms) are reproduced exactly.
+//!
+//! The fold keeps the same descriptor bookkeeping the wrappers kept:
+//!
+//! * `fd → record` is seeded by observed `open`s and recovered lazily for
+//!   descriptors opened before attachment (the runtime-attachment gap);
+//! * `close` on an unknown descriptor records nothing (as before);
+//! * stdio-internal POSIX traffic ([`Origin::StdioInternal`]) is skipped
+//!   entirely — interposed `read` never sees `fread`'s buffer refills;
+//! * [`EventKind::MmapFault`]s are skipped: faults are not syscalls, so
+//!   symbol-level instrumentation stays blind to them (paper §VII).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use probe::{EventKind, IoEvent, Origin, ProbeSink};
+
+use crate::counters::{PosixCounter as P, StdioCounter as S};
+use crate::runtime::DarshanRuntime;
+
+/// Folds probe events into a [`DarshanRuntime`]'s module buffers.
+pub struct DarshanSink {
+    rt: Arc<DarshanRuntime>,
+    /// fd → record id (lazily recovered for pre-attachment descriptors).
+    fds: Mutex<HashMap<i32, u64>>,
+    /// mapping → record id (for msync attribution).
+    maps: Mutex<HashMap<u64, u64>>,
+    /// stream → record id.
+    streams: Mutex<HashMap<u64, u64>>,
+}
+
+impl DarshanSink {
+    /// New sink folding into `rt`.
+    pub fn new(rt: Arc<DarshanRuntime>) -> Arc<Self> {
+        Arc::new(DarshanSink {
+            rt,
+            fds: Mutex::new(HashMap::new()),
+            maps: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Resolve the record id of `fd`, registering lazily for descriptors
+    /// opened before attachment (their `open` predates the sink, so the
+    /// path travels on the event instead — à la `/proc/self/fd`).
+    fn rec_of(&self, fd: i32, path: &str) -> Option<u64> {
+        if let Some(id) = self.fds.lock().get(&fd) {
+            return Some(*id);
+        }
+        let id = self.rt.posix_register_existing(path)?;
+        self.fds.lock().insert(fd, id);
+        Some(id)
+    }
+
+    fn fold(&self, ev: &IoEvent) {
+        // Symbol-level instrumentation never sees libc-internal descriptor
+        // traffic or page faults.
+        if ev.origin == Origin::StdioInternal {
+            return;
+        }
+        let rt = &self.rt;
+        let (t0, t1) = (ev.t0, ev.t1);
+        match ev.kind {
+            EventKind::Open { fd } => {
+                if let Some(id) = rt.posix_open(&ev.target, t0, t1) {
+                    self.fds.lock().insert(fd, id);
+                }
+            }
+            EventKind::Close { fd } => {
+                // No lazy registration on close (mirrors the old wrapper):
+                // a descriptor first seen at close has nothing to record.
+                if let Some(id) = self.fds.lock().remove(&fd) {
+                    rt.posix_close(id, t0, t1);
+                }
+            }
+            EventKind::Read { fd, offset, len } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_read(id, offset, len, t0, t1);
+                }
+            }
+            EventKind::Write { fd, offset, len } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_write(id, offset, len, t0, t1);
+                }
+            }
+            EventKind::Seek { fd, .. } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_meta(id, P::POSIX_SEEKS, t0, t1);
+                }
+            }
+            EventKind::Stat => rt.posix_stat_path(&ev.target, t0, t1),
+            EventKind::Fstat { fd } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_meta(id, P::POSIX_STATS, t0, t1);
+                }
+            }
+            EventKind::Fsync { fd } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_meta(id, P::POSIX_FSYNCS, t0, t1);
+                }
+            }
+            EventKind::Mmap { map, fd, .. } => {
+                if let Some(id) = self.rec_of(fd, &ev.target) {
+                    rt.posix_meta(id, P::POSIX_MMAPS, t0, t1);
+                    self.maps.lock().insert(map, id);
+                }
+            }
+            EventKind::Msync { map } => {
+                let rec = self.maps.lock().get(&map).copied();
+                if let Some(id) = rec {
+                    rt.posix_meta(id, P::POSIX_MSYNCS, t0, t1);
+                }
+            }
+            EventKind::Munmap { map } => {
+                self.maps.lock().remove(&map);
+            }
+            EventKind::MmapFault { .. } => {} // not a syscall: blind spot
+            EventKind::StdioOpen { stream } => {
+                if let Some(id) = rt.stdio_open(&ev.target, t0, t1) {
+                    self.streams.lock().insert(stream, id);
+                }
+            }
+            EventKind::StdioClose { stream } => {
+                if let Some(id) = self.streams.lock().remove(&stream) {
+                    rt.stdio_close(id, t0, t1);
+                }
+            }
+            EventKind::StdioRead { stream, pos, len } => {
+                let rec = self.streams.lock().get(&stream).copied();
+                if let Some(id) = rec {
+                    rt.stdio_read(id, pos, len, t0, t1);
+                }
+            }
+            EventKind::StdioWrite { stream, pos, len } => {
+                let rec = self.streams.lock().get(&stream).copied();
+                if let Some(id) = rec {
+                    rt.stdio_write(id, pos, len, t0, t1);
+                }
+            }
+            EventKind::StdioSeek { stream, .. } => {
+                let rec = self.streams.lock().get(&stream).copied();
+                if let Some(id) = rec {
+                    rt.stdio_meta(id, S::STDIO_SEEKS, t0, t1);
+                }
+            }
+            EventKind::StdioFlush { stream } => {
+                let rec = self.streams.lock().get(&stream).copied();
+                if let Some(id) = rec {
+                    rt.stdio_meta(id, S::STDIO_FLUSHES, t0, t1);
+                }
+            }
+            EventKind::TraceSpan { .. } => {} // profiler-side, not I/O
+        }
+    }
+}
+
+impl ProbeSink for DarshanSink {
+    fn on_events(&self, events: &[IoEvent]) {
+        for ev in events {
+            self.fold(ev);
+        }
+    }
+}

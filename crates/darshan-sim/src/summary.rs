@@ -172,10 +172,13 @@ mod tests {
     fn log() -> DarshanLog {
         let mut names = HashMap::new();
         let mut posix = Vec::new();
-        for (i, (reads, bytes, time)) in
-            [(2i64, 100_000i64, 0.5f64), (4, 900_000, 2.0), (1, 50_000, 0.1)]
-                .iter()
-                .enumerate()
+        for (i, (reads, bytes, time)) in [
+            (2i64, 100_000i64, 0.5f64),
+            (4, 900_000, 2.0),
+            (1, 50_000, 0.1),
+        ]
+        .iter()
+        .enumerate()
         {
             let path = format!("/d/f{i}");
             let id = crate::record_id(&path);

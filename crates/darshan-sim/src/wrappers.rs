@@ -1,33 +1,39 @@
 //! Instrumented symbol implementations — the `_open`, `_read`, `_pread`,
 //! `_fwrite`, … entry points of `libdarshan.so` (paper Fig. 2, right box).
 //!
-//! Each wrapper times the forwarded call on the virtual clock, updates the
-//! Darshan module record, charges the instrumentation overhead, and returns
-//! the original result. The wrapper keeps its own descriptor→record map
-//! (as real Darshan does): descriptors opened *before* attachment are
-//! resolved lazily from the process fd table (the runtime-attachment gap
-//! the paper's design has to live with; see DESIGN.md).
+//! Since the probe backplane was introduced, the wrappers no longer touch
+//! the module records at all: the terminal libc emits one event per
+//! completed operation and [`crate::sink::DarshanSink`] folds the stream
+//! into the records at context-switch boundaries. What remains here is the
+//! *time* cost of instrumentation, which must be charged synchronously on
+//! the calling thread, exactly where the real library would spend it:
+//!
+//! * every wrapped call pays the per-operation overhead and stalls at the
+//!   extraction gate ([`DarshanRuntime::charge_op`]);
+//! * the first `open`/`fopen` of a path pays the new-record allocation
+//!   cost ([`DarshanRuntime::charge_new_record`]).
+//!
+//! This split is what removes per-consumer locking from the syscall fast
+//! path: the wrapper takes no module lock, and the fold amortizes one lock
+//! acquisition over a whole batch of events.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simrt::now;
 use storage_sim::{Metadata, WritePayload};
 
 use posix_sim::{Fd, LibcIo, LibcStdio, MapId, OpenFlags, PosixResult, Process, StreamId, Whence};
 
-use crate::counters::{PosixCounter as P, StdioCounter as S};
+use crate::counters::record_id;
 use crate::runtime::DarshanRuntime;
 
 /// The instrumented POSIX symbols.
 pub struct DarshanIo {
     rt: Arc<DarshanRuntime>,
     orig: Arc<dyn LibcIo>,
-    /// fd → record id.
-    fds: Mutex<HashMap<Fd, u64>>,
-    /// mapping → record id (for msync attribution).
-    maps: Mutex<HashMap<MapId, u64>>,
+    /// Record ids whose allocation cost was already charged.
+    seen: Mutex<HashSet<u64>>,
 }
 
 impl DarshanIo {
@@ -36,8 +42,7 @@ impl DarshanIo {
         Arc::new(DarshanIo {
             rt,
             orig,
-            fds: Mutex::new(HashMap::new()),
-            maps: Mutex::new(HashMap::new()),
+            seen: Mutex::new(HashSet::new()),
         })
     }
 
@@ -46,61 +51,31 @@ impl DarshanIo {
         self.orig.clone()
     }
 
-    /// Resolve the record id of `fd`, registering lazily for descriptors
-    /// opened before attachment.
-    fn rec_of(&self, p: &Process, fd: Fd) -> Option<u64> {
-        if let Some(id) = self.fds.lock().get(&fd) {
-            return Some(*id);
+    /// Charge the new-record cost the first time `path` is opened.
+    fn charge_open(&self, path: &str) {
+        if self.seen.lock().insert(record_id(path)) {
+            self.rt.charge_new_record();
         }
-        // Pre-attachment descriptor: its open() happened before the GOT was
-        // patched, so Darshan never saw it. Recover the path (à la
-        // /proc/self/fd) and register a record with OPENS = 0; subsequent
-        // operations are attributed correctly.
-        let path = p.fd_entry(fd).ok()?.path.clone();
-        let id = self.rt.posix_register_existing(&path)?;
-        self.fds.lock().insert(fd, id);
-        Some(id)
+        self.rt.charge_op();
     }
 }
 
 impl LibcIo for DarshanIo {
     fn open(&self, p: &Process, path: &str, flags: OpenFlags) -> PosixResult<Fd> {
-        let t0 = now();
         let r = self.orig.open(p, path, flags);
-        let t1 = now();
-        self.rt.charge_op();
-        if let Ok(fd) = &r {
-            if let Some(id) = self.rt.posix_open(path, t0, t1) {
-                self.fds.lock().insert(*fd, id);
-            }
-        }
+        self.charge_open(path);
         r
     }
 
     fn close(&self, p: &Process, fd: Fd) -> PosixResult<()> {
-        let rec = self.fds.lock().remove(&fd);
-        let t0 = now();
         let r = self.orig.close(p, fd);
-        let t1 = now();
         self.rt.charge_op();
-        if let Some(id) = rec {
-            self.rt.posix_close(id, t0, t1);
-        }
         r
     }
 
     fn read(&self, p: &Process, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64> {
-        // Observe the position before the call moves it.
-        let pos = p.fd_entry(fd).map(|e| *e.pos.lock()).unwrap_or(0);
-        let t0 = now();
         let r = self.orig.read(p, fd, len, buf);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_read(id, pos, *n, t0, t1);
-            }
-        }
         r
     }
 
@@ -112,92 +87,44 @@ impl LibcIo for DarshanIo {
         len: u64,
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.pread(p, fd, offset, len, buf);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_read(id, offset, *n, t0, t1);
-            }
-        }
         r
     }
 
     fn write(&self, p: &Process, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64> {
-        let pos = p.fd_entry(fd).map(|e| *e.pos.lock()).unwrap_or(0);
-        let t0 = now();
         let r = self.orig.write(p, fd, data);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_write(id, pos, *n, t0, t1);
-            }
-        }
         r
     }
 
     fn pwrite(&self, p: &Process, fd: Fd, offset: u64, data: WritePayload<'_>) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.pwrite(p, fd, offset, data);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_write(id, offset, *n, t0, t1);
-            }
-        }
         r
     }
 
     fn lseek(&self, p: &Process, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.lseek(p, fd, offset, whence);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_meta(id, P::POSIX_SEEKS, t0, t1);
-            }
-        }
         r
     }
 
     fn stat(&self, p: &Process, path: &str) -> PosixResult<Metadata> {
-        let t0 = now();
         let r = self.orig.stat(p, path);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            self.rt.posix_stat_path(path, t0, t1);
-        }
         r
     }
 
     fn fstat(&self, p: &Process, fd: Fd) -> PosixResult<Metadata> {
-        let t0 = now();
         let r = self.orig.fstat(p, fd);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_meta(id, P::POSIX_STATS, t0, t1);
-            }
-        }
         r
     }
 
     fn fsync(&self, p: &Process, fd: Fd) -> PosixResult<()> {
-        let t0 = now();
         let r = self.orig.fsync(p, fd);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_meta(id, P::POSIX_FSYNCS, t0, t1);
-            }
-        }
         r
     }
 
@@ -207,36 +134,19 @@ impl LibcIo for DarshanIo {
     }
 
     fn mmap(&self, p: &Process, fd: Fd, offset: u64, len: u64) -> PosixResult<MapId> {
-        let t0 = now();
         let r = self.orig.mmap(p, fd, offset, len);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(map) = &r {
-            if let Some(id) = self.rec_of(p, fd) {
-                self.rt.posix_meta(id, P::POSIX_MMAPS, t0, t1);
-                self.maps.lock().insert(*map, id);
-            }
-        }
         r
     }
 
     fn munmap(&self, p: &Process, map: MapId) -> PosixResult<()> {
-        self.maps.lock().remove(&map);
         self.rt.charge_op();
         self.orig.munmap(p, map)
     }
 
     fn msync(&self, p: &Process, map: MapId) -> PosixResult<()> {
-        let t0 = now();
         let r = self.orig.msync(p, map);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            let rec = self.maps.lock().get(&map).copied();
-            if let Some(id) = rec {
-                self.rt.posix_meta(id, P::POSIX_MSYNCS, t0, t1);
-            }
-        }
         r
     }
 
@@ -250,12 +160,8 @@ impl LibcIo for DarshanIo {
 pub struct DarshanStdio {
     rt: Arc<DarshanRuntime>,
     orig: Arc<dyn LibcStdio>,
-    streams: Mutex<HashMap<StreamId, StreamState>>,
-}
-
-struct StreamState {
-    rec: u64,
-    pos: u64,
+    /// Record ids whose allocation cost was already charged.
+    seen: Mutex<HashSet<u64>>,
 }
 
 impl DarshanStdio {
@@ -264,7 +170,7 @@ impl DarshanStdio {
         Arc::new(DarshanStdio {
             rt,
             orig,
-            streams: Mutex::new(HashMap::new()),
+            seen: Mutex::new(HashSet::new()),
         })
     }
 
@@ -276,27 +182,17 @@ impl DarshanStdio {
 
 impl LibcStdio for DarshanStdio {
     fn fopen(&self, p: &Process, path: &str, mode: &str) -> PosixResult<StreamId> {
-        let t0 = now();
         let r = self.orig.fopen(p, path, mode);
-        let t1 = now();
-        self.rt.charge_op();
-        if let Ok(s) = &r {
-            if let Some(id) = self.rt.stdio_open(path, t0, t1) {
-                self.streams.lock().insert(*s, StreamState { rec: id, pos: 0 });
-            }
+        if self.seen.lock().insert(record_id(path)) {
+            self.rt.charge_new_record();
         }
+        self.rt.charge_op();
         r
     }
 
     fn fclose(&self, p: &Process, s: StreamId) -> PosixResult<()> {
-        let st = self.streams.lock().remove(&s);
-        let t0 = now();
         let r = self.orig.fclose(p, s);
-        let t1 = now();
         self.rt.charge_op();
-        if let Some(st) = st {
-            self.rt.stdio_close(st.rec, t0, t1);
-        }
         r
     }
 
@@ -307,69 +203,26 @@ impl LibcStdio for DarshanStdio {
         len: u64,
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.fread(p, s, len, buf);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            let mut m = self.streams.lock();
-            if let Some(st) = m.get_mut(&s) {
-                let pos = st.pos;
-                st.pos += n;
-                let rec = st.rec;
-                drop(m);
-                self.rt.stdio_read(rec, pos, *n, t0, t1);
-            }
-        }
         r
     }
 
     fn fwrite(&self, p: &Process, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.fwrite(p, s, data);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(n) = &r {
-            let mut m = self.streams.lock();
-            if let Some(st) = m.get_mut(&s) {
-                let pos = st.pos;
-                st.pos += n;
-                let rec = st.rec;
-                drop(m);
-                self.rt.stdio_write(rec, pos, *n, t0, t1);
-            }
-        }
         r
     }
 
     fn fflush(&self, p: &Process, s: StreamId) -> PosixResult<()> {
-        let t0 = now();
         let r = self.orig.fflush(p, s);
-        let t1 = now();
         self.rt.charge_op();
-        if r.is_ok() {
-            let rec = self.streams.lock().get(&s).map(|st| st.rec);
-            if let Some(rec) = rec {
-                self.rt.stdio_meta(rec, S::STDIO_FLUSHES, t0, t1);
-            }
-        }
         r
     }
 
     fn fseek(&self, p: &Process, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64> {
-        let t0 = now();
         let r = self.orig.fseek(p, s, offset, whence);
-        let t1 = now();
         self.rt.charge_op();
-        if let Ok(newpos) = &r {
-            let mut m = self.streams.lock();
-            if let Some(st) = m.get_mut(&s) {
-                st.pos = *newpos;
-                let rec = st.rec;
-                drop(m);
-                self.rt.stdio_meta(rec, S::STDIO_SEEKS, t0, t1);
-            }
-        }
         r
     }
 }

@@ -164,9 +164,7 @@ impl Comm {
             let net = &self.world.inner.net;
             let steps = 2.0 * (n - 1.0);
             let volume = 2.0 * (n - 1.0) / n * bytes as f64;
-            let cost = dur::secs_f64(
-                net.latency.as_secs_f64() * steps + volume / net.bandwidth,
-            );
+            let cost = dur::secs_f64(net.latency.as_secs_f64() * steps + volume / net.bandwidth);
             sleep(cost);
         }
         self.world.inner.barrier.wait();
@@ -179,9 +177,8 @@ impl Comm {
         if n > 1.0 {
             let net = &self.world.inner.net;
             let rounds = n.log2().ceil();
-            let cost = dur::secs_f64(
-                (net.latency.as_secs_f64() + bytes as f64 / net.bandwidth) * rounds,
-            );
+            let cost =
+                dur::secs_f64((net.latency.as_secs_f64() + bytes as f64 / net.bandwidth) * rounds);
             sleep(cost);
         }
         self.world.inner.barrier.wait();

@@ -20,8 +20,13 @@ pub struct MpiFile {
 /// ahead of the MPI library and forwards to `PMPI_*`).
 #[allow(missing_docs)]
 pub trait MpiIoLayer: Send + Sync {
-    fn file_open(&self, comm: &Comm, path: &str, write: bool, collective: bool)
-        -> PosixResult<MpiFile>;
+    fn file_open(
+        &self,
+        comm: &Comm,
+        path: &str,
+        write: bool,
+        collective: bool,
+    ) -> PosixResult<MpiFile>;
     fn read_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
     fn write_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64>;
     /// Collective read: all ranks call; completion is synchronized.
@@ -77,7 +82,8 @@ impl MpiIoLayer for DefaultMpiIo {
     }
 
     fn write_at(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
-        comm.process().pwrite(fh.fd, offset, WritePayload::Synthetic(len))
+        comm.process()
+            .pwrite(fh.fd, offset, WritePayload::Synthetic(len))
     }
 
     fn read_at_all(&self, comm: &Comm, fh: &MpiFile, offset: u64, len: u64) -> PosixResult<u64> {
@@ -207,13 +213,7 @@ mod tests {
             indep_reads: AtomicU64,
         }
         impl MpiIoLayer for CountingPmpi {
-            fn file_open(
-                &self,
-                c: &Comm,
-                p: &str,
-                w: bool,
-                coll: bool,
-            ) -> PosixResult<MpiFile> {
+            fn file_open(&self, c: &Comm, p: &str, w: bool, coll: bool) -> PosixResult<MpiFile> {
                 self.orig.file_open(c, p, w, coll)
             }
             fn read_at(&self, c: &Comm, f: &MpiFile, o: u64, l: u64) -> PosixResult<u64> {

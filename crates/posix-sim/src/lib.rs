@@ -103,9 +103,7 @@ mod tests {
                 Errno::EACCES
             );
             p.close(fd).unwrap();
-            let fd = p
-                .open("/data/w", OpenFlags::wronly_create_trunc())
-                .unwrap();
+            let fd = p.open("/data/w", OpenFlags::wronly_create_trunc()).unwrap();
             assert_eq!(p.read(fd, 1, None).unwrap_err(), Errno::EACCES);
             p.close(fd).unwrap();
         });

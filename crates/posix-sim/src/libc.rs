@@ -6,15 +6,50 @@
 //! POSIX implementation, not through the GOT, mirroring glibc internals:
 //! interposing `read` does not see `fread` traffic.
 
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
+use probe::{EventKind, Origin};
 use simrt::sleep;
 use storage_sim::{FsError, Metadata, WritePayload};
 
 use crate::errno::{Errno, PosixResult};
 use crate::process::{Fd, FdEntry, MapEntry, MapId, OpenFlags, Process, StreamId, Whence};
 use crate::symtab::{LibcIo, LibcStdio};
+
+thread_local! {
+    /// Depth of stdio-internal descriptor I/O on this carrier thread.
+    /// Non-zero while `DefaultStdio` performs its own buffer refills,
+    /// spills and stream open/close against the POSIX layer.
+    static STDIO_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Origin tag for events emitted on the current thread right now.
+pub(crate) fn current_origin() -> Origin {
+    if STDIO_DEPTH.with(|d| d.get()) > 0 {
+        Origin::StdioInternal
+    } else {
+        Origin::App
+    }
+}
+
+/// RAII marker: descriptor I/O performed while this guard lives is
+/// stdio-internal, so its probe events carry [`Origin::StdioInternal`].
+struct StdioInternal;
+
+impl StdioInternal {
+    fn enter() -> Self {
+        STDIO_DEPTH.with(|d| d.set(d.get() + 1));
+        StdioInternal
+    }
+}
+
+impl Drop for StdioInternal {
+    fn drop(&mut self) {
+        STDIO_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
 
 /// The default POSIX implementation.
 pub struct DefaultLibc;
@@ -29,6 +64,7 @@ impl DefaultLibc {
 
 impl LibcIo for DefaultLibc {
     fn open(&self, p: &Process, path: &str, flags: OpenFlags) -> PosixResult<Fd> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let fs = p.stack().resolve(path).map_err(Errno::from)?;
         let h = fs.open(path, &flags.to_fs()).map_err(Errno::from)?;
@@ -37,33 +73,48 @@ impl LibcIo for DefaultLibc {
         } else {
             0
         };
-        Ok(p.alloc_fd(FdEntry {
-            path: path.to_string(),
+        let path: Arc<str> = Arc::from(path);
+        let fd = p.alloc_fd(FdEntry {
+            path: path.clone(),
             fs,
             handle: h,
             flags,
             pos: parking_lot::Mutex::new(pos),
-        }))
+        });
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, path, EventKind::Open { fd });
+        }
+        Ok(fd)
     }
 
     fn close(&self, p: &Process, fd: Fd) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.remove_fd(fd)?;
-        e.fs.close(e.handle).map_err(Errno::from)
+        e.fs.close(e.handle).map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Close { fd });
+        }
+        Ok(())
     }
 
     fn read(&self, p: &Process, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
         if !e.flags.read {
             return Err(Errno::EACCES);
         }
         let mut pos = e.pos.lock();
-        let n = e
-            .fs
-            .read_at(e.handle, *pos, len, buf)
-            .map_err(Errno::from)?;
+        let offset = *pos;
+        let n =
+            e.fs.read_at(e.handle, *pos, len, buf)
+                .map_err(Errno::from)?;
         *pos += n;
+        drop(pos);
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Read { fd, offset, len: n });
+        }
         Ok(n)
     }
 
@@ -75,15 +126,23 @@ impl LibcIo for DefaultLibc {
         len: u64,
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
         if !e.flags.read {
             return Err(Errno::EACCES);
         }
-        e.fs.read_at(e.handle, offset, len, buf).map_err(Errno::from)
+        let n =
+            e.fs.read_at(e.handle, offset, len, buf)
+                .map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Read { fd, offset, len: n });
+        }
+        Ok(n)
     }
 
     fn write(&self, p: &Process, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
         if !e.flags.write {
@@ -93,24 +152,32 @@ impl LibcIo for DefaultLibc {
         if e.flags.append {
             *pos = e.fs.fstat(e.handle).map_err(Errno::from)?.size;
         }
-        let n = e
-            .fs
-            .write_at(e.handle, *pos, data)
-            .map_err(Errno::from)?;
+        let offset = *pos;
+        let n = e.fs.write_at(e.handle, *pos, data).map_err(Errno::from)?;
         *pos += n;
+        drop(pos);
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Write { fd, offset, len: n });
+        }
         Ok(n)
     }
 
     fn pwrite(&self, p: &Process, fd: Fd, offset: u64, data: WritePayload<'_>) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
         if !e.flags.write {
             return Err(Errno::EACCES);
         }
-        e.fs.write_at(e.handle, offset, data).map_err(Errno::from)
+        let n = e.fs.write_at(e.handle, offset, data).map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Write { fd, offset, len: n });
+        }
+        Ok(n)
     }
 
     fn lseek(&self, p: &Process, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
         let size = e.fs.fstat(e.handle).map_err(Errno::from)?.size;
@@ -125,25 +192,45 @@ impl LibcIo for DefaultLibc {
             return Err(Errno::EINVAL);
         }
         *pos = target as u64;
-        Ok(*pos)
+        let to = *pos;
+        drop(pos);
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Seek { fd, to });
+        }
+        Ok(to)
     }
 
     fn stat(&self, p: &Process, path: &str) -> PosixResult<Metadata> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let fs = p.stack().resolve(path).map_err(Errno::from)?;
-        fs.stat(path).map_err(Errno::from)
+        let md = fs.stat(path).map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, Arc::from(path), EventKind::Stat);
+        }
+        Ok(md)
     }
 
     fn fstat(&self, p: &Process, fd: Fd) -> PosixResult<Metadata> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
-        e.fs.fstat(e.handle).map_err(Errno::from)
+        let md = e.fs.fstat(e.handle).map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Fstat { fd });
+        }
+        Ok(md)
     }
 
     fn fsync(&self, p: &Process, fd: Fd) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let e = p.fd_entry(fd)?;
-        e.fs.fsync(e.handle).map_err(Errno::from)
+        e.fs.fsync(e.handle).map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, e.path.clone(), EventKind::Fsync { fd });
+        }
+        Ok(())
     }
 
     fn unlink(&self, p: &Process, path: &str) -> PosixResult<()> {
@@ -164,35 +251,60 @@ impl LibcIo for DefaultLibc {
     }
 
     fn mmap(&self, p: &Process, fd: Fd, offset: u64, len: u64) -> PosixResult<MapId> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         if len == 0 {
             return Err(Errno::EINVAL);
         }
         let e = p.fd_entry(fd)?;
-        Ok(p.alloc_map(MapEntry {
+        let path = e.path.clone();
+        let map = p.alloc_map(MapEntry {
             fd_entry: e,
             offset,
             len,
-        }))
+        });
+        if let Some(t0) = t0 {
+            p.probe_emit(
+                t0,
+                path,
+                EventKind::Mmap {
+                    map,
+                    fd,
+                    offset,
+                    len,
+                },
+            );
+        }
+        Ok(map)
     }
 
     fn munmap(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let m = p.remove_map(map)?;
         // Dirty mapped pages flush on unmap (as the kernel eventually would).
         m.fd_entry
             .fs
             .fsync(m.fd_entry.handle)
-            .map_err(Errno::from)
+            .map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, m.fd_entry.path.clone(), EventKind::Munmap { map });
+        }
+        Ok(())
     }
 
     fn msync(&self, p: &Process, map: MapId) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         self.syscall(p);
         let m = p.map_entry(map)?;
         m.fd_entry
             .fs
             .fsync(m.fd_entry.handle)
-            .map_err(Errno::from)
+            .map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, m.fd_entry.path.clone(), EventKind::Msync { map });
+        }
+        Ok(())
     }
 }
 
@@ -264,16 +376,27 @@ impl DefaultStdio {
         } else {
             WritePayload::Bytes(&st.wbuf)
         };
-        self.io.pwrite(p, st.fd, base, payload)?;
+        {
+            let _internal = StdioInternal::enter();
+            self.io.pwrite(p, st.fd, base, payload)?;
+        }
         st.wbuf_len = 0;
         st.wbuf.clear();
         st.wbuf_synthetic = false;
         Ok(())
     }
+
+    /// Path of the descriptor backing a stream (for probe events).
+    fn stream_path(&self, p: &Process, fd: Fd) -> Arc<str> {
+        p.fd_entry(fd)
+            .map(|e| e.path.clone())
+            .unwrap_or_else(|_| Arc::from(""))
+    }
 }
 
 impl LibcStdio for DefaultStdio {
     fn fopen(&self, p: &Process, path: &str, mode: &str) -> PosixResult<StreamId> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let (flags, smode) = match mode {
             "r" | "rb" => (OpenFlags::rdonly(), StreamMode::Read),
@@ -289,22 +412,42 @@ impl LibcStdio for DefaultStdio {
             ),
             _ => return Err(Errno::EINVAL),
         };
-        let fd = self.io.open(p, path, flags)?;
+        let (fd, append_pos) = {
+            let _internal = StdioInternal::enter();
+            let fd = self.io.open(p, path, flags)?;
+            let pos = if flags.append {
+                self.io.fstat(p, fd)?.size
+            } else {
+                0
+            };
+            (fd, pos)
+        };
         let mut stream = FileStream::new(fd, smode);
-        if flags.append {
-            stream.pos = self.io.fstat(p, fd)?.size;
+        stream.pos = append_pos;
+        let s = p.alloc_stream(stream);
+        if let Some(t0) = t0 {
+            p.probe_emit(t0, Arc::from(path), EventKind::StdioOpen { stream: s });
         }
-        Ok(p.alloc_stream(stream))
+        Ok(s)
     }
 
     fn fclose(&self, p: &Process, s: StreamId) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let stream = p.remove_stream(s)?;
         let mut st = stream.lock();
-        if st.mode == StreamMode::Write {
-            self.flush_locked(p, &mut st)?;
+        let path = t0.map(|_| self.stream_path(p, st.fd));
+        {
+            let _internal = StdioInternal::enter();
+            if st.mode == StreamMode::Write {
+                self.flush_locked(p, &mut st)?;
+            }
+            self.io.close(p, st.fd)?;
         }
-        self.io.close(p, st.fd)
+        if let (Some(t0), Some(path)) = (t0, path) {
+            p.probe_emit(t0, path, EventKind::StdioClose { stream: s });
+        }
+        Ok(())
     }
 
     fn fread(
@@ -314,12 +457,14 @@ impl LibcStdio for DefaultStdio {
         len: u64,
         mut buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let stream = p.stream(s)?;
         let mut st = stream.lock();
         if st.mode != StreamMode::Read {
             return Err(Errno::EACCES);
         }
+        let pos0 = st.pos;
         let mut served = 0u64;
         while served < len {
             let want = len - served;
@@ -347,7 +492,10 @@ impl LibcStdio for DefaultStdio {
                 let dst = buf
                     .as_deref_mut()
                     .map(|b| &mut b[served as usize..(served + want) as usize]);
-                let n = self.io.pread(p, st.fd, st.pos, want, dst)?;
+                let n = {
+                    let _internal = StdioInternal::enter();
+                    self.io.pread(p, st.fd, st.pos, want, dst)?
+                };
                 st.pos += n;
                 served += n;
                 if n < want {
@@ -355,7 +503,10 @@ impl LibcStdio for DefaultStdio {
                 }
             } else {
                 // Refill the read-ahead window.
-                let n = self.io.pread(p, st.fd, st.pos, BUFSIZ, None)?;
+                let n = {
+                    let _internal = StdioInternal::enter();
+                    self.io.pread(p, st.fd, st.pos, BUFSIZ, None)?
+                };
                 st.rbuf_off = st.pos;
                 st.rbuf_len = n;
                 if n == 0 {
@@ -363,57 +514,97 @@ impl LibcStdio for DefaultStdio {
                 }
             }
         }
+        if let Some(t0) = t0 {
+            let path = self.stream_path(p, st.fd);
+            p.probe_emit(
+                t0,
+                path,
+                EventKind::StdioRead {
+                    stream: s,
+                    pos: pos0,
+                    len: served,
+                },
+            );
+        }
         Ok(served)
     }
 
     fn fwrite(&self, p: &Process, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let stream = p.stream(s)?;
         let mut st = stream.lock();
         if st.mode != StreamMode::Write {
             return Err(Errno::EACCES);
         }
+        let pos0 = st.pos;
         let len = data.len();
-        if len >= BUFSIZ {
+        let n = if len >= BUFSIZ {
             // Large write: flush pending then write through.
             self.flush_locked(p, &mut st)?;
-            let n = self.io.pwrite(p, st.fd, st.pos, data)?;
+            let n = {
+                let _internal = StdioInternal::enter();
+                self.io.pwrite(p, st.fd, st.pos, data)?
+            };
             st.pos += n;
-            return Ok(n);
-        }
-        if st.wbuf_len + len > BUFSIZ {
-            self.flush_locked(p, &mut st)?;
-        }
-        match data {
-            WritePayload::Bytes(b) if !st.wbuf_synthetic => st.wbuf.extend_from_slice(b),
-            _ => {
-                st.wbuf_synthetic = true;
-                st.wbuf.clear();
+            n
+        } else {
+            if st.wbuf_len + len > BUFSIZ {
+                self.flush_locked(p, &mut st)?;
             }
+            match data {
+                WritePayload::Bytes(b) if !st.wbuf_synthetic => st.wbuf.extend_from_slice(b),
+                _ => {
+                    st.wbuf_synthetic = true;
+                    st.wbuf.clear();
+                }
+            }
+            st.wbuf_len += len;
+            st.pos += len;
+            len
+        };
+        if let Some(t0) = t0 {
+            let path = self.stream_path(p, st.fd);
+            p.probe_emit(
+                t0,
+                path,
+                EventKind::StdioWrite {
+                    stream: s,
+                    pos: pos0,
+                    len: n,
+                },
+            );
         }
-        st.wbuf_len += len;
-        st.pos += len;
-        Ok(len)
+        Ok(n)
     }
 
     fn fflush(&self, p: &Process, s: StreamId) -> PosixResult<()> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let stream = p.stream(s)?;
         let mut st = stream.lock();
         if st.mode == StreamMode::Write {
             self.flush_locked(p, &mut st)?;
+        }
+        if let Some(t0) = t0 {
+            let path = self.stream_path(p, st.fd);
+            p.probe_emit(t0, path, EventKind::StdioFlush { stream: s });
         }
         Ok(())
     }
 
     fn fseek(&self, p: &Process, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64> {
+        let t0 = p.probe_t0();
         sleep(self.call_overhead);
         let stream = p.stream(s)?;
         let mut st = stream.lock();
         if st.mode == StreamMode::Write {
             self.flush_locked(p, &mut st)?;
         }
-        let size = self.io.fstat(p, st.fd)?.size;
+        let size = {
+            let _internal = StdioInternal::enter();
+            self.io.fstat(p, st.fd)?.size
+        };
         let base = match whence {
             Whence::Set => 0i64,
             Whence::Cur => st.pos as i64,
@@ -425,6 +616,17 @@ impl LibcStdio for DefaultStdio {
         }
         st.pos = target as u64;
         st.rbuf_len = 0; // discard read-ahead
+        if let Some(t0) = t0 {
+            let path = self.stream_path(p, st.fd);
+            p.probe_emit(
+                t0,
+                path,
+                EventKind::StdioSeek {
+                    stream: s,
+                    to: st.pos,
+                },
+            );
+        }
         Ok(st.pos)
     }
 }

@@ -13,6 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use probe::{EventKind, IoEvent, ProbeBus};
+use simrt::SimTime;
 use storage_sim::{FileSystem, FsHandle, Metadata, OpenOptions, StorageStack, WritePayload};
 
 use crate::errno::{Errno, PosixResult};
@@ -101,8 +103,9 @@ impl OpenFlags {
 
 /// An entry in the fd table.
 pub struct FdEntry {
-    /// Path the descriptor was opened with.
-    pub path: String,
+    /// Path the descriptor was opened with (shared so probe events can
+    /// reference it without copying the string per operation).
+    pub path: Arc<str>,
     /// Filesystem serving it.
     pub fs: Arc<dyn FileSystem>,
     /// Filesystem handle.
@@ -124,6 +127,8 @@ pub struct Process {
     maps: Mutex<HashMap<MapId, Arc<MapEntry>>>,
     next_map: AtomicU64,
     libraries: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    /// The process's instrumentation backplane (event spine).
+    probe: ProbeBus,
     /// Kernel-entry overhead charged by the default libc per syscall.
     pub syscall_overhead: Duration,
 }
@@ -144,8 +149,45 @@ impl Process {
             maps: Mutex::new(HashMap::new()),
             next_map: AtomicU64::new(1),
             libraries: Mutex::new(HashMap::new()),
+            probe: ProbeBus::new(),
             syscall_overhead: Duration::from_nanos(300),
         })
+    }
+
+    /// The process's event spine. Instrumentation consumers register
+    /// [`probe::ProbeSink`]s here; the default libc emits one [`IoEvent`]
+    /// per completed operation when at least one sink is registered.
+    pub fn probe(&self) -> &ProbeBus {
+        &self.probe
+    }
+
+    /// Timestamp an instrumented operation's entry: `Some(now)` when the
+    /// spine has sinks and we are on a simulated thread, else `None` (and
+    /// the operation emits nothing).
+    #[inline]
+    pub(crate) fn probe_t0(&self) -> Option<SimTime> {
+        if self.probe.is_active() {
+            simrt::try_now()
+        } else {
+            None
+        }
+    }
+
+    /// Emit one event for an operation that started at `t0`. Must only be
+    /// called with a `t0` obtained from [`Process::probe_t0`].
+    pub(crate) fn probe_emit(&self, t0: SimTime, target: Arc<str>, kind: EventKind) {
+        let t1 = match simrt::try_now() {
+            Some(t) => t,
+            None => return,
+        };
+        self.probe.emit(IoEvent {
+            task: simrt::current_task(),
+            t0,
+            t1,
+            origin: crate::libc::current_origin(),
+            target,
+            kind,
+        });
     }
 
     /// The process's storage stack (mount table).
@@ -229,7 +271,11 @@ impl Process {
     /// to the library's API struct — the analogue of `dlsym`-ing its
     /// exported functions.
     pub fn dlopen(&self, name: &str) -> PosixResult<Arc<dyn Any + Send + Sync>> {
-        self.libraries.lock().get(name).cloned().ok_or(Errno::ENOENT)
+        self.libraries
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or(Errno::ENOENT)
     }
 
     // -- application-facing POSIX API (dispatches through the GOT) ---------
@@ -257,7 +303,9 @@ impl Process {
         len: u64,
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
-        self.got.posix_sym("pread").pread(self, fd, offset, len, buf)
+        self.got
+            .posix_sym("pread")
+            .pread(self, fd, offset, len, buf)
     }
 
     /// `write(2)` at the current file position.
@@ -325,6 +373,7 @@ impl Process {
     /// is blind to it (paper §VII, the Caffe/LMDB exception). Faults are
     /// page-granular; resident pages are memory-speed via the page cache.
     pub fn mem_read(&self, map: MapId, offset: u64, len: u64) -> PosixResult<u64> {
+        let t0 = self.probe_t0();
         let m = self.map_entry(map)?;
         if offset >= m.len {
             return Ok(0);
@@ -333,28 +382,54 @@ impl Process {
         let start = (m.offset + offset) / PAGE_SIZE * PAGE_SIZE;
         let end = (m.offset + offset + len).div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let e = &m.fd_entry;
-        e.fs
-            .read_at(e.handle, start, end - start, None)
+        e.fs.read_at(e.handle, start, end - start, None)
             .map_err(Errno::from)?;
+        // The spine still sees the fault (it is on the *memory* path, not
+        // the symbol table), so spine consumers can quantify the blind spot
+        // while Darshan-style symbol consumers remain blind to it.
+        if let Some(t0) = t0 {
+            self.probe_emit(
+                t0,
+                e.path.clone(),
+                EventKind::MmapFault {
+                    map,
+                    offset: start,
+                    len: end - start,
+                    write: false,
+                },
+            );
+        }
         Ok(len)
     }
 
     /// Write mapped memory: dirties pages in the cache (flushed by
     /// `msync`/`munmap`), again invisible to the GOT.
     pub fn mem_write(&self, map: MapId, offset: u64, len: u64) -> PosixResult<u64> {
+        let t0 = self.probe_t0();
         let m = self.map_entry(map)?;
         if offset >= m.len {
             return Err(Errno::EINVAL);
         }
         let len = len.min(m.len - offset);
         let e = &m.fd_entry;
-        e.fs
-            .write_at(
-                e.handle,
-                m.offset + offset,
-                storage_sim::WritePayload::Synthetic(len),
-            )
-            .map_err(Errno::from)?;
+        e.fs.write_at(
+            e.handle,
+            m.offset + offset,
+            storage_sim::WritePayload::Synthetic(len),
+        )
+        .map_err(Errno::from)?;
+        if let Some(t0) = t0 {
+            self.probe_emit(
+                t0,
+                e.path.clone(),
+                EventKind::MmapFault {
+                    map,
+                    offset: m.offset + offset,
+                    len,
+                    write: true,
+                },
+            );
+        }
         Ok(len)
     }
 

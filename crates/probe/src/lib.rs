@@ -1,0 +1,540 @@
+//! Instrumentation backplane: a single event spine between the simulated
+//! syscall layer and every instrumentation consumer.
+//!
+//! The terminal libc/stdio bindings in `posix-sim` emit exactly one
+//! [`IoEvent`] per completed operation into a **per-sim-thread append-only
+//! buffer** — a plain `Vec` push, no lock shared with any consumer. Buffers
+//! are drained at deterministic points only:
+//!
+//! * whenever the simulated thread actually context-switches (simrt's
+//!   switch hook — fast-path virtual-time advances do *not* flush),
+//! * when a carrier task finishes,
+//! * explicitly via [`flush_current_thread`] at extraction points
+//!   (Darshan snapshot/totals, profiler start/stop, detach).
+//!
+//! Because simrt runs exactly one simulated thread at any moment and every
+//! descheduling point flushes, events are delivered to sinks in op-completion
+//! order — the same order the old inline per-consumer bookkeeping observed —
+//! and all *parked* threads always have empty buffers.
+//!
+//! # Sink rules
+//!
+//! [`ProbeSink::on_events`] runs inside the scheduler's switch path. It must
+//! not call [`simrt::sleep`], [`simrt::block`] or [`simrt::yield_now`]
+//! (a wake delivered to a Running task is lost, so sleeping here can deadlock
+//! a primitive that registered a waiter before blocking). Charge simulated
+//! overhead at the emission site instead.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use simrt::{SimTime, TaskId};
+
+/// Who performed the underlying POSIX operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// The application called the (possibly interposed) symbol itself.
+    App,
+    /// The simulated stdio layer issued this descriptor operation internally
+    /// (buffer refills, spills, stream open/close). POSIX-level consumers
+    /// that model `LD_PRELOAD` interposition must ignore these: a real
+    /// wrapped `read` never sees libc-internal `fread` traffic.
+    StdioInternal,
+}
+
+/// What happened. Descriptor, stream and map handles are raw integers so the
+/// spine does not depend on `posix-sim` (which depends on this crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// `open()` succeeded, returning `fd`.
+    Open {
+        /// Descriptor returned by the open.
+        fd: i32,
+    },
+    /// `close(fd)` succeeded.
+    Close {
+        /// Descriptor closed.
+        fd: i32,
+    },
+    /// `read()`/`pread()` returned `len` bytes from `offset`.
+    Read {
+        /// Descriptor read from.
+        fd: i32,
+        /// File offset the transfer started at.
+        offset: u64,
+        /// Bytes actually transferred (may be short at EOF, may be 0).
+        len: u64,
+    },
+    /// `write()`/`pwrite()` wrote `len` bytes at `offset`.
+    Write {
+        /// Descriptor written to.
+        fd: i32,
+        /// File offset the transfer started at.
+        offset: u64,
+        /// Bytes actually transferred.
+        len: u64,
+    },
+    /// `lseek()` repositioned `fd` to absolute offset `to`.
+    Seek {
+        /// Descriptor repositioned.
+        fd: i32,
+        /// Resulting absolute file position.
+        to: u64,
+    },
+    /// `stat()` on the event's `target` path (no descriptor involved).
+    Stat,
+    /// `fstat(fd)`.
+    Fstat {
+        /// Descriptor queried.
+        fd: i32,
+    },
+    /// `fsync(fd)`.
+    Fsync {
+        /// Descriptor synced.
+        fd: i32,
+    },
+    /// `mmap()` established mapping `map` over `fd`.
+    Mmap {
+        /// Opaque mapping handle.
+        map: u64,
+        /// Descriptor backing the mapping.
+        fd: i32,
+        /// File offset of the mapping.
+        offset: u64,
+        /// Length of the mapping.
+        len: u64,
+    },
+    /// `msync()` on mapping `map`.
+    Msync {
+        /// Mapping handle.
+        map: u64,
+    },
+    /// `munmap()` tore down mapping `map`.
+    Munmap {
+        /// Mapping handle.
+        map: u64,
+    },
+    /// A page fault serviced through a memory mapping — I/O that is
+    /// invisible to syscall interposition (the Caffe/LMDB blind spot).
+    MmapFault {
+        /// Mapping handle.
+        map: u64,
+        /// File offset of the faulting page run.
+        offset: u64,
+        /// Bytes paged in/out.
+        len: u64,
+        /// True for a dirty-page write-back path, false for a read fault.
+        write: bool,
+    },
+    /// `fopen()` succeeded, returning `stream`.
+    StdioOpen {
+        /// Opaque stream handle.
+        stream: u64,
+    },
+    /// `fclose(stream)`.
+    StdioClose {
+        /// Stream handle closed.
+        stream: u64,
+    },
+    /// `fread()` returned `len` bytes at stream position `pos`.
+    StdioRead {
+        /// Stream handle.
+        stream: u64,
+        /// Stream position before the call.
+        pos: u64,
+        /// Bytes actually transferred.
+        len: u64,
+    },
+    /// `fwrite()` accepted `len` bytes at stream position `pos`.
+    StdioWrite {
+        /// Stream handle.
+        stream: u64,
+        /// Stream position before the call.
+        pos: u64,
+        /// Bytes actually transferred.
+        len: u64,
+    },
+    /// `fseek()` repositioned the stream to absolute offset `to`.
+    StdioSeek {
+        /// Stream handle.
+        stream: u64,
+        /// Resulting absolute stream position.
+        to: u64,
+    },
+    /// `fflush(stream)`.
+    StdioFlush {
+        /// Stream handle.
+        stream: u64,
+    },
+    /// A host-side profiler annotation span (TraceMe). `target` carries the
+    /// span name; `label` the "thread (tid)" line it belongs to.
+    TraceSpan {
+        /// Timeline line label, `"{task_name} ({task_id})"`.
+        label: Arc<str>,
+        /// Extra key/value annotations attached to the span.
+        stats: Vec<(String, String)>,
+    },
+}
+
+/// One completed instrumented operation: who, when, on what, and what kind.
+#[derive(Clone, Debug)]
+pub struct IoEvent {
+    /// Simulated thread that performed the operation.
+    pub task: TaskId,
+    /// Virtual time at operation entry (includes modeled syscall overhead).
+    pub t0: SimTime,
+    /// Virtual time at operation completion.
+    pub t1: SimTime,
+    /// Application-issued or stdio-internal.
+    pub origin: Origin,
+    /// Path the operation targets (span name for [`EventKind::TraceSpan`]).
+    pub target: Arc<str>,
+    /// Operation payload.
+    pub kind: EventKind,
+}
+
+/// A consumer of the event spine.
+pub trait ProbeSink: Send + Sync {
+    /// Fold a batch of events into this consumer's state.
+    ///
+    /// Called on the sim thread that *emitted* the batch, at one of the
+    /// deterministic flush points. Must not sleep, block or yield (see
+    /// crate docs); take only the sink's own locks.
+    fn on_events(&self, events: &[IoEvent]);
+}
+
+/// Handle returned by [`ProbeBus::register`]; pass to [`ProbeBus::unregister`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+struct BusInner {
+    sinks: RwLock<Vec<(SinkId, Arc<dyn ProbeSink>)>>,
+    /// Cached `sinks.len()`, so the emission fast path is one relaxed load.
+    active: AtomicUsize,
+    next_id: Mutex<u64>,
+}
+
+/// The per-process event spine. Emission appends to a thread-local buffer
+/// tagged with this bus; no consumer lock is touched until a flush point.
+///
+/// Each simulated [`Process`](../posix_sim/struct.Process.html) owns its own
+/// bus, so concurrently running simulations (e.g. parallel tests) never see
+/// each other's events.
+pub struct ProbeBus {
+    inner: Arc<BusInner>,
+}
+
+impl Clone for ProbeBus {
+    /// Cloning is cheap and shares the underlying spine: clones see the
+    /// same sinks and feed the same buffers.
+    fn clone(&self) -> Self {
+        ProbeBus {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for ProbeBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbeBus {
+    /// Create an empty bus and make sure the scheduler flush hook is in
+    /// place so buffered events drain at every real context switch.
+    pub fn new() -> Self {
+        simrt::set_context_switch_hook(flush_current_thread);
+        ProbeBus {
+            inner: Arc::new(BusInner {
+                sinks: RwLock::new(Vec::new()),
+                active: AtomicUsize::new(0),
+                next_id: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// True when at least one sink is registered. The emission layer checks
+    /// this before capturing timestamps or building an event, so an
+    /// uninstrumented run pays only this atomic load per operation.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.active.load(Ordering::Relaxed) != 0
+    }
+
+    /// Number of registered sinks.
+    pub fn sink_count(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Register a sink. Events already buffered on the current thread are
+    /// flushed first so the new sink only sees operations that complete
+    /// after registration.
+    pub fn register(&self, sink: Arc<dyn ProbeSink>) -> SinkId {
+        flush_current_thread();
+        let id = {
+            let mut n = self.inner.next_id.lock();
+            *n += 1;
+            SinkId(*n)
+        };
+        let mut sinks = self.inner.sinks.write();
+        sinks.push((id, sink));
+        self.inner.active.store(sinks.len(), Ordering::Relaxed);
+        id
+    }
+
+    /// Unregister a sink, first flushing the current thread's buffer so the
+    /// departing sink receives every event emitted before this call. (All
+    /// parked threads flushed when they descheduled, so nothing else is
+    /// pending.)
+    pub fn unregister(&self, id: SinkId) {
+        flush_current_thread();
+        let mut sinks = self.inner.sinks.write();
+        sinks.retain(|(sid, _)| *sid != id);
+        self.inner.active.store(sinks.len(), Ordering::Relaxed);
+    }
+
+    /// Append one event to the current thread's buffer for this bus.
+    /// No-op when no sink is registered.
+    #[inline]
+    pub fn emit(&self, event: IoEvent) {
+        if !self.is_active() {
+            return;
+        }
+        BUFFERS.with(|b| {
+            let mut bufs = b.borrow_mut();
+            for (bus, buf) in bufs.iter_mut() {
+                if Arc::ptr_eq(bus, &self.inner) {
+                    buf.push(event);
+                    return;
+                }
+            }
+            bufs.push((Arc::clone(&self.inner), vec![event]));
+        });
+    }
+}
+
+thread_local! {
+    /// (bus, pending events) pairs for this OS thread. Usually one entry.
+    static BUFFERS: RefCell<Vec<(Arc<BusInner>, Vec<IoEvent>)>> = const { RefCell::new(Vec::new()) };
+    /// Re-entrancy guard: a sink fold must not trigger a nested flush.
+    static FLUSHING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Drain every pending buffer on the calling OS thread into the sinks of its
+/// bus. Installed as simrt's context-switch hook; also called explicitly at
+/// extraction points (snapshot, totals, detach, profiler start/stop) so the
+/// stream is complete there even without an intervening switch.
+pub fn flush_current_thread() {
+    if FLUSHING.with(|f| f.get()) {
+        return;
+    }
+    // Move the pending batches out first so a sink that emits (discouraged
+    // but harmless) cannot observe a borrowed RefCell.
+    let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = BUFFERS.with(|b| {
+        let mut bufs = b.borrow_mut();
+        if bufs.iter().all(|(_, buf)| buf.is_empty()) {
+            return Vec::new();
+        }
+        bufs.iter_mut()
+            .filter(|(_, buf)| !buf.is_empty())
+            .map(|(bus, buf)| (Arc::clone(bus), std::mem::take(buf)))
+            .collect()
+    });
+    if pending.is_empty() {
+        return;
+    }
+    FLUSHING.with(|f| f.set(true));
+    for (bus, events) in pending {
+        let sinks: Vec<Arc<dyn ProbeSink>> = bus
+            .sinks
+            .read()
+            .iter()
+            .map(|(_, s)| Arc::clone(s))
+            .collect();
+        for sink in sinks {
+            sink.on_events(&events);
+        }
+    }
+    FLUSHING.with(|f| f.set(false));
+}
+
+/// A sink that records every event it sees; used by replay/property tests
+/// to recompute instrumentation state from the raw stream.
+#[derive(Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<IoEvent>>,
+}
+
+impl CollectingSink {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the collected events, leaving the collector empty.
+    pub fn take(&self) -> Vec<IoEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Copy of the collected events.
+    pub fn snapshot(&self) -> Vec<IoEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl ProbeSink for CollectingSink {
+    fn on_events(&self, events: &[IoEvent]) {
+        self.events.lock().extend_from_slice(events);
+    }
+}
+
+/// A sink that only counts events and bytes — cheap enough for hot-path
+/// overhead benchmarks.
+#[derive(Default)]
+pub struct CountingSink {
+    /// Total events observed.
+    pub events: AtomicUsize,
+    /// Total bytes across read/write-like events.
+    pub bytes: AtomicUsize,
+}
+
+impl CountingSink {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ProbeSink for CountingSink {
+    fn on_events(&self, events: &[IoEvent]) {
+        self.events.fetch_add(events.len(), Ordering::Relaxed);
+        let bytes: u64 = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Read { len, .. }
+                | EventKind::Write { len, .. }
+                | EventKind::StdioRead { len, .. }
+                | EventKind::StdioWrite { len, .. }
+                | EventKind::MmapFault { len, .. } => len,
+                _ => 0,
+            })
+            .sum();
+        self.bytes.fetch_add(bytes as usize, Ordering::Relaxed);
+    }
+}
+
+/// Keep a module-level handle so `ProbeBus::new` can install the hook once.
+#[allow(dead_code)]
+static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ev(kind: EventKind) -> IoEvent {
+        IoEvent {
+            task: TaskId(1),
+            t0: SimTime::ZERO,
+            t1: SimTime::ZERO + Duration::from_nanos(10),
+            origin: Origin::App,
+            target: Arc::from("/f"),
+            kind,
+        }
+    }
+
+    #[test]
+    fn emit_without_sinks_is_dropped() {
+        let bus = ProbeBus::new();
+        bus.emit(ev(EventKind::Stat));
+        let sink = Arc::new(CollectingSink::new());
+        bus.register(sink.clone());
+        flush_current_thread();
+        assert!(sink.is_empty(), "pre-registration events must not arrive");
+    }
+
+    #[test]
+    fn events_buffer_until_flush() {
+        let bus = ProbeBus::new();
+        let sink = Arc::new(CollectingSink::new());
+        bus.register(sink.clone());
+        bus.emit(ev(EventKind::Read {
+            fd: 3,
+            offset: 0,
+            len: 8,
+        }));
+        bus.emit(ev(EventKind::Write {
+            fd: 3,
+            offset: 8,
+            len: 8,
+        }));
+        assert!(sink.is_empty(), "no delivery before a flush point");
+        flush_current_thread();
+        assert_eq!(sink.len(), 2);
+        flush_current_thread();
+        assert_eq!(sink.len(), 2, "flush is idempotent on an empty buffer");
+    }
+
+    #[test]
+    fn unregister_flushes_pending_events_first() {
+        let bus = ProbeBus::new();
+        let sink = Arc::new(CollectingSink::new());
+        let id = bus.register(sink.clone());
+        bus.emit(ev(EventKind::Fsync { fd: 4 }));
+        bus.unregister(id);
+        assert_eq!(sink.len(), 1, "departing sink receives buffered events");
+        assert!(!bus.is_active());
+        bus.emit(ev(EventKind::Fsync { fd: 4 }));
+        flush_current_thread();
+        assert_eq!(sink.len(), 1, "no delivery after unregister");
+    }
+
+    #[test]
+    fn buses_are_isolated() {
+        let a = ProbeBus::new();
+        let b = ProbeBus::new();
+        let sa = Arc::new(CollectingSink::new());
+        let sb = Arc::new(CollectingSink::new());
+        a.register(sa.clone());
+        b.register(sb.clone());
+        a.emit(ev(EventKind::Stat));
+        flush_current_thread();
+        assert_eq!(sa.len(), 1);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_totals_bytes() {
+        let bus = ProbeBus::new();
+        let sink = Arc::new(CountingSink::new());
+        bus.register(sink.clone());
+        bus.emit(ev(EventKind::Read {
+            fd: 3,
+            offset: 0,
+            len: 100,
+        }));
+        bus.emit(ev(EventKind::StdioWrite {
+            stream: 1,
+            pos: 0,
+            len: 50,
+        }));
+        flush_current_thread();
+        assert_eq!(sink.events.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.bytes.load(Ordering::Relaxed), 150);
+    }
+}

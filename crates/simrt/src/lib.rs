@@ -48,7 +48,7 @@ pub mod sync;
 mod time;
 
 pub use sched::{
-    block, current_task, current_task_name, now, on_sim_thread, sleep, sleep_until, try_now,
-    wake, yield_now, JoinHandle, Sim, TaskId, WakeReason,
+    block, current_task, current_task_name, now, on_sim_thread, set_context_switch_hook, sleep,
+    sleep_until, try_now, wake, yield_now, JoinHandle, Sim, TaskId, WakeReason,
 };
 pub use time::{dur, SimTime};

@@ -36,6 +36,31 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::time::SimTime;
 
+/// Process-wide hook fired just before a carrier thread *genuinely* hands
+/// over (slow-path sleep, yield, block, task finish). Fast-path virtual-time
+/// advances — where the sleeper keeps the carrier — do not fire it, so a
+/// hook installed here runs only at real context switches.
+///
+/// Instrumentation layers use this to drain per-thread event buffers at
+/// deterministic points. The hook runs while the calling thread is still
+/// the sole running simulated thread and **no scheduler lock is held**; it
+/// may inspect virtual time but must not sleep, block, or yield.
+static SWITCH_HOOK: std::sync::OnceLock<fn()> = std::sync::OnceLock::new();
+
+/// Install the context-switch hook. First caller wins; later installs of
+/// the same function pointer are no-ops, which makes installation idempotent
+/// for a single instrumentation backplane.
+pub fn set_context_switch_hook(hook: fn()) {
+    let _ = SWITCH_HOOK.set(hook);
+}
+
+#[inline]
+fn run_switch_hook() {
+    if let Some(h) = SWITCH_HOOK.get() {
+        h();
+    }
+}
+
 /// Identifier of a simulated thread. Allocation order is deterministic.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub u64);
@@ -137,7 +162,12 @@ impl SimInner {
         let gen = info.gen;
         st.seq += 1;
         let seq = st.seq;
-        st.heap.push(Entry { wake, seq, tid, gen });
+        st.heap.push(Entry {
+            wake,
+            seq,
+            tid,
+            gen,
+        });
     }
 
     /// Pop the next valid entry and make it Running. Returns false when no
@@ -308,6 +338,10 @@ impl Sim {
                     }
                 }
                 let r = catch_unwind(AssertUnwindSafe(f));
+                // Final deterministic flush point for this task's
+                // instrumentation buffers (also after a panic, so events
+                // emitted before the unwind are not lost).
+                run_switch_hook();
                 let panic_msg = r.as_ref().err().map(panic_message);
                 *slot.lock() = Some(r);
                 finish_task(&carrier_inner, tid, panic_msg);
@@ -482,11 +516,7 @@ pub fn now() -> SimTime {
 /// Current virtual time, or `None` when called off a simulated thread
 /// (e.g. during host-side construction before the simulation starts).
 pub fn try_now() -> Option<SimTime> {
-    CURRENT.with(|c| {
-        c.borrow()
-            .as_ref()
-            .map(|(inner, _)| inner.state.lock().now)
-    })
+    CURRENT.with(|c| c.borrow().as_ref().map(|(inner, _)| inner.state.lock().now))
 }
 
 /// The calling simulated thread's id.
@@ -513,23 +543,33 @@ pub fn current_task_name() -> String {
 /// its wake time, the clock simply jumps forward without a carrier switch.
 pub fn sleep(d: Duration) {
     with_current(|inner, tid| {
+        let wake = {
+            let mut st = inner.state.lock();
+            SimInner::poison_check(&st);
+            debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
+            let wake = st.now + d;
+            // Fast path: nothing else can legally run before `wake`. A peeked
+            // entry with wake time strictly earlier must run first; an equal
+            // wake time also runs first because its sequence number is older.
+            let must_switch = match st.heap.peek() {
+                Some(top) => top.wake <= wake,
+                None => false,
+            };
+            if !must_switch {
+                st.now = wake;
+                st.fast_advances += 1;
+                return;
+            }
+            wake
+        };
+        // A genuine handover: let instrumentation drain its buffers while we
+        // are still the sole running thread and no scheduler lock is held.
+        run_switch_hook();
         let mut st = inner.state.lock();
         SimInner::poison_check(&st);
-        debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
-        let wake = st.now + d;
-        // Fast path: nothing else can legally run before `wake`. A peeked
-        // entry with wake time strictly earlier must run first; an equal
-        // wake time also runs first because its sequence number is older.
-        let must_switch = match st.heap.peek() {
-            Some(top) => top.wake <= wake,
-            None => false,
-        };
-        if !must_switch {
-            st.now = wake;
-            st.fast_advances += 1;
-            return;
-        }
-        // Slow path: hand over and wait for our turn.
+        // Slow path: hand over and wait for our turn. Unconditionally valid
+        // even though the lock was dropped — no other simulated thread can
+        // have run meanwhile, and dispatch_next may simply pick us again.
         let info = st.tasks.get_mut(&tid).expect("unknown task");
         info.state = TaskState::Ready;
         SimInner::push_ready(&mut st, tid, wake);
@@ -555,11 +595,16 @@ pub fn sleep_until(t: SimTime) {
 /// Let equal-time peers run before continuing.
 pub fn yield_now() {
     with_current(|inner, tid| {
+        {
+            let st = inner.state.lock();
+            SimInner::poison_check(&st);
+            if st.heap.peek().is_none() {
+                return; // nobody to yield to
+            }
+        }
+        run_switch_hook();
         let mut st = inner.state.lock();
         SimInner::poison_check(&st);
-        if st.heap.peek().is_none() {
-            return; // nobody to yield to
-        }
         let info = st.tasks.get_mut(&tid).expect("unknown task");
         info.state = TaskState::Ready;
         let now = st.now;
@@ -583,6 +628,11 @@ pub fn yield_now() {
 /// a wait list and this call descheduling it.
 pub fn block(deadline: Option<SimTime>) -> WakeReason {
     with_current(|inner, tid| {
+        // Blocking always deschedules: fire the switch hook up front, before
+        // any scheduler state changes. The single-running-thread invariant
+        // keeps the pattern safe — a non-sleeping hook cannot let another
+        // thread run between a wait-list registration and this block.
+        run_switch_hook();
         let mut st = inner.state.lock();
         SimInner::poison_check(&st);
         debug_assert_eq!(st.running, Some(tid));
@@ -599,7 +649,12 @@ pub fn block(deadline: Option<SimTime>) -> WakeReason {
             st.seq += 1;
             let seq = st.seq;
             let wake = dl.max(st.now);
-            st.heap.push(Entry { wake, seq, tid, gen });
+            st.heap.push(Entry {
+                wake,
+                seq,
+                tid,
+                gen,
+            });
         }
         st.running = None;
         SimInner::dispatch_next(&mut st);

@@ -285,7 +285,9 @@ impl Device {
                 self.counters.reads.fetch_add(1, Ordering::Relaxed);
             }
             Dir::Write => {
-                self.counters.bytes_written.fetch_add(len, Ordering::Relaxed);
+                self.counters
+                    .bytes_written
+                    .fetch_add(len, Ordering::Relaxed);
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
             }
         }

@@ -156,7 +156,11 @@ impl FileSystem for LocalFs {
                     for run in self.cache.plan_read(ikey, 0, INODE_BYTES) {
                         if !run.hit {
                             self.device
-                                .transfer(Dir::Read, INODE_TABLE_BASE + id * INODE_BYTES, INODE_BYTES)
+                                .transfer(
+                                    Dir::Read,
+                                    INODE_TABLE_BASE + id * INODE_BYTES,
+                                    INODE_BYTES,
+                                )
                                 .map_err(|_| FsError::Io)?;
                             self.cache.insert(ikey, 0, INODE_BYTES, false);
                         }
@@ -406,10 +410,7 @@ mod tests {
             let t1 = simrt::now();
             fs2.read_at(h, 0, 4 << 20, None).unwrap();
             let t_end = simrt::now();
-            *t2.lock() = (
-                (t1 - t0).as_nanos() as u64,
-                (t_end - t1).as_nanos() as u64,
-            );
+            *t2.lock() = ((t1 - t0).as_nanos() as u64, (t_end - t1).as_nanos() as u64);
             fs2.close(h).unwrap();
         });
         sim.run();
@@ -453,7 +454,10 @@ mod tests {
             assert_eq!(r, Err(FsError::NoSpace));
         });
         sim.run();
-        assert_eq!(fs.create_synthetic("/big2", 4 << 20, 0), Err(FsError::NoSpace));
+        assert_eq!(
+            fs.create_synthetic("/big2", 4 << 20, 0),
+            Err(FsError::NoSpace)
+        );
     }
 
     #[test]

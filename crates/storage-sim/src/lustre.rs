@@ -377,7 +377,9 @@ mod tests {
                 if i >= files {
                     break;
                 }
-                let h = fs.open(&format!("/d/{i}"), &OpenOptions::reading()).unwrap();
+                let h = fs
+                    .open(&format!("/d/{i}"), &OpenOptions::reading())
+                    .unwrap();
                 let mut off = 0;
                 loop {
                     let n = fs.read_at(h, off, 1 << 20, None).unwrap();
@@ -459,7 +461,9 @@ mod tests {
         let fs2 = fs.clone();
         sim.spawn("t", move || {
             for i in 0..16 {
-                let h = fs2.open(&format!("/f{i}"), &OpenOptions::reading()).unwrap();
+                let h = fs2
+                    .open(&format!("/f{i}"), &OpenOptions::reading())
+                    .unwrap();
                 fs2.read_at(h, 0, 1 << 20, None).unwrap();
                 fs2.close(h).unwrap();
             }
@@ -489,7 +493,11 @@ mod tests {
             fs2.close(h).unwrap();
         });
         sim.run();
-        let writes: u64 = fs.devices().iter().map(|d| d.snapshot().bytes_written).sum();
+        let writes: u64 = fs
+            .devices()
+            .iter()
+            .map(|d| d.snapshot().bytes_written)
+            .sum();
         assert_eq!(writes, 7);
     }
 }

@@ -85,7 +85,11 @@ impl StorageStack {
 
     /// Open via mount resolution; returns the filesystem too so the caller
     /// can hold it for handle-based calls.
-    pub fn open(&self, path: &str, opts: &OpenOptions) -> FsResult<(Arc<dyn FileSystem>, FsHandle)> {
+    pub fn open(
+        &self,
+        path: &str,
+        opts: &OpenOptions,
+    ) -> FsResult<(Arc<dyn FileSystem>, FsHandle)> {
         let fs = self.resolve(path)?;
         let h = fs.open(path, opts)?;
         Ok((fs, h))
@@ -201,9 +205,7 @@ mod tests {
     #[test]
     fn untimed_migrate_moves_instantly_and_preserves_content() {
         let (stack, hdd, optane) = two_tier();
-        stack
-            .create_synthetic("/data/hdd/f1", 2 << 20, 42)
-            .unwrap();
+        stack.create_synthetic("/data/hdd/f1", 2 << 20, 42).unwrap();
         let sim = Sim::new();
         let stack2 = stack.clone();
         sim.spawn("t", move || {
@@ -224,9 +226,7 @@ mod tests {
     #[test]
     fn timed_migrate_charges_both_devices() {
         let (stack, hdd, optane) = two_tier();
-        stack
-            .create_synthetic("/data/hdd/f1", 4 << 20, 7)
-            .unwrap();
+        stack.create_synthetic("/data/hdd/f1", 4 << 20, 7).unwrap();
         let sim = Sim::new();
         let stack2 = stack.clone();
         sim.spawn("t", move || {
@@ -235,7 +235,10 @@ mod tests {
                 .unwrap();
         });
         sim.run();
-        assert!(sim.now().as_secs_f64() > 0.01, "copy takes real virtual time");
+        assert!(
+            sim.now().as_secs_f64() > 0.01,
+            "copy takes real virtual time"
+        );
         // 4 MiB of data + one cold inode block on the source open.
         assert_eq!(hdd.device().snapshot().bytes_read, (4 << 20) + 512);
         assert_eq!(optane.device().snapshot().bytes_written, 4 << 20);

@@ -157,7 +157,14 @@ mod tests {
         let space = space_with_steps(&[(0, 90, 10), (1, 80, 20), (2, 70, 30)]);
         let a = InputPipelineAnalysis::from_space(&space);
         assert_eq!(a.sampled_steps(), 3);
-        assert_eq!(a.steps[1], StepBreakdown { step: 1, wait_ns: 80, compute_ns: 20 });
+        assert_eq!(
+            a.steps[1],
+            StepBreakdown {
+                step: 1,
+                wait_ns: 80,
+                compute_ns: 20
+            }
+        );
         assert!((a.input_bound_fraction() - 0.8).abs() < 1e-9);
         assert_eq!(a.mean_step_time(), Duration::from_nanos(100));
         assert!(a.verdict().contains("HIGHLY"));

@@ -111,12 +111,7 @@ impl DynamicParallelism {
 
     /// Park worker `i` until it is within the target (returns true), or
     /// until the pipeline is cancelled / the source exhausted (false).
-    fn wait_active(
-        &self,
-        i: usize,
-        cancelled: &AtomicBool,
-        exhausted: impl Fn() -> bool,
-    ) -> bool {
+    fn wait_active(&self, i: usize, cancelled: &AtomicBool, exhausted: impl Fn() -> bool) -> bool {
         loop {
             if cancelled.load(Ordering::SeqCst) || exhausted() {
                 return false;
@@ -203,13 +198,9 @@ impl Dataset {
     pub fn iterate(&self, rt: &Arc<TfRuntime>) -> BatchIterator {
         let workers = self.parallelism.resolve(rt);
         let dyn_ctl = self.parallelism.dynamic_ctl();
-        let map_fn = self
-            .map_fn
-            .clone()
-            .unwrap_or_else(|| Arc::new(|_ctx: &PipelineCtx, index, _path: &str| Element {
-                index,
-                bytes: 0,
-            }));
+        let map_fn = self.map_fn.clone().unwrap_or_else(|| {
+            Arc::new(|_ctx: &PipelineCtx, index, _path: &str| Element { index, bytes: 0 })
+        });
 
         // Ordered parallel map: in-flight tickets bound concurrency; the
         // reorder stage emits in index order and returns tickets.
@@ -229,8 +220,7 @@ impl Dataset {
             rt.sim().spawn(format!("tf.data.map[{w}]"), move || {
                 loop {
                     if let Some(ctl) = &dyn_ctl {
-                        let done =
-                            || next.load(Ordering::SeqCst) >= files.len();
+                        let done = || next.load(Ordering::SeqCst) >= files.len();
                         if !ctl.wait_active(w, &cancelled, done) {
                             break;
                         }
@@ -380,10 +370,7 @@ mod tests {
     fn sleepy_map(cost_us: u64) -> MapFn {
         Arc::new(move |_ctx, index, _path| {
             simrt::sleep(Duration::from_micros(cost_us));
-            Element {
-                index,
-                bytes: 100,
-            }
+            Element { index, bytes: 100 }
         })
     }
 
@@ -496,13 +483,18 @@ mod tests {
             Element { index, bytes: 0 }
         });
         sim.spawn("consumer", move || {
-            let ds = Dataset::from_files(names(40)).map(map, Parallelism::Fixed(3)).batch(4);
+            let ds = Dataset::from_files(names(40))
+                .map(map, Parallelism::Fixed(3))
+                .batch(4);
             let mut it = ds.iterate(&rt);
             while it.next().is_some() {}
         });
         sim.run();
         assert!(peak.load(Ordering::SeqCst) <= 3);
-        assert!(peak.load(Ordering::SeqCst) >= 2, "parallelism actually used");
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "parallelism actually used"
+        );
     }
 
     #[test]
@@ -531,7 +523,9 @@ mod tests {
         let sim = Sim::new();
         let rt = runtime(&sim, 2);
         sim.spawn("consumer", move || {
-            let ds = Dataset::from_files(vec![]).map(sleepy_map(1), Parallelism::Fixed(2)).batch(4);
+            let ds = Dataset::from_files(vec![])
+                .map(sleepy_map(1), Parallelism::Fixed(2))
+                .batch(4);
             let mut it = ds.iterate(&rt);
             assert!(it.next().is_none());
         });
@@ -548,7 +542,9 @@ mod tests {
             Element { index, bytes: 1 }
         });
         sim.spawn("consumer", move || {
-            let ds = Dataset::from_files(names(10)).map(map, Parallelism::Fixed(10)).batch(1);
+            let ds = Dataset::from_files(names(10))
+                .map(map, Parallelism::Fixed(10))
+                .batch(1);
             let mut it = ds.iterate(&rt);
             let mut seen = Vec::new();
             while let Some(b) = it.next() {

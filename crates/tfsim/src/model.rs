@@ -299,10 +299,7 @@ mod tests {
     fn slow_input(cost_ms: u64) -> MapFn {
         Arc::new(move |_ctx, index, _path| {
             simrt::sleep(Duration::from_millis(cost_ms));
-            Element {
-                index,
-                bytes: 1000,
-            }
+            Element { index, bytes: 1000 }
         })
     }
 
@@ -324,7 +321,11 @@ mod tests {
             assert_eq!(r.bytes_read, 32_000);
             // Input: 40 ms per batch on one worker; compute 2 ms → heavily
             // input bound.
-            assert!(r.input_bound_fraction() > 0.9, "{}", r.input_bound_fraction());
+            assert!(
+                r.input_bound_fraction() > 0.9,
+                "{}",
+                r.input_bound_fraction()
+            );
         });
         sim.run();
     }
@@ -339,7 +340,11 @@ mod tests {
                 .batch(8)
                 .prefetch(4);
             let r = fit(&rt, &tiny_model(), &ds, 8, &mut []);
-            assert!(r.input_bound_fraction() < 0.2, "{}", r.input_bound_fraction());
+            assert!(
+                r.input_bound_fraction() < 0.2,
+                "{}",
+                r.input_bound_fraction()
+            );
         });
         sim.run();
     }

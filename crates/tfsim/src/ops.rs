@@ -114,10 +114,7 @@ mod tests {
         );
         let stack = StorageStack::new();
         stack.mount("/data", fs.clone() as Arc<dyn FileSystem>);
-        (
-            TfRuntime::new(Process::new(stack), sim.clone(), 8),
-            fs,
-        )
+        (TfRuntime::new(Process::new(stack), sim.clone(), 8), fs)
     }
 
     #[test]

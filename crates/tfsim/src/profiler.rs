@@ -170,7 +170,10 @@ mod tests {
             rt.profiler_start(ProfilerOptions::default()).unwrap();
             let space2 = rt.profiler_stop().unwrap();
             assert_eq!(
-                space2.plane("/host:CPU").map(|p| p.lines.len()).unwrap_or(0),
+                space2
+                    .plane("/host:CPU")
+                    .map(|p| p.lines.len())
+                    .unwrap_or(0),
                 0,
                 "second session starts clean"
             );

@@ -34,11 +34,16 @@ impl TfRuntime {
     /// `sim`, with `cores` logical CPUs.
     pub fn new(process: Arc<Process>, sim: Sim, cores: usize) -> Arc<Self> {
         assert!(cores > 0);
+        let recorder = Arc::new(TraceMeRecorder::new());
+        // Route TraceMe spans through the process's event spine: while a
+        // profiling session is active the recorder registers as a sink and
+        // spans are folded in batches at context-switch boundaries.
+        recorder.bind_spine(process.probe());
         Arc::new(TfRuntime {
             process,
             sim,
             cores,
-            recorder: Arc::new(TraceMeRecorder::new()),
+            recorder,
             factories: Mutex::new(Vec::new()),
             session: Mutex::new(None),
         })
@@ -90,19 +95,14 @@ impl TfRuntime {
     /// `tf.profiler.experimental.stop()`: stop tracers, collect all data
     /// into an [`XSpace`].
     pub fn profiler_stop(self: &Arc<Self>) -> Result<XSpace, ProfilerError> {
-        let sess = self
-            .session
-            .lock()
-            .take()
-            .ok_or(ProfilerError::NotActive)?;
+        let sess = self.session.lock().take().ok_or(ProfilerError::NotActive)?;
         self.recorder.stop();
         for t in &sess.tracers {
             t.stop();
         }
         let mut space = XSpace::default();
         // Host plane first, then plugin tracers.
-        self.recorder
-            .export_into(space.plane_mut("/host:CPU"));
+        self.recorder.export_into(space.plane_mut("/host:CPU"));
         for t in &sess.tracers {
             t.collect(&mut space);
         }

@@ -40,10 +40,7 @@ pub struct TfRecordShard {
 impl TfRecordShard {
     /// Total bytes of the shard file (payloads + framing).
     pub fn file_bytes(&self) -> u64 {
-        self.record_lens
-            .iter()
-            .map(|l| l + RECORD_OVERHEAD)
-            .sum()
+        self.record_lens.iter().map(|l| l + RECORD_OVERHEAD).sum()
     }
 
     /// Number of records.
@@ -70,9 +67,7 @@ pub struct TfRecordWriter {
 impl TfRecordWriter {
     /// Create (truncate) a shard at `path`.
     pub fn create(rt: &Arc<TfRuntime>, path: &str) -> PosixResult<Self> {
-        let fd = rt
-            .process()
-            .open(path, OpenFlags::wronly_create_trunc())?;
+        let fd = rt.process().open(path, OpenFlags::wronly_create_trunc())?;
         Ok(TfRecordWriter {
             rt: rt.clone(),
             fd,
@@ -229,15 +224,16 @@ impl TfRecordDataset {
             } else {
                 None
             };
-            rt.sim().spawn(format!("tfrecord.reader[{w}]"), move || loop {
-                let s = next.fetch_add(1, Ordering::SeqCst);
-                if s >= shards.len() {
-                    break;
-                }
-                if read_shard(&rt2, &shards[s], decode.as_ref(), &etx).is_err() {
-                    break;
-                }
-            });
+            rt.sim()
+                .spawn(format!("tfrecord.reader[{w}]"), move || loop {
+                    let s = next.fetch_add(1, Ordering::SeqCst);
+                    if s >= shards.len() {
+                        break;
+                    }
+                    if read_shard(&rt2, &shards[s], decode.as_ref(), &etx).is_err() {
+                        break;
+                    }
+                });
         }
         drop(etx);
 
@@ -309,9 +305,7 @@ fn read_shard(
         // Refill the 256 KB stream buffer when the next record crosses it.
         let need = shard.record_lens[emitted] + RECORD_OVERHEAD;
         while fetched < (consumed + need).min(total) {
-            let n = p
-                .pread(fd, fetched, READER_BUFFER, None)
-                .map_err(|_| ())?;
+            let n = p.pread(fd, fetched, READER_BUFFER, None).map_err(|_| ())?;
             if n == 0 {
                 break;
             }

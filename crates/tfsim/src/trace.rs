@@ -170,8 +170,14 @@ mod tests {
     #[test]
     fn plane_and_line_upsert() {
         let mut s = XSpace::default();
-        s.plane_mut("/host:CPU").line_mut("t0").events.push(XEvent::new("a", 10, 5));
-        s.plane_mut("/host:CPU").line_mut("t0").events.push(XEvent::new("b", 0, 5));
+        s.plane_mut("/host:CPU")
+            .line_mut("t0")
+            .events
+            .push(XEvent::new("a", 10, 5));
+        s.plane_mut("/host:CPU")
+            .line_mut("t0")
+            .events
+            .push(XEvent::new("b", 0, 5));
         s.plane_mut("/host:CPU").line_mut("t1");
         assert_eq!(s.planes.len(), 1);
         assert_eq!(s.planes[0].lines.len(), 2);
@@ -201,9 +207,10 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mut s = XSpace::default();
-        s.plane_mut("/p").line_mut("l").events.push(
-            XEvent::new("e", 5, 6).with_stat("k", "v"),
-        );
+        s.plane_mut("/p")
+            .line_mut("l")
+            .events
+            .push(XEvent::new("e", 5, 6).with_stat("k", "v"));
         let text = serde_json::to_string(&s).unwrap();
         let back: XSpace = serde_json::from_str(&text).unwrap();
         assert_eq!(back, s);

@@ -5,13 +5,21 @@
 //! active the completed spans are appended to per-thread timelines.
 //! Recording costs time — the configurable per-event overhead is the
 //! "TF Profiler" bar of the paper's Fig. 5.
+//!
+//! When bound to a process's probe spine ([`TraceMeRecorder::bind_spine`],
+//! done by `TfRuntime::new`), the recorder is a fold-over-events consumer:
+//! the guard emits a [`probe::EventKind::TraceSpan`] into the per-thread
+//! buffer (no shared lock on the hot path) and the recorder folds whole
+//! batches into its timelines at context-switch boundaries. Unbound
+//! recorders (unit tests, standalone use) append directly as before.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use probe::{EventKind, IoEvent, Origin, ProbeBus, ProbeSink, SinkId};
 use simrt::SimTime;
 
 use crate::trace::{XEvent, XPlane};
@@ -29,11 +37,21 @@ pub struct HostEvent {
     pub stats: Vec<(String, String)>,
 }
 
+/// Binding of a recorder to a process's probe spine.
+struct SpineBinding {
+    bus: ProbeBus,
+    /// Weak self-handle so `start` can register the recorder as a sink.
+    this: Weak<TraceMeRecorder>,
+    /// Live sink registration while recording.
+    sink: Option<SinkId>,
+}
+
 /// Collects host events per simulated thread while recording is on.
 pub struct TraceMeRecorder {
     active: AtomicBool,
     per_event_overhead: Mutex<Duration>,
     events: Mutex<HashMap<String, Vec<HostEvent>>>,
+    spine: Mutex<Option<SpineBinding>>,
 }
 
 impl Default for TraceMeRecorder {
@@ -49,19 +67,44 @@ impl TraceMeRecorder {
             active: AtomicBool::new(false),
             per_event_overhead: Mutex::new(Duration::ZERO),
             events: Mutex::new(HashMap::new()),
+            spine: Mutex::new(None),
         }
+    }
+
+    /// Route spans through `bus`: while recording, the recorder registers
+    /// itself as a sink and guards emit buffered `TraceSpan` events instead
+    /// of taking the timeline lock per event.
+    pub fn bind_spine(self: &Arc<Self>, bus: &ProbeBus) {
+        *self.spine.lock() = Some(SpineBinding {
+            bus: bus.clone(),
+            this: Arc::downgrade(self),
+            sink: None,
+        });
     }
 
     /// Begin recording; clears previous events.
     pub fn start(&self, per_event_overhead: Duration) {
         self.events.lock().clear();
         *self.per_event_overhead.lock() = per_event_overhead;
+        if let Some(b) = self.spine.lock().as_mut() {
+            if b.sink.is_none() {
+                if let Some(this) = b.this.upgrade() {
+                    b.sink = Some(b.bus.register(this));
+                }
+            }
+        }
         self.active.store(true, Ordering::SeqCst);
     }
 
-    /// Stop recording.
+    /// Stop recording. Unregistering from the spine flushes the calling
+    /// thread's buffer, so every span completed before `stop` is folded.
     pub fn stop(&self) {
         self.active.store(false, Ordering::SeqCst);
+        if let Some(b) = self.spine.lock().as_mut() {
+            if let Some(id) = b.sink.take() {
+                b.bus.unregister(id);
+            }
+        }
     }
 
     /// Whether a recording is in progress.
@@ -71,6 +114,9 @@ impl TraceMeRecorder {
 
     /// Drain the recorded events per thread.
     pub fn consume(&self) -> HashMap<String, Vec<HostEvent>> {
+        // Spans may still sit in this thread's spine buffer (other threads
+        // flushed when they descheduled or finished).
+        probe::flush_current_thread();
         std::mem::take(&mut *self.events.lock())
     }
 
@@ -83,12 +129,28 @@ impl TraceMeRecorder {
         if !overhead.is_zero() {
             simrt::sleep(overhead);
         }
-        let line = format!(
-            "{} ({})",
-            simrt::current_task_name(),
-            simrt::current_task()
-        );
-        self.events.lock().entry(line).or_default().push(ev);
+        let line = format!("{} ({})", simrt::current_task_name(), simrt::current_task());
+        let bus = self
+            .spine
+            .lock()
+            .as_ref()
+            .filter(|b| b.sink.is_some())
+            .map(|b| b.bus.clone());
+        if let Some(bus) = bus {
+            bus.emit(IoEvent {
+                task: simrt::current_task(),
+                t0: ev.start,
+                t1: ev.end,
+                origin: Origin::App,
+                target: Arc::from(ev.name.as_str()),
+                kind: EventKind::TraceSpan {
+                    label: Arc::from(line.as_str()),
+                    stats: ev.stats,
+                },
+            });
+        } else {
+            self.events.lock().entry(line).or_default().push(ev);
+        }
     }
 
     /// Export recorded events into an `XPlane` (one line per thread).
@@ -108,6 +170,23 @@ impl TraceMeRecorder {
                     x = x.with_stat(k.clone(), v.clone());
                 }
                 line.events.push(x);
+            }
+        }
+    }
+}
+
+impl ProbeSink for TraceMeRecorder {
+    fn on_events(&self, events: &[IoEvent]) {
+        // One timeline-lock acquisition per flushed batch, not per span.
+        let mut map = self.events.lock();
+        for ev in events {
+            if let EventKind::TraceSpan { label, stats } = &ev.kind {
+                map.entry(label.to_string()).or_default().push(HostEvent {
+                    name: ev.target.to_string(),
+                    start: ev.t0,
+                    end: ev.t1,
+                    stats: stats.clone(),
+                });
             }
         }
     }

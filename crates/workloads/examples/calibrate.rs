@@ -18,7 +18,10 @@ fn main() {
         println!(
             "{label}: {:.1} MiB/s (report {:.1}), wall {:.0}s, input-bound {:.1}%",
             out.mean_read_mibps(),
-            out.report.as_ref().map(|r| r.io.read_bandwidth_mibps).unwrap_or(0.0),
+            out.report
+                .as_ref()
+                .map(|r| r.io.read_bandwidth_mibps)
+                .unwrap_or(0.0),
             out.wall.as_secs_f64(),
             out.fit.input_bound_fraction() * 100.0
         );
@@ -32,10 +35,13 @@ fn main() {
         cfg.profiling = Profiling::TfDarshan { full_export: true };
         let out = run(Workload::ImageNet, cfg);
         let bw = out.mean_read_mibps();
-        if threads == 1 { bw1 = bw; }
+        if threads == 1 {
+            bw1 = bw;
+        }
         println!(
             "imagenet {threads}t: {:.2} MiB/s, wall {:.0}s, input-bound {:.1}%, speedup {:.1}x",
-            bw, out.wall.as_secs_f64(),
+            bw,
+            out.wall.as_secs_f64(),
             out.fit.input_bound_fraction() * 100.0,
             bw / bw1.max(1e-9)
         );

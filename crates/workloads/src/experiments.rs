@@ -281,7 +281,10 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
     }
 
     let dstat = if cfg.dstat {
-        Some(Dstat::spawn(&m.sim, m.devices(), Duration::from_secs(1)))
+        let d = Dstat::spawn(&m.sim, m.devices(), Duration::from_secs(1));
+        // Sample syscall-level traffic too, off the process's event spine.
+        d.attach_spine(m.process.probe());
+        Some(d)
     } else {
         None
     };
@@ -377,7 +380,10 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
                             let space = tb.space.clone();
                             let slot = space_slot.clone();
                             cbs.push(Box::new(tb));
-                            cbs.push(Box::new(SpaceForward { from: space, to: slot }));
+                            cbs.push(Box::new(SpaceForward {
+                                from: space,
+                                to: slot,
+                            }));
                         }
                         _ => {}
                     }

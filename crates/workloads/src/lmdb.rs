@@ -303,8 +303,7 @@ mod tests {
         let h = sim.spawn("t", move || {
             let env = LmdbEnv::open(&p, idx).unwrap();
             // Ask for far more steps than records exist.
-            let total =
-                caffe_epoch(&env, 4, 100, |_| Duration::ZERO, Duration::ZERO).unwrap();
+            let total = caffe_epoch(&env, 4, 100, |_| Duration::ZERO, Duration::ZERO).unwrap();
             env.close().unwrap();
             total
         });

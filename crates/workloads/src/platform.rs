@@ -151,9 +151,7 @@ mod tests {
         let m = kebnekaise();
         assert!(m.lustre.is_some());
         assert_eq!(m.devices().len(), 4, "four OSTs");
-        m.stack
-            .create_synthetic("/scratch/ds/f0", 1000, 1)
-            .unwrap();
+        m.stack.create_synthetic("/scratch/ds/f0", 1000, 1).unwrap();
         let (p, sim) = (m.process.clone(), m.sim.clone());
         sim.spawn("t", move || {
             let fd = p.open("/scratch/ds/f0", OpenFlags::rdonly()).unwrap();
@@ -166,9 +164,7 @@ mod tests {
     #[test]
     fn drop_caches_forces_device_reads() {
         let m = greendog();
-        m.stack
-            .create_synthetic("/data/ssd/f", 1 << 20, 9)
-            .unwrap();
+        m.stack.create_synthetic("/data/ssd/f", 1 << 20, 9).unwrap();
         let (p, sim) = (m.process.clone(), m.sim.clone());
         let cache = m.cache.clone();
         sim.spawn("t", move || {

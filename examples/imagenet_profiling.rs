@@ -24,10 +24,7 @@ fn main() {
     cfg.profiling = Profiling::TfDarshan { full_export: true };
     let naive = run(Workload::ImageNet, cfg);
     let rep = naive.report.expect("report");
-    println!(
-        "{}",
-        overview(naive.fit.input_bound_fraction(), &rep.io)
-    );
+    println!("{}", overview(naive.fit.input_bound_fraction(), &rep.io));
     println!(
         "reads = {} vs opens = {} → {} zero-length reads ({:.0}%): ReadFile \
          loops on pread until it returns 0",
@@ -44,10 +41,7 @@ fn main() {
     cfg.profiling = Profiling::TfDarshan { full_export: true };
     let fixed = run(Workload::ImageNet, cfg);
     let rep28 = fixed.report.expect("report");
-    println!(
-        "{}",
-        overview(fixed.fit.input_bound_fraction(), &rep28.io)
-    );
+    println!("{}", overview(fixed.fit.input_bound_fraction(), &rep28.io));
     println!(
         "\nbandwidth: {:.2} → {:.2} MiB/s ({:.1}×)",
         rep.io.read_bandwidth_mibps,

@@ -15,7 +15,9 @@ use tf_darshan::storage::{
     Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack,
 };
 use tf_darshan::tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper};
-use tf_darshan::tfsim::{ops, Dataset, Element, Parallelism, PipelineCtx, ProfilerOptions, TfRuntime};
+use tf_darshan::tfsim::{
+    ops, Dataset, Element, Parallelism, PipelineCtx, ProfilerOptions, TfRuntime,
+};
 
 fn main() {
     // 1. A machine: one SATA SSD behind an ext4-like filesystem.

@@ -24,16 +24,22 @@ fn tfrecord_beats_per_file_on_lustre() {
             p
         })
         .collect();
-    let rt = TfRuntime::new(tf_darshan::posix::Process::new(stack.clone()), sim.clone(), 8);
+    let rt = TfRuntime::new(
+        tf_darshan::posix::Process::new(stack.clone()),
+        sim.clone(),
+        8,
+    );
     let h = sim.spawn("t", move || {
         // Per-file epoch.
         let t0 = simrt::now();
         let ds = tfsim::Dataset::from_files(files.clone())
             .map(
-                Arc::new(|ctx: &tfsim::PipelineCtx, index, path: &str| tfsim::Element {
-                    index,
-                    bytes: tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0),
-                }),
+                Arc::new(
+                    |ctx: &tfsim::PipelineCtx, index, path: &str| tfsim::Element {
+                        index,
+                        bytes: tfsim::ops::read_file(&ctx.rt, path).unwrap_or(0),
+                    },
+                ),
                 tfsim::Parallelism::Fixed(4),
             )
             .batch(32);

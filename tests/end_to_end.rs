@@ -17,7 +17,10 @@ fn malware_training_report_is_consistent_with_trainer() {
     // One open per file; reads = data segments + one EOF probe per file.
     assert_eq!(rep.io.files_opened as usize, out.dataset.0);
     assert_eq!(rep.io.zero_reads, rep.io.opens);
-    assert!(rep.io.reads > rep.io.opens * 2, "multi-MB files read in segments");
+    assert!(
+        rep.io.reads > rep.io.opens * 2,
+        "multi-MB files read in segments"
+    );
     // Sequential single-reader pattern.
     assert_eq!(rep.io.seq_fraction(), 1.0);
     // Every byte accounted in the size histogram.
@@ -71,7 +74,10 @@ fn profiler_modes_cost_ordering() {
     let none = wall(Profiling::None);
     let tfp = wall(Profiling::TfProfiler);
     let tfd = wall(Profiling::TfDarshan { full_export: true });
-    assert!(tfp >= none, "TF profiler adds overhead: {tfp:?} vs {none:?}");
+    assert!(
+        tfp >= none,
+        "TF profiler adds overhead: {tfp:?} vs {none:?}"
+    );
     assert!(tfd > tfp, "tf-Darshan adds more: {tfd:?} vs {tfp:?}");
     // Within Fig. 5's bands: host profiler is cheap, tf-Darshan moderate.
     let tfp_pct = (tfp.as_secs_f64() - none.as_secs_f64()) / none.as_secs_f64();
@@ -142,8 +148,5 @@ fn manual_windows_cover_the_run_and_report_bandwidth() {
         assert!(*bw > 0.0, "every window observed I/O");
     }
     // Windows are time-ordered.
-    assert!(out
-        .bandwidth_points
-        .windows(2)
-        .all(|w| w[0].0 < w[1].0));
+    assert!(out.bandwidth_points.windows(2).all(|w| w[0].0 < w[1].0));
 }

@@ -58,7 +58,9 @@ fn enospc_surfaces_through_posix_and_stdio() {
     let (sim, p, _fs) = fixture(1 << 20); // 1 MiB filesystem
     sim.spawn("t", move || {
         // POSIX write beyond capacity.
-        let fd = p.open("/data/big", OpenFlags::wronly_create_trunc()).unwrap();
+        let fd = p
+            .open("/data/big", OpenFlags::wronly_create_trunc())
+            .unwrap();
         let r = p.pwrite(fd, 0, storage_sim::WritePayload::Synthetic(8 << 20));
         assert_eq!(r.unwrap_err(), Errno::ENOSPC);
         p.close(fd).unwrap();
@@ -142,6 +144,43 @@ fn staging_to_exhausted_tier_fails_cleanly() {
 }
 
 #[test]
+fn detach_mid_profiler_session_flushes_pending_events() {
+    // Regression: detach() restores the GOT and unregisters Darshan's spine
+    // sink. Events from operations that completed without a context switch
+    // (pure-CPU lseek/fstat never sleep) are still sitting in the emitting
+    // thread's buffer at that moment — detach must flush them into the
+    // records, not drop them, and the open profiler session must still
+    // close cleanly afterwards.
+    let (sim, p, fs) = fixture(1 << 30);
+    fs.create_synthetic("/data/f", 64 << 10, 1).unwrap();
+    let rt = tf_darshan::tfsim::TfRuntime::new(p.clone(), sim.clone(), 4);
+    sim.spawn("t", move || {
+        use tf_darshan::tfsim::ProfilerOptions;
+        let lib = DarshanLibrary::new(DarshanConfig::default());
+        lib.attach(&p).unwrap();
+        rt.profiler_start(ProfilerOptions::default()).unwrap();
+        let fd = p.open("/data/f", OpenFlags::rdonly()).unwrap();
+        p.pread(fd, 0, 64 << 10, None).unwrap();
+        p.lseek(fd, 0, tf_darshan::posix::Whence::Set).unwrap();
+        p.fstat(fd).unwrap();
+        p.close(fd).unwrap();
+        lib.detach(&p).unwrap();
+        let snap = lib.runtime().snapshot();
+        let r = snap.posix_by_path("/data/f").unwrap();
+        assert_eq!(r.get(P::POSIX_OPENS), 1);
+        assert_eq!(r.get(P::POSIX_READS), 1);
+        assert_eq!(r.get(P::POSIX_BYTES_READ), 64 << 10);
+        assert_eq!(r.get(P::POSIX_SEEKS), 1, "buffered lseek survives detach");
+        assert_eq!(r.get(P::POSIX_STATS), 1, "buffered fstat survives detach");
+        // The profiler session outlived the detach; stopping it still
+        // produces the host-plane trace.
+        let space = rt.profiler_stop().unwrap();
+        assert!(space.planes.iter().any(|pl| pl.name == "/host:CPU"));
+    });
+    sim.run();
+}
+
+#[test]
 fn profiler_state_errors_are_typed() {
     let (sim, p, _fs) = fixture(1 << 30);
     let rt = tf_darshan::tfsim::TfRuntime::new(p, sim.clone(), 4);
@@ -163,7 +202,9 @@ fn darshan_record_exhaustion_degrades_gracefully_under_training() {
     // A tiny record budget: the module goes partial, the run completes,
     // and the report flags partial data instead of lying.
     use tf_darshan::tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanWrapper};
-    use tf_darshan::tfsim::{Dataset, Element, Parallelism, PipelineCtx, ProfilerOptions, TfRuntime};
+    use tf_darshan::tfsim::{
+        Dataset, Element, Parallelism, PipelineCtx, ProfilerOptions, TfRuntime,
+    };
 
     let (sim, p, fs) = fixture(1 << 30);
     let files: Vec<String> = (0..64)

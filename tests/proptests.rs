@@ -195,6 +195,83 @@ proptest! {
     }
 
     #[test]
+    fn counters_match_event_stream_replay(ops in prop::collection::vec(io_op(), 1..60)) {
+        // The full pipeline — GOT wrappers → probe spine → DarshanSink fold —
+        // must be reproducible from the event stream alone: collecting the
+        // same IoEvents with a second sink and folding them into a fresh
+        // runtime yields byte-identical integer counters (bytes, op counts,
+        // access-size histograms, seq/consec pattern flags, common values).
+        use tf_darshan::darshan::{DarshanLibrary, DarshanSink};
+        use tf_darshan::posix::{OpenFlags, Process};
+        use tf_darshan::probe::{CollectingSink, ProbeSink};
+        use tf_darshan::storage::{Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams,
+                                  PageCache, StorageStack, WritePayload};
+        let sim = simrt::Sim::new();
+        let fs = LocalFs::new(
+            Device::new(DeviceSpec::optane("nvme0")),
+            Arc::new(PageCache::new(1 << 30)),
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/d", fs as Arc<dyn FileSystem>);
+        let p = Process::new(stack);
+        let collector = Arc::new(CollectingSink::new());
+        let ops2 = ops.clone();
+        let h = {
+            let collector = collector.clone();
+            sim.spawn("t", move || {
+                let lib = DarshanLibrary::new(DarshanConfig::default());
+                let tap = p.probe().register(collector);
+                lib.attach(&p).unwrap();
+                let mut fds = std::collections::HashMap::new();
+                for op in &ops2 {
+                    let path = format!("/d/f{}", op.file);
+                    let fd = *fds.entry(op.file).or_insert_with(|| {
+                        p.open(&path, OpenFlags {
+                            read: true,
+                            write: true,
+                            create: true,
+                            ..Default::default()
+                        })
+                        .unwrap()
+                    });
+                    if op.write {
+                        p.pwrite(fd, op.offset, WritePayload::Synthetic(op.len)).unwrap();
+                    } else {
+                        p.pread(fd, op.offset, op.len, None).unwrap();
+                    }
+                }
+                for fd in fds.values() {
+                    p.close(*fd).unwrap();
+                }
+                lib.detach(&p).unwrap();
+                p.probe().unregister(tap);
+                lib.runtime().snapshot()
+            })
+        };
+        sim.run();
+        let live = h.join();
+        let events = collector.take();
+        // Replay: fold the captured stream into a fresh runtime.
+        let sim2 = simrt::Sim::new();
+        let h2 = sim2.spawn("replay", move || {
+            let rt = Arc::new(DarshanRuntime::new(DarshanConfig::default()));
+            let sink = DarshanSink::new(rt.clone());
+            sink.on_events(&events);
+            rt.snapshot()
+        });
+        sim2.run();
+        let replay = h2.join();
+        prop_assert_eq!(live.posix.len(), replay.posix.len());
+        prop_assert_eq!(live.stdio.len(), replay.stdio.len());
+        prop_assert_eq!(&live.names, &replay.names);
+        for (a, b) in live.posix.iter().zip(&replay.posix) {
+            prop_assert_eq!(a.rec_id, b.rec_id);
+            prop_assert_eq!(&a.counters[..], &b.counters[..], "rec {:x}", a.rec_id);
+        }
+    }
+
+    #[test]
     fn snapshot_diff_is_additive(
         ops in prop::collection::vec(io_op(), 2..60),
         cut in 1usize..59,

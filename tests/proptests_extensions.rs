@@ -9,13 +9,8 @@ use proptest::prelude::*;
 use tf_darshan::darshan::{merge_posix_records, reduce_job, PosixCounter as P, PosixRecord};
 
 fn arb_record(id: u64) -> impl Strategy<Value = PosixRecord> {
-    (
-        0i64..1000,
-        0i64..1_000_000,
-        0i64..1_000_000,
-        0i64..100,
-    )
-        .prop_map(move |(reads, bytes, max_byte, opens)| {
+    (0i64..1000, 0i64..1_000_000, 0i64..1_000_000, 0i64..100).prop_map(
+        move |(reads, bytes, max_byte, opens)| {
             let mut r = PosixRecord::new(id);
             *r.get_mut(P::POSIX_OPENS) = opens;
             *r.get_mut(P::POSIX_READS) = reads;
@@ -23,7 +18,8 @@ fn arb_record(id: u64) -> impl Strategy<Value = PosixRecord> {
             *r.get_mut(P::POSIX_MAX_BYTE_READ) = max_byte;
             *r.get_mut(P::POSIX_SEQ_READS) = reads / 2;
             r
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,348 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored value-tree serde.
+//!
+//! Hand-rolled: parses the item's token stream directly (no syn/quote) and
+//! emits the impl as source text. Supports exactly what this workspace
+//! derives on — non-generic named-field structs, and enums whose variants
+//! are units or have named fields — plus the `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Variants: `(name, None)` for unit, `(name, Some(fields))` for struct.
+    Enum(Vec<(String, Option<Vec<Field>>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading `#[...]` attributes, folding any `#[serde(...)]` options
+/// into `field` semantics (returned as a partial `Field`).
+fn take_attrs(iter: &mut Tokens) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut skip_if = None;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            panic!("expected attribute group after `#`");
+        };
+        let mut inner = g.stream().into_iter().peekable();
+        let Some(TokenTree::Ident(attr_name)) = inner.next() else {
+            continue;
+        };
+        if attr_name.to_string() != "serde" {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tok) = args.next() {
+            let TokenTree::Ident(opt) = tok else { continue };
+            match opt.to_string().as_str() {
+                "default" => default = true,
+                "skip_serializing_if" => {
+                    // `= "path"`
+                    let Some(TokenTree::Punct(eq)) = args.next() else {
+                        panic!("expected `=` after skip_serializing_if");
+                    };
+                    assert_eq!(eq.as_char(), '=');
+                    let Some(TokenTree::Literal(lit)) = args.next() else {
+                        panic!("expected string after skip_serializing_if =");
+                    };
+                    skip_if = Some(lit.to_string().trim_matches('"').to_string());
+                }
+                other => panic!("unsupported serde attribute `{other}` in vendored derive"),
+            }
+        }
+    }
+    (default, skip_if)
+}
+
+/// Skip visibility qualifiers (`pub`, `pub(crate)`, ...).
+fn skip_vis(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    take_attrs(&mut iter);
+    skip_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generic types")
+            }
+            Some(_) => continue,
+            None => panic!("expected `{{ ... }}` body for `{name}` (tuple/unit items unsupported)"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body.stream())),
+        "enum" => Shape::Enum(parse_variants(body.stream())),
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Parse `name: Type, ...` named fields, honoring nesting in the type
+/// (angle brackets make top-level commas part of the type).
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (default, skip_if) = take_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(fname) = tok else {
+            panic!("expected field name, got {tok:?}");
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{fname}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: fname.to_string(),
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<Field>>)> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut iter);
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("expected variant name, got {tok:?}");
+        };
+        let mut fields = None;
+        match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream()));
+                iter.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde derive does not support tuple variants (`{vname}`)")
+            }
+            _ => {}
+        }
+        // Trailing comma between variants.
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push((vname.to_string(), fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_field_inserts(out: &mut String, map_var: &str, accessor_prefix: &str, fields: &[Field]) {
+    for f in fields {
+        let access = format!("{accessor_prefix}{}", f.name);
+        let insert = format!(
+            "{map_var}.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&{access}));",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(pred) => {
+                out.push_str(&format!("if !{pred}(&{access}) {{ {insert} }}\n"));
+            }
+            None => {
+                out.push_str(&insert);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            body.push_str("let mut map = ::serde::value::Map::new();\n");
+            gen_field_inserts(&mut body, "map", "self.", fields);
+            body.push_str("::serde::value::Value::Object(map)\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (vname, fields) in variants {
+                match fields {
+                    None => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            bindings.join(", ")
+                        ));
+                        body.push_str("let mut inner = ::serde::value::Map::new();\n");
+                        gen_field_inserts(&mut body, "inner", "", fields);
+                        body.push_str(&format!(
+                            "let mut map = ::serde::value::Map::new();\n\
+                             map.insert(\"{vname}\".to_string(), ::serde::value::Value::Object(inner));\n\
+                             ::serde::value::Value::Object(map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_field_reads(out: &mut String, map_var: &str, type_name: &str, fields: &[Field]) {
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::value::Error::custom(\
+                 \"missing field `{}` in `{type_name}`\"))",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match {map_var}.get(\"{n}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             None => {missing},\n}},\n",
+            n = f.name
+        ));
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            body.push_str(&format!(
+                "let map = match v {{\n\
+                 ::serde::value::Value::Object(m) => m,\n\
+                 _ => return Err(::serde::value::Error::custom(\"expected object for `{name}`\")),\n}};\n"
+            ));
+            body.push_str(&format!("Ok({name} {{\n"));
+            gen_field_reads(&mut body, "map", name, fields);
+            body.push_str("})\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match v {\n");
+            // Unit variants arrive as strings.
+            body.push_str("::serde::value::Value::String(s) => match s.as_str() {\n");
+            for (vname, fields) in variants {
+                if fields.is_none() {
+                    body.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::value::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}},\n"
+            ));
+            // Struct variants arrive as single-key objects.
+            body.push_str(
+                "::serde::value::Value::Object(m) if m.len() == 1 => {\n\
+                 let (tag, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {\n",
+            );
+            for (vname, fields) in variants {
+                if let Some(fields) = fields {
+                    body.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let inner = match payload {{\n\
+                         ::serde::value::Value::Object(m) => m,\n\
+                         _ => return Err(::serde::value::Error::custom(\
+                         \"expected object payload for `{name}::{vname}`\")),\n}};\n"
+                    ));
+                    body.push_str(&format!("Ok({name}::{vname} {{\n"));
+                    gen_field_reads(&mut body, "inner", name, fields);
+                    body.push_str("})\n}\n");
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::value::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "_ => Err(::serde::value::Error::custom(\"expected enum value for `{name}`\")),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::value::Error> {{\n{body}}}\n}}\n"
+    )
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_json`, layered on the value tree that lives
+//! in the vendored `serde` crate: re-exports [`Value`] / [`Map`] /
+//! [`Number`] / [`Error`], provides `to_string{,_pretty}` / `from_str` /
+//! `to_value` / `from_value`, and a `json!` macro covering literals, nested
+//! arrays/objects, and arbitrary serializable expressions.
+
+pub use serde::value::{Error, Map, Number, Value};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serialize to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse_str(s)?)
+}
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-ish syntax: `json!({"k": expr, "nested": {..}})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        {
+            let mut array: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_internal!(@array array $($tt)*);
+            $crate::Value::Array(array)
+        }
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        {
+            let mut object: $crate::Map<::std::string::String, $crate::Value> = $crate::Map::new();
+            $crate::json_internal!(@object object $($tt)*);
+            $crate::Value::Object(object)
+        }
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // -- array elements --------------------------------------------------
+    (@array $arr:ident) => {};
+    (@array $arr:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@array $arr $($rest)*)
+    };
+    (@array $arr:ident null $($rest:tt)*) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_internal!(@array $arr $($rest)*)
+    };
+    (@array $arr:ident { $($inner:tt)* } $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@array $arr $($rest)*)
+    };
+    (@array $arr:ident [ $($inner:tt)* ] $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@array $arr $($rest)*)
+    };
+    (@array $arr:ident $val:expr , $($rest:tt)*) => {
+        $arr.push($crate::__to_value(&$val));
+        $crate::json_internal!(@array $arr $($rest)*)
+    };
+    (@array $arr:ident $val:expr) => {
+        $arr.push($crate::__to_value(&$val));
+    };
+    // -- object members --------------------------------------------------
+    (@object $obj:ident) => {};
+    (@object $obj:ident , $($rest:tt)*) => {
+        $crate::json_internal!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : null $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : $val:expr , $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::__to_value(&$val));
+        $crate::json_internal!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : $val:expr) => {
+        $obj.insert($key.to_string(), $crate::__to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3u64;
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null, {"deep": true}],
+            "c": {"nested": n, "more": {"k": "v"}},
+            "d": vec![(1u64, 2u64), (3, 4)],
+            "e": null,
+        });
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("c").unwrap().get("nested").unwrap().as_u64(), Some(3));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalar_and_array_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7).as_u64(), Some(7));
+        assert_eq!(json!([1, 2, 3]).as_array().unwrap().len(), 3);
+        assert!(json!([]).as_array().unwrap().is_empty());
+        assert!(json!({}).as_object().unwrap().is_empty());
+    }
+}
