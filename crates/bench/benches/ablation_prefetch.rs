@@ -1,0 +1,64 @@
+//! Ablation — online staging daemon (extends the §V.B offline result):
+//!
+//! STREAM(ImageNet) on the Greendog HDD, three epochs, caches dropped at
+//! every epoch boundary. Four modes: no staging, the paper's offline
+//! threshold pass, and the `prefetch` daemon in reactive and clairvoyant
+//! policies. Expected ordering: clairvoyant ≥ reactive ≥ static ≥ none —
+//! knowing the epoch order ahead of time beats learning it, which beats a
+//! one-shot threshold, which beats the bare HDD.
+
+use workloads::prefetch_ablation::{run_all, AblationConfig};
+use workloads::Scale;
+
+fn main() {
+    bench::header(
+        "Ablation",
+        "Online staging daemon: none vs static vs reactive vs clairvoyant",
+    );
+    let scale = bench::scale(0.2);
+    let cfg = AblationConfig {
+        scale: Scale::of(scale.files),
+        ..Default::default()
+    };
+    let runs = run_all(&cfg);
+    let base = runs[0].read_mibps;
+
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>8} {:>12}",
+        "mode", "bandwidth", "gain", "staged MB", "evicted", "epochs (s)"
+    );
+    let mut out = Vec::new();
+    for r in &runs {
+        let gain = (r.read_mibps - base) / base * 100.0;
+        let epochs: Vec<String> = r.epoch_s.iter().map(|s| format!("{s:.1}")).collect();
+        println!(
+            "{:>12} {:>12} {:>+9.1}% {:>10.1} {:>8} {:>12}",
+            r.mode.label(),
+            bench::mibps(r.read_mibps),
+            gain,
+            r.staged_bytes as f64 / 1e6,
+            r.evicted_files,
+            epochs.join("/"),
+        );
+        out.push(serde_json::json!({
+            "mode": r.mode.label(),
+            "bandwidth_mibps": r.read_mibps,
+            "gain_pct": gain,
+            "wall_s": r.wall_s,
+            "epoch_s": r.epoch_s,
+            "bytes_read": r.bytes_read,
+            "staged_bytes": r.staged_bytes,
+            "promoted_files": r.promoted_files,
+            "evicted_files": r.evicted_files,
+        }));
+    }
+
+    let bw: Vec<f64> = runs.iter().map(|r| r.read_mibps).collect();
+    bench::row(
+        "clairvoyant ≥ reactive ≥ static ≥ none",
+        "yes",
+        &format!("{:.0}/{:.0}/{:.0}/{:.0} MiB/s", bw[3], bw[2], bw[1], bw[0]),
+        bw[3] >= bw[2] && bw[2] >= bw[1] && bw[1] >= bw[0],
+    );
+    bench::save_json("ablation_prefetch", &serde_json::json!(out));
+}

@@ -14,9 +14,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::IoStats;
+use crate::analysis::{FileActivity, IoStats};
 use crate::report::TfDarshanReport;
-use crate::staging::plan_by_threshold;
+use crate::staging::{advise_threshold, plan_by_threshold, plan_within_budget, StagingPlan};
 
 /// The storage class behind the profiled mount (the advisor needs to know
 /// whether interleaved streams pay seeks).
@@ -188,6 +188,22 @@ pub fn recommend(report: &TfDarshanReport, ctx: &AdvisorContext) -> Vec<Recommen
         });
     }
     out
+}
+
+/// Advisor → staging-daemon handoff: the initial plan an online staging
+/// daemon (`crates/prefetch`) seeds from a prior profile. Picks the
+/// paper's power-of-two threshold for the budget; when the sweep cannot
+/// produce a usable plan (zero/insufficient budget, all-equal-size ties)
+/// it falls back to a smallest-first budget fill. The result never
+/// overcommits `fast_tier_budget`.
+pub fn seed_plan(files: &[FileActivity], fast_tier_budget: u64) -> StagingPlan {
+    let thr = advise_threshold(files, fast_tier_budget);
+    let by_threshold = plan_by_threshold(files, thr);
+    if by_threshold.files.is_empty() || by_threshold.staged_bytes > fast_tier_budget {
+        plan_within_budget(files, fast_tier_budget)
+    } else {
+        by_threshold
+    }
 }
 
 /// Render recommendations as a human-readable block.

@@ -73,13 +73,15 @@ pub mod staging;
 pub mod tracer;
 pub mod wrapper;
 
-pub use advisor::{recommend, AdvisorContext, Recommendation, StorageClass};
+pub use advisor::{recommend, seed_plan, AdvisorContext, Recommendation, StorageClass};
 pub use analysis::{
     analyze, bandwidth_series, diff, per_file, FileActivity, IoStats, SnapshotDiff, StdioStats,
 };
 pub use autotune::{IoAutoTuner, TuneStep};
 pub use report::{overview, TfDarshanReport};
-pub use staging::{advise_threshold, apply as apply_staging, plan_by_threshold, StagingPlan};
+pub use staging::{
+    advise_threshold, apply as apply_staging, plan_by_threshold, plan_within_budget, StagingPlan,
+};
 pub use tracer::{DarshanTracer, DarshanTracerFactory, ANALYSIS_PLANE, DXT_PLANE};
 pub use wrapper::{TfDarshanConfig, TfDarshanWrapper};
 

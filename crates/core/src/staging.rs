@@ -71,6 +71,15 @@ pub fn plan_by_threshold(files: &[FileActivity], threshold: u64) -> StagingPlan 
 /// removed HDD seeks) per staged byte, which is the paper's argument for
 /// why size alone would mislead ("one might intuitively stage the larger
 /// files… which in the end may not provide a big improvement").
+///
+/// The returned threshold never overcommits: the plan it induces via
+/// [`plan_by_threshold`] stages at most `fast_tier_budget` bytes. Edge
+/// cases resolve conservatively — with a zero/insufficient budget the
+/// sweep stops at the largest *vacuous* threshold (the plan is empty), and
+/// when every file has the same size the staged set is all-or-nothing, so
+/// an over-budget population stages nothing rather than overflowing. Use
+/// [`plan_within_budget`] when partial budget fill matters more than the
+/// threshold shape.
 pub fn advise_threshold(files: &[FileActivity], fast_tier_budget: u64) -> u64 {
     let mut best = 0u64;
     let mut thr = 64 * 1024u64;
@@ -90,10 +99,47 @@ pub fn advise_threshold(files: &[FileActivity], fast_tier_budget: u64) -> u64 {
     best
 }
 
-/// Execute a plan: migrate each file from under `src_prefix` to the same
+/// Build a plan that fills `fast_tier_budget` smallest-files-first and
+/// never overcommits: files are considered in ascending size order (ties
+/// broken by path, so the plan is deterministic) and taken while they fit.
+/// A zero budget yields an empty plan; an all-equal-size population stages
+/// exactly ⌊budget / size⌋ files. This is what the online staging daemon
+/// seeds from — the power-of-two sweep of [`advise_threshold`] can leave
+/// half the budget idle when the size distribution straddles a doubling.
+pub fn plan_within_budget(files: &[FileActivity], fast_tier_budget: u64) -> StagingPlan {
+    let mut by_size: Vec<&FileActivity> = files.iter().collect();
+    by_size.sort_by(|a, b| {
+        a.apparent_size
+            .cmp(&b.apparent_size)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    let mut plan = StagingPlan {
+        total_files: files.len(),
+        total_bytes: files.iter().map(|f| f.apparent_size).sum(),
+        ..Default::default()
+    };
+    for f in by_size {
+        if plan.staged_bytes + f.apparent_size > fast_tier_budget {
+            break;
+        }
+        plan.staged_bytes += f.apparent_size;
+        plan.files.push((f.path.clone(), f.apparent_size));
+        // Effective threshold: one past the largest staged size.
+        plan.threshold = plan.threshold.max(f.apparent_size + 1);
+    }
+    plan
+}
+
+/// Execute a plan: promote each file from under `src_prefix` to the same
 /// relative path under `dst_prefix` (untimed — staging happens before the
-/// measured epoch, as in the paper). Returns `(old, new)` mappings for
-/// rewriting the dataset's file list.
+/// measured epoch, as in the paper). This is the one-shot mode of the
+/// online staging daemon (`crates/prefetch`): each file is cloned to the
+/// fast tier via [`StorageStack::promote_untimed`] and the stack redirects
+/// subsequent opens of the original path, so callers need not rewrite
+/// their file lists — the original stays in place as the backing copy for
+/// cheap eviction. Returns `(old, new)` mappings for callers that want to
+/// rewrite the dataset's file list anyway (both paths resolve to the fast
+/// copy).
 pub fn apply(
     stack: &StorageStack,
     plan: &StagingPlan,
@@ -104,7 +150,7 @@ pub fn apply(
     for (path, _) in &plan.files {
         let rel = path.strip_prefix(src_prefix).ok_or(FsError::NotFound)?;
         let dst = format!("{dst_prefix}{rel}");
-        stack.migrate(path, &dst, false)?;
+        stack.promote_untimed(path, &dst)?;
         mapping.push((path.clone(), dst));
     }
     Ok(mapping)
@@ -211,7 +257,56 @@ mod tests {
         assert_eq!(mapping, vec![("/hdd/a".to_string(), "/fast/a".to_string())]);
         // content_info charges no virtual time, so it is host-callable.
         assert!(optane.content_info("/fast/a").is_ok());
-        assert!(hdd.content_info("/hdd/a").is_err());
+        // Promote is copy + redirect: the original remains as the backing
+        // copy, and opens of the old path route to the fast tier.
+        assert!(hdd.content_info("/hdd/a").is_ok());
+        assert!(stack.is_staged("/hdd/a"));
+        assert_eq!(stack.staged_bytes(), 100);
+        assert!(!stack.is_staged("/hdd/b"));
         assert!(hdd.content_info("/hdd/b").is_ok());
+    }
+
+    #[test]
+    fn advise_insufficient_budget_never_overcommits() {
+        // Every file is 32 KB — below the smallest threshold the sweep
+        // tries — and the budget covers none of them: the induced plan
+        // must be empty, not over budget.
+        let files = activity(&[32 << 10; 8]);
+        let thr = advise_threshold(&files, 16 << 10);
+        let plan = plan_by_threshold(&files, thr);
+        assert!(plan.files.is_empty(), "threshold {thr} overcommits");
+        assert_eq!(plan.staged_bytes, 0);
+    }
+
+    #[test]
+    fn plan_within_budget_zero_budget_is_empty() {
+        let files = activity(&[100, 200, 300]);
+        let plan = plan_within_budget(&files, 0);
+        assert!(plan.files.is_empty());
+        assert_eq!(plan.staged_bytes, 0);
+        assert_eq!(plan.total_files, 3);
+        assert_eq!(plan.total_bytes, 600);
+    }
+
+    #[test]
+    fn plan_within_budget_equal_sizes_fill_exactly() {
+        // All-equal-size tie: exactly ⌊budget / size⌋ files stage, chosen
+        // deterministically, never overcommitting.
+        let files = activity(&[1 << 20; 10]);
+        let plan = plan_within_budget(&files, (3 << 20) + (1 << 19));
+        assert_eq!(plan.files.len(), 3);
+        assert_eq!(plan.staged_bytes, 3 << 20);
+        let again = plan_within_budget(&files, (3 << 20) + (1 << 19));
+        assert_eq!(plan.files, again.files, "tie-break is deterministic");
+    }
+
+    #[test]
+    fn plan_within_budget_prefers_small_files() {
+        let files = activity(&[4 << 20, 100, 2 << 20, 300]);
+        let plan = plan_within_budget(&files, 2 << 20);
+        // Smallest first: 100 and 300 fit; 2 MB would overflow with them.
+        assert_eq!(plan.staged_bytes, 400);
+        assert_eq!(plan.files.len(), 2);
+        assert!(plan.threshold > 300 && plan.threshold <= 2 << 20);
     }
 }

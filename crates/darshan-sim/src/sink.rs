@@ -15,8 +15,10 @@
 //! * `fd → record` is seeded by observed `open`s and recovered lazily for
 //!   descriptors opened before attachment (the runtime-attachment gap);
 //! * `close` on an unknown descriptor records nothing (as before);
-//! * stdio-internal POSIX traffic ([`Origin::StdioInternal`]) is skipped
-//!   entirely — interposed `read` never sees `fread`'s buffer refills;
+//! * any non-application origin is skipped entirely: stdio-internal POSIX
+//!   traffic ([`Origin::StdioInternal`]; interposed `read` never sees
+//!   `fread`'s buffer refills) and staging-daemon I/O ([`Origin::Prefetch`];
+//!   a background copier does not run through the app's patched GOT);
 //! * [`EventKind::MmapFault`]s are skipped: faults are not syscalls, so
 //!   symbol-level instrumentation stays blind to them (paper §VII).
 
@@ -64,9 +66,10 @@ impl DarshanSink {
     }
 
     fn fold(&self, ev: &IoEvent) {
-        // Symbol-level instrumentation never sees libc-internal descriptor
-        // traffic or page faults.
-        if ev.origin == Origin::StdioInternal {
+        // Symbol-level instrumentation only sees what the *application*
+        // called: libc-internal descriptor traffic, background prefetch
+        // daemon I/O, and page faults never reach the wrapped symbols.
+        if ev.origin != Origin::App {
             return;
         }
         let rt = &self.rt;

@@ -1,0 +1,134 @@
+//! Origin-tag audit: the Darshan fold must attribute **application** I/O
+//! only. Both non-App origins on the probe spine — libc-internal stdio
+//! descriptor traffic and the staging daemon's tier copies — represent
+//! operations the app never called through the patched GOT, so
+//! symbol-level instrumentation must not see them. System-wide consumers
+//! (dstat) are the ones that do.
+
+use std::sync::Arc;
+
+use darshan_sim::{DarshanConfig, DarshanRuntime, DarshanSink, PosixCounter};
+use probe::{EventKind, IoEvent, Origin, ProbeSink};
+use simrt::{SimTime, TaskId};
+
+fn ev(origin: Origin, target: &str, kind: EventKind) -> IoEvent {
+    IoEvent {
+        task: TaskId(1),
+        t0: SimTime::ZERO,
+        t1: SimTime::ZERO,
+        origin,
+        target: Arc::from(target),
+        kind,
+    }
+}
+
+fn session(rt: &Arc<DarshanRuntime>) -> Arc<DarshanSink> {
+    DarshanSink::new(rt.clone())
+}
+
+fn events_for(path: &str) -> Vec<IoEvent> {
+    vec![
+        ev(Origin::App, path, EventKind::Open { fd: 3 }),
+        ev(
+            Origin::App,
+            path,
+            EventKind::Read {
+                fd: 3,
+                offset: 0,
+                len: 1000,
+            },
+        ),
+        // The daemon copies the whole file concurrently, on its own fd.
+        ev(Origin::Prefetch, path, EventKind::Open { fd: 4 }),
+        ev(
+            Origin::Prefetch,
+            path,
+            EventKind::Read {
+                fd: 4,
+                offset: 0,
+                len: 1 << 20,
+            },
+        ),
+        ev(
+            Origin::Prefetch,
+            path,
+            EventKind::Write {
+                fd: 5,
+                offset: 0,
+                len: 1 << 20,
+            },
+        ),
+        ev(Origin::Prefetch, path, EventKind::Close { fd: 4 }),
+        ev(Origin::App, path, EventKind::Close { fd: 3 }),
+    ]
+}
+
+/// One open+read+close triple per origin, all on distinct paths: only the
+/// App triple may reach the POSIX module.
+#[test]
+fn non_app_origins_fold_to_nothing() {
+    let rt = Arc::new(DarshanRuntime::new(DarshanConfig::default()));
+    let sink = session(&rt);
+    let sim = simrt::Sim::new();
+    sim.spawn("fold", move || {
+        let mut events = Vec::new();
+        for (i, origin) in [Origin::App, Origin::StdioInternal, Origin::Prefetch]
+            .into_iter()
+            .enumerate()
+        {
+            let fd = 10 + i as i32;
+            let path = format!("/data/{i}");
+            events.push(ev(origin, &path, EventKind::Open { fd }));
+            events.push(ev(
+                origin,
+                &path,
+                EventKind::Read {
+                    fd,
+                    offset: 0,
+                    len: 4096,
+                },
+            ));
+            events.push(ev(origin, &path, EventKind::Close { fd }));
+        }
+        sink.on_events(&events);
+
+        let totals = rt.totals();
+        assert_eq!(totals.posix_bytes_read, 4096, "only the App read counts");
+        assert_eq!(rt.posix_record_count(), 1, "one record: the App's file");
+        let snap = rt.snapshot();
+        assert!(snap.posix_by_path("/data/0").is_some());
+        assert!(
+            snap.posix_by_path("/data/1").is_none(),
+            "stdio-internal descriptor traffic must not create records"
+        );
+        assert!(
+            snap.posix_by_path("/data/2").is_none(),
+            "prefetch-daemon traffic must not create records"
+        );
+    });
+    sim.run();
+}
+
+/// Daemon traffic on the *same* file the app reads must not inflate the
+/// app's counters — the exact leak the origin tag exists to prevent (a
+/// background copier re-reading a file would otherwise double its
+/// POSIX_BYTES_READ and corrupt the bandwidth panels).
+#[test]
+fn prefetch_on_same_file_does_not_inflate_app_counters() {
+    let rt = Arc::new(DarshanRuntime::new(DarshanConfig::default()));
+    let sink = session(&rt);
+    let path = "/data/hdd/shared";
+    let sim = simrt::Sim::new();
+    sim.spawn("fold", move || {
+        sink.on_events(&events_for(path));
+
+        let snap = rt.snapshot();
+        let rec = snap.posix_by_path(path).expect("app record exists");
+        assert_eq!(rec.counters[PosixCounter::POSIX_BYTES_READ as usize], 1000);
+        assert_eq!(rec.counters[PosixCounter::POSIX_BYTES_WRITTEN as usize], 0);
+        assert_eq!(rec.counters[PosixCounter::POSIX_OPENS as usize], 1);
+        let totals = rt.totals();
+        assert_eq!(totals.posix_bytes_read, 1000);
+    });
+    sim.run();
+}

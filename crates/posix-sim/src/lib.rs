@@ -15,7 +15,7 @@ pub mod process;
 pub mod symtab;
 
 pub use errno::{Errno, PosixResult};
-pub use libc::{DefaultLibc, DefaultStdio, BUFSIZ};
+pub use libc::{DefaultLibc, DefaultStdio, PrefetchOrigin, BUFSIZ};
 pub use process::{Fd, FdEntry, MapEntry, MapId, OpenFlags, Process, StreamId, Whence, PAGE_SIZE};
 pub use symtab::{Got, GotError, LibcIo, LibcStdio, POSIX_SYMBOLS, STDIO_SYMBOLS};
 

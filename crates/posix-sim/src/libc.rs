@@ -23,11 +23,18 @@ thread_local! {
     /// Non-zero while `DefaultStdio` performs its own buffer refills,
     /// spills and stream open/close against the POSIX layer.
     static STDIO_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Depth of staging-daemon I/O on this carrier thread (see
+    /// [`PrefetchOrigin`]).
+    static PREFETCH_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Origin tag for events emitted on the current thread right now.
+/// Prefetch outranks stdio-internal: a daemon that copies through `fread`
+/// is still daemon traffic.
 pub(crate) fn current_origin() -> Origin {
-    if STDIO_DEPTH.with(|d| d.get()) > 0 {
+    if PREFETCH_DEPTH.with(|d| d.get()) > 0 {
+        Origin::Prefetch
+    } else if STDIO_DEPTH.with(|d| d.get()) > 0 {
         Origin::StdioInternal
     } else {
         Origin::App
@@ -51,6 +58,28 @@ impl Drop for StdioInternal {
     }
 }
 
+/// RAII marker: POSIX/STDIO I/O performed on this simulated thread while
+/// the guard lives was issued by a background staging/prefetch daemon, so
+/// its probe events carry [`Origin::Prefetch`]. Application-attributed
+/// consumers (the Darshan modules) skip such events; system-wide consumers
+/// (dstat) still see them. This is the same mechanism that keeps
+/// stdio-internal buffer refills out of interposed `read`.
+pub struct PrefetchOrigin;
+
+impl PrefetchOrigin {
+    /// Tag all I/O on the current simulated thread until the guard drops.
+    pub fn enter() -> Self {
+        PREFETCH_DEPTH.with(|d| d.set(d.get() + 1));
+        PrefetchOrigin
+    }
+}
+
+impl Drop for PrefetchOrigin {
+    fn drop(&mut self) {
+        PREFETCH_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
 /// The default POSIX implementation.
 pub struct DefaultLibc;
 
@@ -66,8 +95,12 @@ impl LibcIo for DefaultLibc {
     fn open(&self, p: &Process, path: &str, flags: OpenFlags) -> PosixResult<Fd> {
         let t0 = p.probe_t0();
         self.syscall(p);
-        let fs = p.stack().resolve(path).map_err(Errno::from)?;
-        let h = fs.open(path, &flags.to_fs()).map_err(Errno::from)?;
+        // Staged files open transparently at their fast-tier copy; the
+        // descriptor (and every probe event) keeps the application path.
+        let staged = p.stack().rewrite_for_open(path, flags.write);
+        let target = staged.as_deref().unwrap_or(path);
+        let fs = p.stack().resolve(target).map_err(Errno::from)?;
+        let h = fs.open(target, &flags.to_fs()).map_err(Errno::from)?;
         let pos = if flags.append {
             fs.fstat(h).map_err(Errno::from)?.size
         } else {
@@ -203,8 +236,10 @@ impl LibcIo for DefaultLibc {
     fn stat(&self, p: &Process, path: &str) -> PosixResult<Metadata> {
         let t0 = p.probe_t0();
         self.syscall(p);
-        let fs = p.stack().resolve(path).map_err(Errno::from)?;
-        let md = fs.stat(path).map_err(Errno::from)?;
+        let staged = p.stack().rewrite(path);
+        let target = staged.as_deref().unwrap_or(path);
+        let fs = p.stack().resolve(target).map_err(Errno::from)?;
+        let md = fs.stat(target).map_err(Errno::from)?;
         if let Some(t0) = t0 {
             p.probe_emit(t0, Arc::from(path), EventKind::Stat);
         }
@@ -235,8 +270,9 @@ impl LibcIo for DefaultLibc {
 
     fn unlink(&self, p: &Process, path: &str) -> PosixResult<()> {
         self.syscall(p);
-        let fs = p.stack().resolve(path).map_err(Errno::from)?;
-        fs.unlink(path).map_err(Errno::from)
+        // Route through the stack wrapper: unlinking a staged path drops
+        // the redirect and removes the fast-tier copy too.
+        p.stack().unlink(path).map_err(Errno::from)
     }
 
     fn rename(&self, p: &Process, from: &str, to: &str) -> PosixResult<()> {

@@ -44,6 +44,13 @@ pub enum Origin {
     /// that model `LD_PRELOAD` interposition must ignore these: a real
     /// wrapped `read` never sees libc-internal `fread` traffic.
     StdioInternal,
+    /// A background staging/prefetch daemon issued this operation while
+    /// warming or draining a faster storage tier. Application-attributed
+    /// consumers (the Darshan modules) must ignore these — daemon traffic
+    /// would otherwise inflate the application's POSIX counters — while
+    /// system-wide consumers (dstat) still see it, as a real block-level
+    /// monitor would.
+    Prefetch,
 }
 
 /// What happened. Descriptor, stream and map handles are raw integers so the

@@ -475,6 +475,92 @@ impl Event {
     }
 }
 
+/// A reusable wakeup latch (the daemon-thread analogue of tokio's
+/// `Notify`): `notify_one` stores a permit and wakes one waiter; `wait` /
+/// `wait_timeout` consume the permit. A permit stored while nobody waits is
+/// consumed by the next wait, so a notification between "check work" and
+/// "block" is never lost.
+pub struct Notify {
+    st: Mutex<NotifyState>,
+}
+
+struct NotifyState {
+    pending: bool,
+    waiters: Vec<TaskId>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notify {
+    /// Create with no pending notification.
+    pub fn new() -> Self {
+        Notify {
+            st: Mutex::new(NotifyState {
+                pending: false,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Store a permit and wake one waiter (if any). Never blocks, so it is
+    /// safe to call from probe sinks and from host threads.
+    pub fn notify_one(&self) {
+        let mut st = self.st.lock();
+        st.pending = true;
+        if let Some(w) = st.waiters.pop() {
+            wake(w);
+        }
+    }
+
+    /// Block in virtual time until notified, consuming the permit.
+    pub fn wait(&self) {
+        loop {
+            {
+                let mut st = self.st.lock();
+                if st.pending {
+                    st.pending = false;
+                    return;
+                }
+                st.waiters.push(current_task());
+            }
+            block(None);
+        }
+    }
+
+    /// Block until notified or until `timeout` elapses. Returns true (and
+    /// consumes the permit) if notified.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = crate::sched::now() + timeout;
+        loop {
+            {
+                let mut st = self.st.lock();
+                if st.pending {
+                    st.pending = false;
+                    return true;
+                }
+                if crate::sched::now() >= deadline {
+                    return false;
+                }
+                st.waiters.push(current_task());
+            }
+            if block(Some(deadline)) == WakeReason::Timeout {
+                let mut st = self.st.lock();
+                let me = current_task();
+                st.waiters.retain(|t| *t != me);
+                if st.pending {
+                    st.pending = false;
+                    return true;
+                }
+                return false;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Barrier
 // ---------------------------------------------------------------------------
@@ -740,6 +826,50 @@ mod tests {
             assert_eq!(tx.try_send(2), Err(SendError(2)));
             assert_eq!(rx.try_recv(), Some(1));
             assert_eq!(rx.try_recv(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn notify_wakes_waiter_and_is_reusable() {
+        let sim = Sim::new();
+        let n = Arc::new(Notify::new());
+        let rounds = Arc::new(AtomicUsize::new(0));
+        let (n2, r2) = (n.clone(), rounds.clone());
+        sim.spawn("daemon", move || {
+            for _ in 0..3 {
+                assert!(n2.wait_timeout(Duration::from_secs(10)));
+                r2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        sim.spawn("poker", move || {
+            for _ in 0..3 {
+                sleep(Duration::from_millis(1));
+                n.notify_one();
+            }
+        });
+        sim.run();
+        assert_eq!(rounds.load(Ordering::SeqCst), 3);
+        assert!(
+            sim.now() < SimTime::ZERO + Duration::from_secs(1),
+            "no timeout was hit"
+        );
+    }
+
+    #[test]
+    fn notify_permit_outlives_the_notification() {
+        // A permit stored while nobody waits is consumed by the next wait.
+        let sim = Sim::new();
+        let n = Arc::new(Notify::new());
+        n.notify_one(); // host-side, before any waiter exists
+        sim.spawn("t", move || {
+            let t0 = now();
+            assert!(n.wait_timeout(Duration::from_secs(1)));
+            assert_eq!(now(), t0, "pending permit returns immediately");
+            assert!(
+                !n.wait_timeout(Duration::from_millis(2)),
+                "permit was consumed; second wait times out"
+            );
         });
         sim.run();
     }

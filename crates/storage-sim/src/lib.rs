@@ -25,4 +25,4 @@ pub use device::{CounterSnapshot, Device, DeviceError, DeviceFault, DeviceSpec, 
 pub use fs::{FileSystem, FsError, FsHandle, FsResult, Metadata, OpenOptions, WritePayload};
 pub use local::{LocalFs, LocalFsParams};
 pub use lustre::{LustreFs, LustreParams};
-pub use stack::{Mount, StorageStack};
+pub use stack::{Mount, StagedEntry, StorageStack};

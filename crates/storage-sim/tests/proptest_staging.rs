@@ -1,0 +1,180 @@
+//! Property tests of the tier-staging (promote / evict) API.
+//!
+//! Two invariants, under arbitrary interleavings of promotions (with an
+//! in-flight window between `begin_promote` and `commit_promote`),
+//! evictions, and concurrent readers:
+//!
+//! 1. **Read consistency** — an application read of the origin path always
+//!    returns the file's content, whether it lands on the original, the
+//!    committed fast copy, or an already-open handle to either;
+//! 2. **Occupancy** — the staged ledger never exceeds the fast tier's
+//!    capacity (the filesystem refuses with `NoSpace`, which staging must
+//!    surface, not mask).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use simrt::Sim;
+use storage_sim::{
+    content, Device, DeviceSpec, FileSystem, FsError, LocalFs, LocalFsParams, OpenOptions,
+    PageCache, StorageStack,
+};
+
+const FAST_CAP: u64 = 64 << 10;
+
+fn two_tier() -> (StorageStack, Arc<LocalFs>) {
+    let cache = Arc::new(PageCache::new(1 << 30));
+    let hdd = LocalFs::new(
+        Device::new(DeviceSpec::hdd("hdd0")),
+        cache.clone(),
+        LocalFsParams::default(),
+    );
+    let fast = LocalFs::new(
+        Device::new(DeviceSpec::optane("nvme0")),
+        cache,
+        LocalFsParams {
+            capacity: FAST_CAP,
+            ..Default::default()
+        },
+    );
+    let stack = StorageStack::new();
+    stack.mount("/slow", hdd as Arc<dyn FileSystem>);
+    stack.mount("/fast", fast.clone() as Arc<dyn FileSystem>);
+    (stack, fast)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Readers racing promotions and evictions always see each file's
+    /// synthetic content, and the staged ledger stays within capacity.
+    #[test]
+    fn concurrent_reads_survive_promote_evict(
+        n_files in 2usize..6,
+        sizes in prop::collection::vec(512u64..12_288, 2..6),
+        ops in prop::collection::vec((0usize..6, any::<bool>(), 0u64..400), 4..24),
+        readers in 1usize..4,
+    ) {
+        let (stack, _fast) = two_tier();
+        let files: Vec<(String, u64, u64)> = (0..n_files)
+            .map(|i| {
+                let path = format!("/slow/f{i}");
+                let size = sizes[i % sizes.len()];
+                let seed = 0xBEEF + i as u64;
+                stack.create_synthetic(&path, size, seed).unwrap();
+                (path, size, seed)
+            })
+            .collect();
+
+        let sim = Sim::new();
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Migrator: interleaved promotions (with an in-flight sleep so
+        // readers race the copy window) and evictions.
+        {
+            let stack = stack.clone();
+            let files = files.clone();
+            let done = done.clone();
+            let ops = ops.clone();
+            sim.spawn("migrator", move || {
+                for (idx, promote, delay_us) in ops {
+                    let (path, _, _) = &files[idx % files.len()];
+                    let dst = path.replace("/slow/", "/fast/");
+                    if promote {
+                        match stack.begin_promote(path, &dst) {
+                            Ok(()) => {
+                                simrt::sleep(Duration::from_micros(delay_us));
+                                if stack.commit_promote(path, &dst).is_err() {
+                                    stack.abort_promote(path);
+                                }
+                            }
+                            Err(FsError::Exists) => {} // staged or in flight
+                            Err(e) => panic!("begin_promote: {e:?}"),
+                        }
+                    } else {
+                        match stack.evict(path) {
+                            Ok(_) | Err(FsError::NotFound) => {}
+                            Err(e) => panic!("evict: {e:?}"),
+                        }
+                    }
+                    assert!(
+                        stack.staged_bytes() <= FAST_CAP,
+                        "staged ledger exceeds fast-tier capacity"
+                    );
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+
+        for r in 0..readers {
+            let stack = stack.clone();
+            let files = files.clone();
+            let done = done.clone();
+            sim.spawn(format!("reader{r}"), move || {
+                let mut pass = 0usize;
+                loop {
+                    let stop = done.load(Ordering::SeqCst);
+                    for (path, size, seed) in &files {
+                        let (fs, h) = stack.open(path, &OpenOptions::reading()).unwrap();
+                        let mut buf = vec![0u8; *size as usize];
+                        let n = fs.read_at(h, 0, *size, Some(&mut buf)).unwrap();
+                        assert_eq!(n, *size);
+                        let mut want = vec![0u8; *size as usize];
+                        content::fill(*seed, 0, &mut want);
+                        assert_eq!(buf, want, "{path} content diverged mid-migration");
+                        fs.close(h).unwrap();
+                    }
+                    pass += 1;
+                    if stop {
+                        break;
+                    }
+                }
+                assert!(pass >= 1);
+            });
+        }
+        sim.run();
+        prop_assert!(stack.staged_bytes() <= FAST_CAP);
+        // Nothing left half-migrated: every file still readable, ledger
+        // consistent with the staged set.
+        let ledger: u64 = stack.staged().iter().map(|(_, e)| e.bytes).sum();
+        prop_assert_eq!(ledger, stack.staged_bytes());
+    }
+
+    /// Promotions alone can never push the staged ledger past the fast
+    /// tier's capacity: once the filesystem says `NoSpace`, the promote
+    /// fails cleanly and the origin stays authoritative.
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        sizes in prop::collection::vec(4_096u64..24_576, 3..10),
+    ) {
+        let (stack, _fast) = two_tier();
+        let files: Vec<String> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let path = format!("/slow/g{i}");
+                stack.create_synthetic(&path, size, i as u64).unwrap();
+                path
+            })
+            .collect();
+        let sim = Sim::new();
+        let stack2 = stack.clone();
+        sim.spawn("promoter", move || {
+            for path in &files {
+                let dst = path.replace("/slow/", "/fast/");
+                match stack2.promote_untimed(path, &dst) {
+                    Ok(_) | Err(FsError::NoSpace) => {}
+                    Err(e) => panic!("promote: {e:?}"),
+                }
+                assert!(stack2.staged_bytes() <= FAST_CAP);
+                // A failed promote leaves no in-flight residue: the origin
+                // still reads fine through the stack.
+                assert!(stack2.stat(path).is_ok());
+            }
+        });
+        sim.run();
+        prop_assert!(stack.staged_bytes() <= FAST_CAP);
+    }
+}

@@ -125,6 +125,58 @@ impl DynamicParallelism {
     }
 }
 
+/// Epoch-order hint published by a pipeline for an online staging daemon
+/// (the *clairvoyant* policy of `crates/prefetch`): ML training revisits
+/// the same file list every epoch, so once the order is known a prefetcher
+/// can stage files **ahead of** the consumer cursor instead of reacting to
+/// misses. The pipeline updates the cursor as map workers claim indices;
+/// the daemon reads `files()`/`cursor()` and stays ahead.
+#[derive(Debug, Default)]
+pub struct EpochOrder {
+    files: parking_lot::Mutex<Arc<Vec<String>>>,
+    cursor: AtomicUsize,
+    epoch: AtomicUsize,
+}
+
+impl EpochOrder {
+    /// New, empty hint (no order known yet).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish the epoch's file order **before** the first `iterate()` —
+    /// lets a clairvoyant daemon warm the fast tier during setup, ahead of
+    /// any consumer. Does not bump the epoch counter.
+    pub fn preload(&self, files: Arc<Vec<String>>) {
+        *self.files.lock() = files;
+    }
+
+    /// The current epoch's file list, in visit order.
+    pub fn files(&self) -> Arc<Vec<String>> {
+        self.files.lock().clone()
+    }
+
+    /// Highest file index claimed by a map worker this epoch.
+    pub fn cursor(&self) -> usize {
+        self.cursor.load(Ordering::SeqCst)
+    }
+
+    /// Number of epochs started (a `preload` alone does not count).
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn begin_epoch(&self, files: Arc<Vec<String>>) {
+        *self.files.lock() = files;
+        self.cursor.store(0, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn advance(&self, i: usize) {
+        self.cursor.fetch_max(i, Ordering::SeqCst);
+    }
+}
+
 /// Context handed to capture functions running on pipeline threads.
 pub struct PipelineCtx {
     /// The runtime (process, recorder).
@@ -143,6 +195,7 @@ pub struct Dataset {
     parallelism: Parallelism,
     batch: usize,
     prefetch: usize,
+    order_hint: Option<Arc<EpochOrder>>,
 }
 
 impl Dataset {
@@ -154,6 +207,7 @@ impl Dataset {
             parallelism: Parallelism::Fixed(1),
             batch: 1,
             prefetch: 0,
+            order_hint: None,
         }
     }
 
@@ -174,6 +228,14 @@ impl Dataset {
     /// `.prefetch(k)`.
     pub fn prefetch(mut self, k: usize) -> Self {
         self.prefetch = k;
+        self
+    }
+
+    /// Publish epoch order + consumer progress through `hint` so an online
+    /// staging daemon can prefetch ahead of the pipeline (see
+    /// [`EpochOrder`]). Each `iterate()` begins a new epoch on the hint.
+    pub fn with_order_hint(mut self, hint: Arc<EpochOrder>) -> Self {
+        self.order_hint = Some(hint);
         self
     }
 
@@ -202,6 +264,10 @@ impl Dataset {
             Arc::new(|_ctx: &PipelineCtx, index, _path: &str| Element { index, bytes: 0 })
         });
 
+        if let Some(hint) = &self.order_hint {
+            hint.begin_epoch(self.files.clone());
+        }
+
         // Ordered parallel map: in-flight tickets bound concurrency; the
         // reorder stage emits in index order and returns tickets.
         let tickets = Arc::new(Semaphore::new(workers));
@@ -217,6 +283,7 @@ impl Dataset {
             let map_fn = map_fn.clone();
             let ctx = PipelineCtx { rt: rt.clone() };
             let dyn_ctl = dyn_ctl.clone();
+            let hint = self.order_hint.clone();
             rt.sim().spawn(format!("tf.data.map[{w}]"), move || {
                 loop {
                     if let Some(ctl) = &dyn_ctl {
@@ -234,6 +301,9 @@ impl Dataset {
                     if i >= files.len() {
                         tickets.release();
                         break;
+                    }
+                    if let Some(h) = &hint {
+                        h.advance(i);
                     }
                     let elem = map_fn(&ctx, i, &files[i]);
                     if etx.send((i, elem)).is_err() {

@@ -22,7 +22,8 @@ pub mod traceme;
 
 pub use analysis::{InputPipelineAnalysis, StepBreakdown};
 pub use data::{
-    Batch, BatchIterator, Dataset, DynamicParallelism, Element, MapFn, Parallelism, PipelineCtx,
+    Batch, BatchIterator, Dataset, DynamicParallelism, Element, EpochOrder, MapFn, Parallelism,
+    PipelineCtx,
 };
 pub use model::{
     fit, stream, Callback, FitResult, ModelCheckpoint, ModelSpec, StepStat, TensorBoardCallback,

@@ -13,7 +13,9 @@ pub mod experiments;
 pub mod lmdb;
 pub mod models;
 pub mod platform;
+pub mod prefetch_ablation;
 
 pub use dataset::{GeneratedDataset, Scale};
 pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Workload};
 pub use platform::{greendog, kebnekaise, mounts, Machine};
+pub use prefetch_ablation::{AblationConfig, AblationRun, StagingMode};

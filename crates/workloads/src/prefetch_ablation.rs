@@ -1,0 +1,251 @@
+//! Online-staging ablation driver: STREAM(ImageNet) on the Greendog HDD
+//! with four staging modes, from nothing to a clairvoyant daemon.
+//!
+//! The paper's §V.B staging result is offline — profile, copy, rerun.
+//! This driver measures what the `prefetch` crate adds on top: the same
+//! dataset and pipeline, but the fast tier is filled *while training runs*.
+//! The expected ordering (asserted by `bench/benches/ablation_prefetch.rs`
+//! and the root integration test) is
+//! `clairvoyant ≥ reactive ≥ static ≥ none`.
+//!
+//! Caches are dropped at every epoch boundary, as the paper does between
+//! Greendog experiments — otherwise the 26 GB page cache absorbs the whole
+//! ~1 GB dataset after epoch one and hides any tier effect.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use prefetch::{Policy, PrefetchConfig, PrefetchDaemon};
+use tfsim::{Dataset, EpochOrder, Parallelism};
+
+use crate::dataset::stream_imagenet;
+use crate::models::stream_capture;
+use crate::platform::{greendog, mounts};
+use crate::Scale;
+use tfdarshan::{advise_threshold, plan_by_threshold, seed_plan, FileActivity};
+
+/// The staging modes under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StagingMode {
+    /// Everything stays on the HDD.
+    None,
+    /// The paper's offline flow: one untimed `advise_threshold` +
+    /// `apply_staging` pass before the first epoch, nothing online.
+    Static,
+    /// Online daemon, [`Policy::Reactive`]: heat from observed events only.
+    Reactive,
+    /// Online daemon, [`Policy::Clairvoyant`]: advisor-seeded plan plus the
+    /// pipeline's [`EpochOrder`] hint, staging ahead of the consumer.
+    Clairvoyant,
+}
+
+impl StagingMode {
+    /// Label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StagingMode::None => "none",
+            StagingMode::Static => "static",
+            StagingMode::Reactive => "reactive",
+            StagingMode::Clairvoyant => "clairvoyant",
+        }
+    }
+
+    /// All modes, weakest first.
+    pub fn all() -> [StagingMode; 4] {
+        [
+            StagingMode::None,
+            StagingMode::Static,
+            StagingMode::Reactive,
+            StagingMode::Clairvoyant,
+        ]
+    }
+}
+
+/// Ablation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationConfig {
+    /// Dataset scale (1.0 = the paper's 12 800-file STREAM subset).
+    pub scale: Scale,
+    /// Measured epochs (≥ 2 so online modes get to exploit what they
+    /// learned in epoch one).
+    pub epochs: usize,
+    /// Fast-tier byte budget as a fraction of the dataset's total bytes.
+    pub budget_fraction: f64,
+    /// `num_parallel_calls` of the map stage.
+    pub threads: usize,
+    /// Untimed setup window before the first measured epoch, applied in
+    /// **every** mode for fairness; only the clairvoyant daemon can use it
+    /// (its preloaded order hint lets it stage before any read happens).
+    pub warmup: Duration,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            scale: Scale::of(1.0),
+            epochs: 3,
+            budget_fraction: 0.8,
+            threads: 16,
+            warmup: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One mode's measured outcome.
+#[derive(Clone, Debug)]
+pub struct AblationRun {
+    /// Which mode ran.
+    pub mode: StagingMode,
+    /// Aggregate application read bandwidth over all measured epochs.
+    pub read_mibps: f64,
+    /// Total measured wall time (virtual seconds).
+    pub wall_s: f64,
+    /// Per-epoch wall time.
+    pub epoch_s: Vec<f64>,
+    /// Application bytes read across all epochs.
+    pub bytes_read: u64,
+    /// Fast-tier bytes occupied when the run ended.
+    pub staged_bytes: u64,
+    /// Files the daemon (or static pass) promoted.
+    pub promoted_files: u64,
+    /// Files the daemon evicted.
+    pub evicted_files: u64,
+}
+
+fn activity_of(files: &[String], sizes: &[u64]) -> Vec<FileActivity> {
+    files
+        .iter()
+        .zip(sizes)
+        .map(|(path, &size)| FileActivity {
+            path: path.clone(),
+            reads: 1,
+            bytes_read: size,
+            apparent_size: size,
+            read_time: 0.0,
+        })
+        .collect()
+}
+
+/// Run one mode end to end on a fresh Greendog machine.
+pub fn run_mode(mode: StagingMode, cfg: &AblationConfig) -> AblationRun {
+    let m = greendog();
+    let ds = stream_imagenet(&m.stack, mounts::HDD, cfg.scale);
+    let total = ds.total_bytes();
+    let budget = (total as f64 * cfg.budget_fraction) as u64;
+    let activity = activity_of(&ds.files, &ds.sizes);
+
+    let hint = EpochOrder::new();
+    if mode == StagingMode::Clairvoyant {
+        hint.preload(Arc::new(ds.files.clone()));
+    }
+    let daemon = match mode {
+        StagingMode::Reactive => Some(PrefetchDaemon::spawn(
+            &m.sim,
+            m.process.clone(),
+            PrefetchConfig::new(Policy::Reactive, mounts::HDD, mounts::OPTANE, budget),
+            None,
+        )),
+        StagingMode::Clairvoyant => Some(PrefetchDaemon::spawn(
+            &m.sim,
+            m.process.clone(),
+            PrefetchConfig::new(Policy::Clairvoyant, mounts::HDD, mounts::OPTANE, budget)
+                .with_seed(seed_plan(&activity, budget)),
+            Some(hint.clone()),
+        )),
+        _ => None,
+    };
+
+    let epoch_s = Arc::new(Mutex::new(Vec::new()));
+    let out_times = epoch_s.clone();
+    let trainer = {
+        let (stack, cache, rt) = (m.stack.clone(), m.cache.clone(), m.rt.clone());
+        let files = ds.files.clone();
+        let d2 = daemon.clone();
+        let (epochs, threads, warmup) = (cfg.epochs, cfg.threads, cfg.warmup);
+        let use_hint = mode == StagingMode::Clairvoyant;
+        move || {
+            if mode == StagingMode::Static {
+                // The paper's offline pass: pick the threshold from the
+                // profile, stage untimed before the measured run.
+                let thr = advise_threshold(&activity, budget);
+                let plan = plan_by_threshold(&activity, thr);
+                let _ = tfdarshan::apply_staging(&stack, &plan, mounts::HDD, mounts::OPTANE);
+            }
+            simrt::sleep(warmup);
+            for _epoch in 0..epochs {
+                cache.drop_caches();
+                let t0 = simrt::now();
+                let mut pipe = Dataset::from_files(files.clone())
+                    .map(stream_capture(), Parallelism::Fixed(threads))
+                    .batch(32)
+                    .prefetch(4);
+                if use_hint {
+                    pipe = pipe.with_order_hint(hint.clone());
+                }
+                let mut it = pipe.iterate(&rt);
+                while it.next().is_some() {}
+                out_times.lock().push((simrt::now() - t0).as_secs_f64());
+            }
+            if let Some(d) = &d2 {
+                d.stop();
+            }
+        }
+    };
+    m.sim.spawn("trainer", trainer);
+    m.sim.run();
+
+    let epoch_s = epoch_s.lock().clone();
+    let wall_s: f64 = epoch_s.iter().sum();
+    let bytes_read = total * cfg.epochs as u64;
+    let stats = daemon.as_ref().map(|d| d.stats()).unwrap_or_default();
+    let promoted_files = if mode == StagingMode::Static {
+        m.stack.staged_files() as u64
+    } else {
+        stats.promoted_files
+    };
+    AblationRun {
+        mode,
+        read_mibps: bytes_read as f64 / wall_s / (1 << 20) as f64,
+        wall_s,
+        epoch_s,
+        bytes_read,
+        staged_bytes: m.stack.staged_bytes(),
+        promoted_files,
+        evicted_files: stats.evicted_files,
+    }
+}
+
+/// Run every mode (weakest first) with the same configuration.
+pub fn run_all(cfg: &AblationConfig) -> Vec<AblationRun> {
+    StagingMode::all()
+        .into_iter()
+        .map(|mode| run_mode(mode, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_order_on_a_small_run() {
+        let cfg = AblationConfig {
+            scale: Scale::of(0.02),
+            epochs: 2,
+            warmup: Duration::from_millis(500),
+            ..Default::default()
+        };
+        let runs = run_all(&cfg);
+        assert_eq!(runs.len(), 4);
+        let bw: Vec<f64> = runs.iter().map(|r| r.read_mibps).collect();
+        // clairvoyant ≥ reactive ≥ static ≥ none (small tolerance: the
+        // sim is deterministic but modes share no RNG draws).
+        assert!(
+            bw[3] >= bw[2] * 0.99 && bw[2] >= bw[1] * 0.99 && bw[1] >= bw[0],
+            "expected clairvoyant ≥ reactive ≥ static ≥ none, got {bw:?}"
+        );
+        assert!(runs[2].promoted_files > 0, "reactive staged something");
+        assert!(runs[3].promoted_files > 0, "clairvoyant staged something");
+    }
+}

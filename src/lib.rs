@@ -3,6 +3,7 @@ pub use darshan_sim as darshan;
 pub use dstat_sim as dstat;
 pub use mpi_sim as mpi;
 pub use posix_sim as posix;
+pub use prefetch;
 pub use probe;
 pub use simrt;
 pub use storage_sim as storage;
