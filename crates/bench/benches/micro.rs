@@ -95,6 +95,35 @@ fn bench_darshan(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // Steady state of the incremental engine: 1k records resident, 10
+    // dirtied since the last extraction — the snapshot only copies those.
+    g.bench_function("snapshot_1k_records_10_dirty", |b| {
+        b.iter_batched(
+            Sim::new,
+            |sim| {
+                sim.spawn("t", || {
+                    let rt = DarshanRuntime::new(DarshanConfig {
+                        per_op_overhead: Duration::ZERO,
+                        new_record_overhead: Duration::ZERO,
+                        snapshot_cost_per_record: Duration::ZERO,
+                        ..Default::default()
+                    });
+                    let t = simrt::now();
+                    let ids: Vec<u64> = (0..1_000)
+                        .map(|i| rt.posix_open(&format!("/f{i}"), t, t).unwrap())
+                        .collect();
+                    rt.snapshot();
+                    for id in ids.iter().take(10) {
+                        rt.posix_read(*id, 0, 100, t, t);
+                    }
+                    let snap = rt.snapshot();
+                    assert_eq!(snap.posix.len(), 1_000);
+                });
+                sim.run();
+            },
+            BatchSize::SmallInput,
+        );
+    });
     g.finish();
 }
 
@@ -120,8 +149,8 @@ fn bench_log(c: &mut Criterion) {
             job_start: 0.0,
             job_end: 100.0,
             nprocs: 1,
-            names: snap.names,
-            posix: snap.posix,
+            names: (*snap.names).clone(),
+            posix: snap.posix.iter().map(|r| (**r).clone()).collect(),
             posix_partial: false,
             stdio: vec![],
             stdio_partial: false,

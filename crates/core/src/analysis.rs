@@ -22,18 +22,30 @@ pub struct SnapshotDiff {
     pub posix: Vec<PosixRecord>,
     /// STDIO per-file deltas.
     pub stdio: Vec<StdioRecord>,
-    /// Record-id → path (from the stop snapshot).
-    pub names: HashMap<u64, String>,
+    /// Record-id → path (shared with the stop snapshot, zero-copy).
+    pub names: std::sync::Arc<HashMap<u64, String>>,
     /// Either module hit its record-memory cap.
     pub partial: bool,
 }
 
-fn diff_posix(start: &[PosixRecord], stop: &[PosixRecord]) -> Vec<PosixRecord> {
-    let base: HashMap<u64, &PosixRecord> = start.iter().map(|r| (r.rec_id, r)).collect();
+// Diffing walks the stop snapshot but skips every record whose
+// `dirty_epoch` predates the start snapshot in O(1) — those records were
+// not mutated inside the window, so their delta is identically zero. Only
+// changed records pay the clone + subtraction, making the whole diff
+// O(total) pointer chases + O(changed) record work. Records that *were*
+// changed find their baseline by binary search (snapshots are sorted by
+// record id). The any-nonzero `active` filter is kept for changed records
+// whose integer counters happen not to move (e.g. only timestamps did).
+
+fn diff_posix(start: &Snapshot, stop: &Snapshot) -> Vec<PosixRecord> {
     let mut out = Vec::new();
-    for r in stop {
-        let mut d = r.clone();
-        if let Some(b) = base.get(&r.rec_id) {
+    for r in stop.posix.iter() {
+        if r.dirty_epoch <= start.epoch {
+            continue; // unchanged since `start`: zero delta
+        }
+        let mut d = (**r).clone();
+        if let Ok(i) = start.posix.binary_search_by_key(&r.rec_id, |x| x.rec_id) {
+            let b = &start.posix[i];
             for i in 0..d.counters.len() {
                 d.counters[i] -= b.counters[i];
             }
@@ -55,12 +67,15 @@ fn diff_posix(start: &[PosixRecord], stop: &[PosixRecord]) -> Vec<PosixRecord> {
     out
 }
 
-fn diff_stdio(start: &[StdioRecord], stop: &[StdioRecord]) -> Vec<StdioRecord> {
-    let base: HashMap<u64, &StdioRecord> = start.iter().map(|r| (r.rec_id, r)).collect();
+fn diff_stdio(start: &Snapshot, stop: &Snapshot) -> Vec<StdioRecord> {
     let mut out = Vec::new();
-    for r in stop {
-        let mut d = r.clone();
-        if let Some(b) = base.get(&r.rec_id) {
+    for r in stop.stdio.iter() {
+        if r.dirty_epoch <= start.epoch {
+            continue;
+        }
+        let mut d = (**r).clone();
+        if let Ok(i) = start.stdio.binary_search_by_key(&r.rec_id, |x| x.rec_id) {
+            let b = &start.stdio[i];
             for i in 0..d.counters.len() {
                 d.counters[i] -= b.counters[i];
             }
@@ -72,12 +87,12 @@ fn diff_stdio(start: &[StdioRecord], stop: &[StdioRecord]) -> Vec<StdioRecord> {
     out
 }
 
-/// Diff two snapshots taken from the same runtime.
+/// Diff two snapshots taken from the same runtime (`start` first).
 pub fn diff(start: &Snapshot, stop: &Snapshot) -> SnapshotDiff {
     SnapshotDiff {
         window: (start.taken_at, stop.taken_at),
-        posix: diff_posix(&start.posix, &stop.posix),
-        stdio: diff_stdio(&start.stdio, &stop.stdio),
+        posix: diff_posix(start, stop),
+        stdio: diff_stdio(start, stop),
         names: stop.names.clone(),
         partial: stop.posix_partial || stop.stdio_partial,
     }

@@ -110,7 +110,11 @@ impl TfDarshanWrapper {
 
     /// Begin a profiling window: attach if needed and take the start
     /// snapshot ("our tracer calls the wrapper to make a copy of the
-    /// Darshan module data structures" — §III.C).
+    /// Darshan module data structures" — §III.C). Snapshots are
+    /// incremental: the extraction copies only records dirtied since the
+    /// previous one, and carries the extraction epoch plus the DXT append
+    /// watermarks the stop-side analysis threads through to `diff` and
+    /// [`TfDarshanWrapper::session_dxt`].
     pub fn mark_start(&self) -> Result<(), GotError> {
         self.attach()?;
         let snap = self.lib.runtime().snapshot();
@@ -126,7 +130,9 @@ impl TfDarshanWrapper {
         self.session.lock().stop = Some(snap);
     }
 
-    /// The start/stop snapshot pair of the last completed window.
+    /// The start/stop snapshot pair of the last completed window. Cheap:
+    /// snapshots share their records via `Arc`, so the clone is pointer
+    /// bumps, not record copies.
     pub fn session_snapshots(&self) -> Option<(Snapshot, Snapshot)> {
         let s = self.session.lock();
         match (&s.start, &s.stop) {
@@ -135,12 +141,15 @@ impl TfDarshanWrapper {
         }
     }
 
-    /// DXT segments overlapping the last window.
+    /// DXT segments appended during the last window, extracted via the
+    /// snapshots' per-record append watermarks — O(session segments)
+    /// instead of a scan over every segment ever recorded, and a segment
+    /// ending exactly at a snapshot boundary lands in exactly one window.
     pub fn session_dxt(&self) -> Vec<(u64, DxtSegment)> {
         let Some((a, b)) = self.session_snapshots() else {
             return Vec::new();
         };
-        self.lib.runtime().dxt_range(a.taken_at, b.taken_at)
+        self.lib.runtime().dxt_between(&a, &b)
     }
 
     /// Cheap bandwidth probe over the last window (MiB/s of POSIX reads),

@@ -214,6 +214,11 @@ pub struct PosixRecord {
     pub last_write_end: u64,
     /// Last operation was a write (for RW_SWITCHES).
     pub last_was_write: Option<bool>,
+    /// Runtime bookkeeping: the extraction epoch during which this record
+    /// was last mutated. Not part of the Darshan log format (the encoder
+    /// serializes explicit fields only); `DarshanRuntime::snapshot` uses it
+    /// to copy only records dirtied since the previous extraction.
+    pub dirty_epoch: u64,
 }
 
 impl PosixRecord {
@@ -227,6 +232,7 @@ impl PosixRecord {
             last_read_end: 0,
             last_write_end: 0,
             last_was_write: None,
+            dirty_epoch: 0,
         }
     }
 
@@ -282,6 +288,9 @@ pub struct StdioRecord {
     pub counters: [i64; StdioCounter::COUNT],
     /// Float counters.
     pub fcounters: [f64; StdioFCounter::COUNT],
+    /// Runtime bookkeeping: extraction epoch of the last mutation (see
+    /// [`PosixRecord::dirty_epoch`]).
+    pub dirty_epoch: u64,
 }
 
 impl StdioRecord {
@@ -291,6 +300,7 @@ impl StdioRecord {
             rec_id,
             counters: [0; StdioCounter::COUNT],
             fcounters: [0.0; StdioFCounter::COUNT],
+            dirty_epoch: 0,
         }
     }
 

@@ -167,14 +167,16 @@ impl DarshanLibrary {
                 dxt.insert(r.rec_id, segs);
             }
         }
+        // The log owns its records: unwrap the snapshot's `Arc` sharing
+        // (clone only here, at the classic post-mortem boundary).
         Ok(DarshanLog {
             job_start: 0.0,
             job_end: snap.taken_at,
             nprocs: 1,
-            names: snap.names.clone(),
-            posix: snap.posix,
+            names: (*snap.names).clone(),
+            posix: snap.posix.iter().map(|r| (**r).clone()).collect(),
             posix_partial: snap.posix_partial,
-            stdio: snap.stdio,
+            stdio: snap.stdio.iter().map(|r| (**r).clone()).collect(),
             stdio_partial: snap.stdio_partial,
             dxt,
         })

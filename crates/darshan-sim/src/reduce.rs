@@ -103,10 +103,13 @@ fn is_access_slot(c: P) -> bool {
 
 /// Reduce full per-rank record sets into the job view: records of files
 /// touched by several ranks merge; rank-private files pass through.
-pub fn reduce_job(per_rank: &[Vec<PosixRecord>]) -> Vec<PosixRecord> {
+/// Generic over owned records and the `Arc`-shared records that
+/// incremental snapshots hand out.
+pub fn reduce_job<R: std::borrow::Borrow<PosixRecord>>(per_rank: &[Vec<R>]) -> Vec<PosixRecord> {
     let mut by_id: HashMap<u64, Vec<PosixRecord>> = HashMap::new();
     for rank in per_rank {
         for r in rank {
+            let r = r.borrow();
             by_id.entry(r.rec_id).or_default().push(r.clone());
         }
     }

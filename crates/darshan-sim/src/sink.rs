@@ -21,6 +21,11 @@
 //!   a background copier does not run through the app's patched GOT);
 //! * [`EventKind::MmapFault`]s are skipped: faults are not syscalls, so
 //!   symbol-level instrumentation stays blind to them (paper §VII).
+//!
+//! Every runtime mutator this fold calls stamps the touched record with the
+//! current extraction epoch, which is what lets
+//! [`DarshanRuntime::snapshot`] copy only the records this fold dirtied
+//! since the previous extraction (O(dirty), not O(total)).
 
 use std::collections::HashMap;
 use std::sync::Arc;

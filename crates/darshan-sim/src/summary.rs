@@ -95,7 +95,7 @@ impl JobSummary {
         if s.runtime > 0.0 {
             s.io_time_fraction = (s.read_time + s.write_time + s.meta_time) / s.runtime;
         }
-        by_time.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        by_time.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         by_time.truncate(top_n);
         s.top_by_read_time = by_time;
         by_bytes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

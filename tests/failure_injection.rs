@@ -185,6 +185,65 @@ fn detach_mid_profiler_session_flushes_pending_events() {
 }
 
 #[test]
+fn detach_mid_session_yields_correct_incremental_diff() {
+    // Regression for the incremental snapshot engine: a detach between the
+    // start and stop snapshots must flush the buffered events into the
+    // records *before* the stop-side extraction, and the epoch-skipping
+    // diff must attribute exactly the in-window activity — a file only
+    // touched before the window contributes nothing, even though its
+    // record is still resident (and Arc-shared) in both snapshots.
+    let (sim, p, fs) = fixture(1 << 30);
+    fs.create_synthetic("/data/pre", 32 << 10, 1).unwrap();
+    fs.create_synthetic("/data/live", 64 << 10, 2).unwrap();
+    sim.spawn("t", move || {
+        let lib = DarshanLibrary::new(DarshanConfig::default());
+        lib.attach(&p).unwrap();
+        // Pre-window activity only.
+        let fd = p.open("/data/pre", OpenFlags::rdonly()).unwrap();
+        p.pread(fd, 0, 32 << 10, None).unwrap();
+        p.close(fd).unwrap();
+        let start = lib.runtime().snapshot();
+        // In-window activity, then detach before the stop snapshot. The
+        // trailing lseek/fstat never context-switch, so they are still in
+        // the thread buffer when detach unhooks the sink.
+        let fd = p.open("/data/live", OpenFlags::rdonly()).unwrap();
+        p.pread(fd, 0, 64 << 10, None).unwrap();
+        p.lseek(fd, 0, tf_darshan::posix::Whence::Set).unwrap();
+        p.fstat(fd).unwrap();
+        p.close(fd).unwrap();
+        lib.detach(&p).unwrap();
+        let stop = lib.runtime().snapshot();
+        assert!(stop.epoch > start.epoch, "each extraction claims an epoch");
+
+        let d = tf_darshan::tfdarshan::diff(&start, &stop);
+        assert_eq!(d.posix.len(), 1, "only the in-window file has a delta");
+        let live_id = d.posix[0].rec_id;
+        assert_eq!(d.names[&live_id], "/data/live");
+        assert_eq!(d.posix[0].get(P::POSIX_OPENS), 1);
+        assert_eq!(d.posix[0].get(P::POSIX_READS), 1);
+        assert_eq!(d.posix[0].get(P::POSIX_BYTES_READ), 64 << 10);
+        assert_eq!(
+            d.posix[0].get(P::POSIX_SEEKS),
+            1,
+            "buffered lseek flushed by detach lands inside the window"
+        );
+        assert_eq!(d.posix[0].get(P::POSIX_STATS), 1);
+        // The untouched record was carried into the stop snapshot by
+        // Arc-sharing, not copied — same allocation in both.
+        let pre_id = tf_darshan::darshan::record_id("/data/pre");
+        let find = |s: &tf_darshan::darshan::Snapshot| {
+            s.posix
+                .iter()
+                .find(|r| r.rec_id == pre_id)
+                .cloned()
+                .unwrap()
+        };
+        assert!(Arc::ptr_eq(&find(&start), &find(&stop)));
+    });
+    sim.run();
+}
+
+#[test]
 fn profiler_state_errors_are_typed() {
     let (sim, p, _fs) = fixture(1 << 30);
     let rt = tf_darshan::tfsim::TfRuntime::new(p, sim.clone(), 4);

@@ -183,3 +183,117 @@ proptest! {
         prop_assert!(peak.load(std::sync::atomic::Ordering::SeqCst) <= 6);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental extraction is lossless: an arbitrary interleaving of
+    /// I/O and incremental `snapshot()` calls yields record blocks
+    /// byte-identical (counters incl. histograms and ACCESS1..4,
+    /// fcounters, names, DXT) to replaying the same ops on a fresh
+    /// runtime and extracting once at the end — the dirty-set engine
+    /// loses nothing and double-counts nothing.
+    #[test]
+    fn incremental_snapshots_equal_one_shot_extraction(
+        ops in prop::collection::vec(
+            (0usize..4, 0u8..6, 1u64..9_000, 1u64..500), 1..120),
+    ) {
+        use simrt::SimTime;
+        use tf_darshan::darshan::{DarshanConfig, DarshanRuntime};
+
+        let sim = simrt::Sim::new();
+        let ops2 = ops.clone();
+        let h = sim.spawn("t", move || {
+            let mk = || {
+                DarshanRuntime::new(DarshanConfig {
+                    per_op_overhead: Duration::ZERO,
+                    new_record_overhead: Duration::ZERO,
+                    snapshot_cost_per_record: Duration::ZERO,
+                    ..Default::default()
+                })
+            };
+            let live = mk();
+            let replay = mk();
+            let t0 = SimTime::from_nanos(0);
+            let mut ids = Vec::new();
+            let mut sids = Vec::new();
+            for f in 0..4 {
+                let path = format!("/d/f{f}");
+                ids.push((
+                    live.posix_open(&path, t0, t0).unwrap(),
+                    replay.posix_open(&path, t0, t0).unwrap(),
+                ));
+                let spath = format!("/d/s{f}");
+                sids.push((
+                    live.stdio_open(&spath, t0, t0).unwrap(),
+                    replay.stdio_open(&spath, t0, t0).unwrap(),
+                ));
+            }
+            let mut offs = [0u64; 4];
+            for (i, (f, kind, len, dur_us)) in ops2.into_iter().enumerate() {
+                // Synthetic timeline: monotonic starts, randomized
+                // durations, so DXT end times arrive out of order too.
+                let a = SimTime::from_nanos((i as u64 + 1) * 1_000_000);
+                let b = SimTime::from_nanos((i as u64 + 1) * 1_000_000 + dur_us * 1_000);
+                let (lid, rid) = ids[f];
+                match kind {
+                    0 | 1 => {
+                        // Sequential reads with occasional back-jumps
+                        // (exercises SEQ/CONSEC and the histograms).
+                        let off = if kind == 0 { offs[f] } else { offs[f] / 2 };
+                        live.posix_read(lid, off, len, a, b);
+                        replay.posix_read(rid, off, len, a, b);
+                        offs[f] = off + len;
+                    }
+                    2 => {
+                        live.posix_write(lid, offs[f], len, a, b);
+                        replay.posix_write(rid, offs[f], len, a, b);
+                        offs[f] += len;
+                    }
+                    3 => {
+                        live.posix_meta(lid, P::POSIX_STATS, a, b);
+                        replay.posix_meta(rid, P::POSIX_STATS, a, b);
+                    }
+                    4 => {
+                        let (ls, rs) = sids[f];
+                        live.stdio_write(ls, offs[f], len, a, b);
+                        replay.stdio_write(rs, offs[f], len, a, b);
+                    }
+                    _ => {
+                        // Incremental extraction on the live runtime only.
+                        live.snapshot();
+                    }
+                }
+            }
+            let dxt_live: Vec<_> = ids.iter().map(|&(l, _)| live.dxt_of(l)).collect();
+            let dxt_replay: Vec<_> = ids.iter().map(|&(_, r)| replay.dxt_of(r)).collect();
+            (live.snapshot(), replay.snapshot(), dxt_live, dxt_replay)
+        });
+        sim.run();
+        let (live, one_shot, dxt_live, dxt_replay) = h.join();
+
+        prop_assert_eq!(&*live.names, &*one_shot.names);
+        prop_assert_eq!(live.posix.len(), one_shot.posix.len());
+        for (l, r) in live.posix.iter().zip(one_shot.posix.iter()) {
+            prop_assert_eq!(l.rec_id, r.rec_id);
+            prop_assert_eq!(l.counters, r.counters);
+            prop_assert_eq!(l.fcounters, r.fcounters);
+        }
+        prop_assert_eq!(live.stdio.len(), one_shot.stdio.len());
+        for (l, r) in live.stdio.iter().zip(one_shot.stdio.iter()) {
+            prop_assert_eq!(l.rec_id, r.rec_id);
+            prop_assert_eq!(l.counters, r.counters);
+            prop_assert_eq!(l.fcounters, r.fcounters);
+        }
+        prop_assert_eq!(live.dxt_segments, one_shot.dxt_segments);
+        for (l, r) in dxt_live.iter().zip(dxt_replay.iter()) {
+            prop_assert_eq!(l.len(), r.len());
+            for (x, y) in l.iter().zip(r.iter()) {
+                prop_assert_eq!(
+                    (x.op, x.offset, x.length, x.start.to_bits(), x.end.to_bits()),
+                    (y.op, y.offset, y.length, y.start.to_bits(), y.end.to_bits())
+                );
+            }
+        }
+    }
+}
