@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared plumbing for the figure/table bench targets: paper-vs-measured
 //! rows, ASCII series, scale selection, and JSON result persistence.
 

@@ -280,6 +280,7 @@ mod tests {
             io,
             stdio: Default::default(),
             files: vec![],
+            sanitizer: None,
         }
     }
 
@@ -305,6 +306,7 @@ mod tests {
             io,
             stdio: Default::default(),
             files,
+            sanitizer: None,
         }
     }
 

@@ -63,6 +63,7 @@
 //! sim.run();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advisor;

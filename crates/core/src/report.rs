@@ -18,6 +18,11 @@ pub struct TfDarshanReport {
     pub stdio: StdioStats,
     /// Per-file activity table.
     pub files: Vec<FileActivity>,
+    /// Summary of the iosan sanitizer run, when the job ran under the
+    /// sanitizer (absent otherwise; old reports deserialize with `None`).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sanitizer: Option<iosan::SanitizerSummary>,
 }
 
 impl TfDarshanReport {
@@ -105,6 +110,22 @@ impl TfDarshanReport {
                 self.stdio.bytes_read,
                 self.stdio.flushes
             );
+        }
+        if let Some(s) = &self.sanitizer {
+            let _ = writeln!(out, "\n-- iosan sanitizer --");
+            if s.findings == 0 {
+                let _ = writeln!(out, "clean ({} events analyzed)", s.events_analyzed);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{} finding(s): {} error(s), {} warning(s) [{}] over {} events",
+                    s.findings,
+                    s.errors,
+                    s.warnings,
+                    s.categories.join(", "),
+                    s.events_analyzed
+                );
+            }
         }
         out
     }
@@ -258,6 +279,7 @@ mod tests {
                 ..Default::default()
             },
             files: vec![],
+            sanitizer: None,
         }
     }
 
@@ -270,6 +292,31 @@ mod tests {
         assert!(text.contains("10K-100K"));
         assert!(text.contains("fwrites 1400"));
         assert!(text.contains("88000 B × 100"));
+    }
+
+    #[test]
+    fn sanitizer_section_renders_and_roundtrips() {
+        let mut r = sample();
+        assert!(!r.render_ascii().contains("iosan sanitizer"));
+        assert!(!r.to_json().contains("sanitizer"), "absent when None");
+        r.sanitizer = Some(iosan::SanitizerSummary {
+            findings: 2,
+            errors: 1,
+            warnings: 1,
+            events_analyzed: 500,
+            categories: vec!["data-race".into(), "fd-leak".into()],
+        });
+        let text = r.render_ascii();
+        assert!(text.contains("iosan sanitizer"));
+        assert!(text.contains("2 finding(s): 1 error(s), 1 warning(s) [data-race, fd-leak]"));
+        let back = TfDarshanReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.sanitizer, r.sanitizer);
+        // Reports written before the sanitizer existed still parse.
+        let old = sample().to_json();
+        assert!(TfDarshanReport::from_json(&old)
+            .unwrap()
+            .sanitizer
+            .is_none());
     }
 
     #[test]

@@ -69,6 +69,7 @@ impl Tracer for DarshanTracer {
             io: io.clone(),
             stdio,
             files,
+            sanitizer: None,
         };
 
         // Statistics plane: one summary event carrying the headline stats.

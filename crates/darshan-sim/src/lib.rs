@@ -18,6 +18,7 @@
 //! `dlopen("libdarshan.so")`, bundling the runtime plus attach helpers —
 //! the moral equivalent of the shared library's exported symbols.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counters;

@@ -169,6 +169,7 @@ impl DarshanSink {
                 }
             }
             EventKind::TraceSpan { .. } => {} // profiler-side, not I/O
+            EventKind::Sync { .. } => {}      // ordering metadata, not I/O
         }
     }
 }

@@ -6,6 +6,7 @@
 //! samples every device's transfer counters once per virtual second and
 //! reports per-interval rates.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,88 @@
+//! Vector clocks over simulated-thread ids.
+//!
+//! The probe spine delivers events in global op-completion order (one
+//! simulated thread runs at a time and every descheduling point flushes), so
+//! the analyzer can maintain one clock per task and process events in a
+//! single pass: event `a` happens-before event `b` iff
+//! `a.clock[a.task] <= b.clock[a.task]` — the standard epoch test, sound
+//! because `a`'s own component only advances at release-half operations.
+
+use std::collections::BTreeMap;
+
+/// A sparse vector clock: task id → logical time. Missing components are 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    c: BTreeMap<u64, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component of `task` (0 when absent).
+    pub fn get(&self, task: u64) -> u64 {
+        self.c.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Advance `task`'s own component.
+    pub fn tick(&mut self, task: u64) {
+        *self.c.entry(task).or_insert(0) += 1;
+    }
+
+    /// Component-wise maximum with `other` (the receive-half of an edge).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&t, &v) in &other.c {
+            let e = self.c.entry(t).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+    }
+
+    /// Number of non-zero components.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True when every component is zero.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_test_models_happens_before() {
+        // Task 1 writes, releases (tick); task 2 acquires (join) then reads.
+        let mut c1 = VectorClock::new();
+        c1.tick(1); // task 1 at epoch 1
+        let own_at_write = c1.get(1);
+        let release_snapshot = c1.clone();
+        c1.tick(1); // release-half advances the component
+
+        let mut c2 = VectorClock::new();
+        c2.tick(2);
+        assert!(own_at_write > c2.get(1), "unordered before the join");
+        c2.join(&release_snapshot);
+        assert!(own_at_write <= c2.get(1), "ordered after the join");
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        a.tick(1);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        b.join(&a);
+        assert_eq!(b.get(1), 2);
+        assert_eq!(b.get(2), 1);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

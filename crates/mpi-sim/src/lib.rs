@@ -15,6 +15,7 @@
 //!   reduction at `MPI_Finalize` (shared files merge across ranks —
 //!   see also `darshan_sim::reduce` for the POSIX-module reduction).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod comm;

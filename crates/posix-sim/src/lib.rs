@@ -7,6 +7,7 @@
 //! Darshan simulation) can attach **at runtime** by patching symbol
 //! entries, exactly as tf-Darshan patches the real GOT (paper §III.B).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod errno;

@@ -236,4 +236,27 @@ impl Got {
     pub fn any_patched(&self) -> bool {
         self.scan().iter().any(|(_, p)| *p)
     }
+
+    /// Names of the symbols currently patched away from their default
+    /// bindings. Empty after a clean `detach`/`restore_all` — the
+    /// reversibility invariant the sanitizer's symtab balance check audits.
+    pub fn patched_symbols(&self) -> Vec<String> {
+        self.scan()
+            .into_iter()
+            .filter(|(_, p)| *p)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// True if `sym` currently resolves to the pristine default binding
+    /// (POSIX or STDIO alike).
+    pub fn resolves_to_default(&self, sym: &str) -> bool {
+        if POSIX_SYMBOLS.contains(&sym) {
+            Arc::ptr_eq(&self.posix.read()[sym], &self.default_posix)
+        } else if STDIO_SYMBOLS.contains(&sym) {
+            Arc::ptr_eq(&self.stdio.read()[sym], &self.default_stdio)
+        } else {
+            false
+        }
+    }
 }

@@ -32,6 +32,7 @@
 //! Eviction drops the redirect and the fast copy; the original was never
 //! removed, so no copy-back is needed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, VecDeque};

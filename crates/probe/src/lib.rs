@@ -25,6 +25,7 @@
 //! a primitive that registered a waiter before blocking). Charge simulated
 //! overhead at the emission site instead.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use parking_lot::{Mutex, RwLock};
@@ -32,7 +33,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use simrt::{SimTime, TaskId};
+use simrt::{SimTime, SyncEvent, SyncObserver, SyncOp, TaskId};
 
 /// Who performed the underlying POSIX operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -184,6 +185,17 @@ pub enum EventKind {
         label: Arc<str>,
         /// Extra key/value annotations attached to the span.
         stats: Vec<(String, String)>,
+    },
+    /// A synchronization operation (lock acquire/release, signal/wait edge,
+    /// spawn/join/finish), bridged from `simrt` by [`SyncBridge`]. `target`
+    /// carries the sync object's label. Interleaved with the I/O events in
+    /// execution order, these give happens-before analyzers (`iosan`) the
+    /// ordering edges of the run.
+    Sync {
+        /// What the operation did.
+        op: SyncOp,
+        /// Sync-object id (or peer task id for spawn/join/finish).
+        obj: u64,
     },
 }
 
@@ -340,34 +352,82 @@ pub fn flush_current_thread() {
     if FLUSHING.with(|f| f.get()) {
         return;
     }
-    // Move the pending batches out first so a sink that emits (discouraged
-    // but harmless) cannot observe a borrowed RefCell.
-    let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = BUFFERS.with(|b| {
-        let mut bufs = b.borrow_mut();
-        if bufs.iter().all(|(_, buf)| buf.is_empty()) {
-            return Vec::new();
-        }
-        bufs.iter_mut()
-            .filter(|(_, buf)| !buf.is_empty())
-            .map(|(bus, buf)| (Arc::clone(bus), std::mem::take(buf)))
-            .collect()
-    });
-    if pending.is_empty() {
-        return;
-    }
     FLUSHING.with(|f| f.set(true));
-    for (bus, events) in pending {
-        let sinks: Vec<Arc<dyn ProbeSink>> = bus
-            .sinks
-            .read()
-            .iter()
-            .map(|(_, s)| Arc::clone(s))
-            .collect();
-        for sink in sinks {
-            sink.on_events(&events);
+    // Loop until the buffers stay empty: a sink fold may itself emit (e.g. a
+    // sink notifying a daemon produces a Signal sync event on this thread),
+    // and those events must be delivered *now*, before the next simulated
+    // thread runs, to preserve the global execution-order guarantee. Bounded
+    // so a pathological always-emitting sink cannot spin forever.
+    for _round in 0..8 {
+        // Move the pending batches out first so an emitting sink cannot
+        // observe a borrowed RefCell.
+        let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = BUFFERS.with(|b| {
+            let mut bufs = b.borrow_mut();
+            if bufs.iter().all(|(_, buf)| buf.is_empty()) {
+                return Vec::new();
+            }
+            bufs.iter_mut()
+                .filter(|(_, buf)| !buf.is_empty())
+                .map(|(bus, buf)| (Arc::clone(bus), std::mem::take(buf)))
+                .collect()
+        });
+        if pending.is_empty() {
+            break;
+        }
+        for (bus, events) in pending {
+            let sinks: Vec<Arc<dyn ProbeSink>> = bus
+                .sinks
+                .read()
+                .iter()
+                .map(|(_, s)| Arc::clone(s))
+                .collect();
+            for sink in sinks {
+                sink.on_events(&events);
+            }
         }
     }
     FLUSHING.with(|f| f.set(false));
+}
+
+/// Bridges `simrt` synchronization events onto a [`ProbeBus`] as
+/// [`EventKind::Sync`] events, interleaved with the I/O stream in execution
+/// order (the observer runs on the emitting task's carrier thread, and the
+/// per-thread buffers drain at every context switch).
+///
+/// Install with [`SyncBridge::install`]; remember to
+/// [`simrt::Sim::clear_sync_observer`] when analysis ends.
+pub struct SyncBridge {
+    bus: ProbeBus,
+}
+
+impl SyncBridge {
+    /// Create a bridge emitting into `bus`.
+    pub fn new(bus: ProbeBus) -> Arc<Self> {
+        Arc::new(SyncBridge { bus })
+    }
+
+    /// Create and register a bridge as `sim`'s sync observer.
+    pub fn install(sim: &simrt::Sim, bus: ProbeBus) -> Arc<Self> {
+        let bridge = Self::new(bus);
+        sim.set_sync_observer(bridge.clone());
+        bridge
+    }
+}
+
+impl SyncObserver for SyncBridge {
+    fn on_sync(&self, ev: &SyncEvent) {
+        self.bus.emit(IoEvent {
+            task: ev.task,
+            t0: ev.time,
+            t1: ev.time,
+            origin: Origin::App,
+            target: Arc::clone(&ev.label),
+            kind: EventKind::Sync {
+                op: ev.op,
+                obj: ev.obj,
+            },
+        });
+    }
 }
 
 /// A sink that records every event it sees; used by replay/property tests
@@ -523,6 +583,68 @@ mod tests {
         flush_current_thread();
         assert_eq!(sa.len(), 1);
         assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn sync_bridge_interleaves_sync_events_with_io() {
+        let sim = simrt::Sim::new();
+        let bus = ProbeBus::new();
+        let sink = Arc::new(CollectingSink::new());
+        bus.register(sink.clone());
+        SyncBridge::install(&sim, bus.clone());
+        let (tx, rx) = simrt::sync::channel_named::<u32>(None, "batches");
+        {
+            let bus = bus.clone();
+            sim.spawn("producer", move || {
+                bus.emit(IoEvent {
+                    task: simrt::current_task(),
+                    t0: simrt::now(),
+                    t1: simrt::now(),
+                    origin: Origin::App,
+                    target: Arc::from("/data"),
+                    kind: EventKind::Write {
+                        fd: 3,
+                        offset: 0,
+                        len: 8,
+                    },
+                });
+                tx.send(7).unwrap();
+            });
+        }
+        sim.spawn("consumer", move || {
+            assert_eq!(rx.recv(), Some(7));
+        });
+        sim.run();
+        sim.clear_sync_observer();
+        let events = sink.snapshot();
+        let ops: Vec<SyncOp> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Sync { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        assert!(ops.contains(&SyncOp::Signal), "send emits Signal: {ops:?}");
+        assert!(ops.contains(&SyncOp::Wait), "recv emits Wait: {ops:?}");
+        assert!(ops.contains(&SyncOp::Finish), "task end emits Finish");
+        // The producer's write precedes its send's Signal in the stream.
+        let w = events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Write { .. }))
+            .unwrap();
+        let s = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Sync {
+                        op: SyncOp::Signal,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert!(w < s, "execution order preserved");
     }
 
     #[test]

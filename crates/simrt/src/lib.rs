@@ -41,6 +41,7 @@
 //! assert_eq!(sim.now().as_nanos(), 8_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod sched;
@@ -48,7 +49,8 @@ pub mod sync;
 mod time;
 
 pub use sched::{
-    block, current_task, current_task_name, now, on_sim_thread, set_context_switch_hook, sleep,
-    sleep_until, try_now, wake, yield_now, JoinHandle, Sim, TaskId, WakeReason,
+    block, current_task, current_task_name, emit_sync, new_sync_obj_id, now, on_sim_thread,
+    set_context_switch_hook, set_wait_context, sleep, sleep_until, try_now, wake, yield_now,
+    JoinHandle, Sim, SyncEvent, SyncObserver, SyncOp, TaskId, WakeReason,
 };
 pub use time::{dur, SimTime};

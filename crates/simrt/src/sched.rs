@@ -29,10 +29,11 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::time::SimTime;
 
@@ -59,6 +60,112 @@ fn run_switch_hook() {
     if let Some(h) = SWITCH_HOOK.get() {
         h();
     }
+}
+
+/// What a synchronization event did. Emitted by the scheduler
+/// (spawn/join/finish) and by the primitives in [`crate::sync`]; consumed
+/// through a [`SyncObserver`] registered via [`Sim::set_sync_observer`]
+/// (e.g. the probe crate's bridge, which folds these into the I/O event
+/// spine for happens-before analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncOp {
+    /// A [`crate::sync::Mutex`] was acquired (`obj` = lock id). The only op
+    /// that grows a thread's lockset.
+    Acquire,
+    /// A [`crate::sync::Mutex`] was released (`obj` = lock id).
+    Release,
+    /// A release-half edge on a non-lock primitive: channel send, semaphore
+    /// release, `Event::set`, `Notify::notify_one`, condvar signal, barrier
+    /// arrival. Happens-before flows from this op to every later [`SyncOp::Wait`]
+    /// on the same object.
+    Signal,
+    /// An acquire-half edge: successful channel recv, semaphore acquire,
+    /// event/notify/condvar wakeup, barrier departure.
+    Wait,
+    /// The current task spawned simulated thread `obj`.
+    Spawn,
+    /// The current task completed a join on simulated thread `obj`.
+    Join,
+    /// The current task is about to finish (its closure returned or
+    /// panicked). Its clock is final after this event.
+    Finish,
+}
+
+/// One synchronization event, as seen by a [`SyncObserver`].
+#[derive(Clone, Debug)]
+pub struct SyncEvent {
+    /// Task that performed the operation.
+    pub task: TaskId,
+    /// Virtual time of the operation.
+    pub time: SimTime,
+    /// What happened.
+    pub op: SyncOp,
+    /// Object id: a sync-primitive id from [`new_sync_obj_id`] for
+    /// acquire/release/signal/wait, or the other task's id for
+    /// spawn/join (and the finishing task's own id for finish).
+    pub obj: u64,
+    /// Human-readable label of the object ("mutex#3", "chan#7 'batches'",
+    /// the spawned task's name, …).
+    pub label: Arc<str>,
+}
+
+/// A consumer of [`SyncEvent`]s. Registered per-[`Sim`]; called on the
+/// carrier thread of the task performing the operation, which may hold
+/// primitive-internal locks — the observer must not sleep, block, yield, or
+/// touch scheduler state (reading the event's fields is always safe).
+pub trait SyncObserver: Send + Sync {
+    /// Observe one synchronization event.
+    fn on_sync(&self, ev: &SyncEvent);
+}
+
+/// Allocate a process-wide unique id for a synchronization object.
+/// Allocation order is deterministic within a simulation because only one
+/// simulated thread runs at a time.
+pub fn new_sync_obj_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Emit a synchronization event for the calling simulated thread. No-op when
+/// the caller is not a simulated thread (host-side construction/drop) or the
+/// task's [`Sim`] has no observer registered. Used by [`crate::sync`]; public
+/// so higher layers can mark custom ordering edges.
+pub fn emit_sync(op: SyncOp, obj: u64, label: &Arc<str>) {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let Some((inner, tid)) = b.as_ref() else {
+            return;
+        };
+        if !inner.sync_active.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(obs) = inner.sync_observer.read().clone() else {
+            return;
+        };
+        let time = inner.state.lock().now;
+        obs.on_sync(&SyncEvent {
+            task: *tid,
+            time,
+            op,
+            obj,
+            label: Arc::clone(label),
+        });
+    });
+}
+
+/// Describe what the calling simulated thread is about to block on, for the
+/// deadlock wait-for dump ("recv on chan#3", "mutex#1 'ckpt' held by t2").
+/// Cleared automatically when the thread resumes. No-op off sim threads.
+pub fn set_wait_context(ctx: impl Into<String>) {
+    let ctx = ctx.into();
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        if let Some((inner, tid)) = b.as_ref() {
+            if let Some(info) = inner.state.lock().tasks.get_mut(tid) {
+                info.wait_ctx = Some(ctx);
+            }
+        }
+    });
 }
 
 /// Identifier of a simulated thread. Allocation order is deterministic.
@@ -103,6 +210,9 @@ struct TaskInfo {
     wake_reason: WakeReason,
     /// Tasks blocked in `JoinHandle::join` on this task.
     join_waiters: Vec<TaskId>,
+    /// What the task is blocked on, set by sync primitives via
+    /// [`set_wait_context`]; dumped by the deadlock diagnostic.
+    wait_ctx: Option<String>,
 }
 
 /// An entry in the run calendar. Ordered by (wake time, sequence) so that
@@ -151,6 +261,11 @@ struct SchedState {
 pub(crate) struct SimInner {
     state: Mutex<SchedState>,
     cv: Condvar,
+    /// Observer for synchronization events ([`Sim::set_sync_observer`]).
+    sync_observer: RwLock<Option<Arc<dyn SyncObserver>>>,
+    /// Cheap pre-check so [`emit_sync`] costs one relaxed load when no
+    /// observer is registered (the common case).
+    sync_active: AtomicBool,
 }
 
 impl SimInner {
@@ -206,19 +321,38 @@ impl SimInner {
     }
 
     /// Detect deadlock: simulation started, nothing running, nothing
-    /// runnable, yet live tasks remain.
+    /// runnable, yet live tasks remain. The panic message dumps the
+    /// wait-for graph: every blocked task, what it is waiting on (the
+    /// context recorded by [`set_wait_context`]), and who is joined on it.
     fn check_deadlock(st: &mut SchedState) {
         if st.started && st.running.is_none() && st.live > 0 && st.poison.is_none() {
-            let blocked: Vec<String> = st
+            let mut ids: Vec<TaskId> = st
                 .tasks
                 .iter()
                 .filter(|(_, i)| i.state == TaskState::Blocked)
-                .map(|(id, i)| format!("{} ({})", id, i.name))
+                .map(|(id, _)| *id)
                 .collect();
+            ids.sort();
+            let mut graph = String::new();
+            for id in ids {
+                let info = &st.tasks[&id];
+                let waits_on = info
+                    .wait_ctx
+                    .as_deref()
+                    .unwrap_or("<unknown: bare block()>");
+                graph.push_str(&format!(
+                    "\n  {} ({}): blocked on {}",
+                    id, info.name, waits_on
+                ));
+                if !info.join_waiters.is_empty() {
+                    let waiters: Vec<String> =
+                        info.join_waiters.iter().map(|w| w.to_string()).collect();
+                    graph.push_str(&format!(" [joined by: {}]", waiters.join(", ")));
+                }
+            }
             st.poison = Some(format!(
-                "virtual-time deadlock: {} live task(s), none runnable; blocked: [{}]",
-                st.live,
-                blocked.join(", ")
+                "virtual-time deadlock: {} live task(s), none runnable; wait-for graph:{}",
+                st.live, graph
             ));
         }
     }
@@ -266,6 +400,15 @@ pub fn on_sim_thread() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
 }
 
+/// True if the calling OS thread carries a simulated thread of *this* sim.
+fn current_matches(inner: &Arc<SimInner>) -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|(cur, _)| Arc::ptr_eq(cur, inner))
+    })
+}
+
 impl Sim {
     /// Create an empty simulation at t = 0.
     pub fn new() -> Self {
@@ -285,8 +428,24 @@ impl Sim {
                     fast_advances: 0,
                 }),
                 cv: Condvar::new(),
+                sync_observer: RwLock::new(None),
+                sync_active: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Register a [`SyncObserver`] receiving every synchronization event of
+    /// this simulation (lock acquire/release, signal/wait edges,
+    /// spawn/join/finish). Replaces any previous observer.
+    pub fn set_sync_observer(&self, obs: Arc<dyn SyncObserver>) {
+        *self.inner.sync_observer.write() = Some(obs);
+        self.inner.sync_active.store(true, Ordering::Relaxed);
+    }
+
+    /// Remove the registered observer, if any.
+    pub fn clear_sync_observer(&self) {
+        self.inner.sync_active.store(false, Ordering::Relaxed);
+        *self.inner.sync_observer.write() = None;
     }
 
     /// Spawn a simulated thread. It becomes runnable at the current virtual
@@ -312,12 +471,20 @@ impl Sim {
                     gen: 0,
                     wake_reason: WakeReason::Notified,
                     join_waiters: Vec::new(),
+                    wait_ctx: None,
                 },
             );
             let now = st.now;
             SimInner::push_ready(&mut st, tid, now);
             tid
         };
+        let task_label: Arc<str> = Arc::from(name.as_str());
+        // Record the spawn edge when the spawner is itself a simulated
+        // thread of this simulation (host-side spawns have no task to
+        // attribute the edge to).
+        if current_matches(&inner) {
+            emit_sync(SyncOp::Spawn, tid.0, &task_label);
+        }
         let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
         let slot = result.clone();
         let carrier_inner = inner.clone();
@@ -338,6 +505,9 @@ impl Sim {
                     }
                 }
                 let r = catch_unwind(AssertUnwindSafe(f));
+                // The task's clock is final after this point; joiners
+                // inherit it through the Join edge.
+                emit_sync(SyncOp::Finish, tid.0, &task_label);
                 // Final deterministic flush point for this task's
                 // instrumentation buffers (also after a panic, so events
                 // emitted before the unwind are not lost).
@@ -490,7 +660,20 @@ impl<T> JoinHandle<T> {
                 }
                 // Safe check-then-block: no other simulated thread can run
                 // between the registration above and this block.
+                set_wait_context(format!("join on {}", self.tid));
                 block(None);
+            }
+            if current_matches(&self.inner) {
+                let label: Arc<str> = {
+                    let st = self.inner.state.lock();
+                    Arc::from(
+                        st.tasks
+                            .get(&self.tid)
+                            .map(|i| i.name.as_str())
+                            .unwrap_or(""),
+                    )
+                };
+                emit_sync(SyncOp::Join, self.tid.0, &label);
             }
         }
         if let Some(c) = self.carrier.take() {
@@ -664,7 +847,9 @@ pub fn block(deadline: Option<SimTime>) -> WakeReason {
             inner.cv.wait(&mut st);
         }
         SimInner::poison_check(&st);
-        st.tasks[&tid].wake_reason
+        let info = st.tasks.get_mut(&tid).expect("unknown task");
+        info.wait_ctx = None;
+        info.wake_reason
     })
 }
 
@@ -851,6 +1036,52 @@ mod tests {
             block(None);
         });
         sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "t0 (stuck): blocked on a latch that nobody sets")]
+    fn deadlock_dumps_wait_for_graph() {
+        let sim = Sim::new();
+        sim.spawn("stuck", || {
+            set_wait_context("a latch that nobody sets");
+            block(None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn sync_observer_sees_spawn_join_finish() {
+        struct Rec(Mutex<Vec<(TaskId, SyncOp, u64)>>);
+        impl SyncObserver for Rec {
+            fn on_sync(&self, ev: &SyncEvent) {
+                self.0.lock().push((ev.task, ev.op, ev.obj));
+            }
+        }
+        let rec = Arc::new(Rec(Mutex::new(Vec::new())));
+        let sim = Sim::new();
+        sim.set_sync_observer(rec.clone());
+        let sim2 = sim.clone();
+        sim.spawn("parent", move || {
+            let h = sim2.spawn("child", || sleep(Duration::from_millis(1)));
+            h.join();
+        });
+        sim.run();
+        let got = rec.0.lock().clone();
+        let parent = TaskId(0);
+        let child = TaskId(1);
+        assert!(got.contains(&(parent, SyncOp::Spawn, child.0)));
+        assert!(got.contains(&(child, SyncOp::Finish, child.0)));
+        assert!(got.contains(&(parent, SyncOp::Join, child.0)));
+        // Finish of the child precedes the parent's join completion.
+        let fin = got
+            .iter()
+            .position(|e| *e == (child, SyncOp::Finish, child.0))
+            .unwrap();
+        let join = got
+            .iter()
+            .position(|e| *e == (parent, SyncOp::Join, child.0))
+            .unwrap();
+        assert!(fin < join);
     }
 
     #[test]

@@ -13,10 +13,21 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::Mutex as PlMutex;
 
-use crate::sched::{block, current_task, wake, TaskId, WakeReason};
+use crate::sched::{
+    block, current_task, emit_sync, new_sync_obj_id, on_sim_thread, set_wait_context, wake, SyncOp,
+    TaskId, WakeReason,
+};
 use crate::time::SimTime;
+
+/// Build the display label of a sync object: `"chan#3"` or `"chan#3 'batches'"`.
+fn obj_label(kind: &str, id: u64, name: Option<&str>) -> Arc<str> {
+    match name {
+        Some(n) => Arc::from(format!("{kind}#{id} '{n}'").as_str()),
+        None => Arc::from(format!("{kind}#{id}").as_str()),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Channel
@@ -47,7 +58,9 @@ struct ChanState<T> {
 }
 
 struct ChanInner<T> {
-    st: Mutex<ChanState<T>>,
+    st: PlMutex<ChanState<T>>,
+    id: u64,
+    label: Arc<str>,
 }
 
 impl<T> ChanInner<T> {
@@ -104,10 +117,12 @@ impl<T> Drop for Sender<T> {
         let mut st = self.inner.st.lock();
         st.senders -= 1;
         if st.senders == 0 {
-            // Receivers must observe end-of-stream.
+            // Receivers must observe end-of-stream; the release half of the
+            // edge a receiver's `None` acquires.
             for w in st.recv_waiters.drain(..) {
                 wake(w);
             }
+            emit_sync(SyncOp::Signal, self.inner.id, &self.inner.label);
         }
     }
 }
@@ -128,8 +143,19 @@ impl<T> Drop for Receiver<T> {
 /// once `n` messages are queued (the back-pressure that makes `prefetch`
 /// buffers and bounded pipeline queues behave like TensorFlow's).
 pub fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    channel_inner(cap, None)
+}
+
+/// [`channel`] with a human-readable name carried into sync events and
+/// deadlock dumps.
+pub fn channel_named<T>(cap: Option<usize>, name: &str) -> (Sender<T>, Receiver<T>) {
+    channel_inner(cap, Some(name))
+}
+
+fn channel_inner<T>(cap: Option<usize>, name: Option<&str>) -> (Sender<T>, Receiver<T>) {
+    let id = new_sync_obj_id();
     let inner = Arc::new(ChanInner {
-        st: Mutex::new(ChanState {
+        st: PlMutex::new(ChanState {
             buf: VecDeque::new(),
             cap,
             closed: false,
@@ -138,6 +164,8 @@ pub fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
             recv_waiters: VecDeque::new(),
             send_waiters: VecDeque::new(),
         }),
+        id,
+        label: obj_label("chan", id, name),
     });
     (
         Sender {
@@ -160,11 +188,13 @@ impl<T> Sender<T> {
                 if !full {
                     st.buf.push_back(v);
                     ChanInner::wake_one_recv(&mut st);
+                    emit_sync(SyncOp::Signal, self.inner.id, &self.inner.label);
                     return Ok(());
                 }
                 let me = current_task();
                 st.send_waiters.push_back(me);
             }
+            set_wait_context(format!("send on full {}", self.inner.label));
             block(None);
         }
     }
@@ -181,6 +211,7 @@ impl<T> Sender<T> {
         }
         st.buf.push_back(v);
         ChanInner::wake_one_recv(&mut st);
+        emit_sync(SyncOp::Signal, self.inner.id, &self.inner.label);
         Ok(())
     }
 
@@ -190,6 +221,7 @@ impl<T> Sender<T> {
         let mut st = self.inner.st.lock();
         st.closed = true;
         ChanInner::wake_all(&mut st);
+        emit_sync(SyncOp::Signal, self.inner.id, &self.inner.label);
     }
 
     /// Number of queued messages.
@@ -212,14 +244,19 @@ impl<T> Receiver<T> {
                 let mut st = self.inner.st.lock();
                 if let Some(v) = st.buf.pop_front() {
                     ChanInner::wake_one_send(&mut st);
+                    emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
                     return Some(v);
                 }
                 if st.closed || st.senders == 0 {
+                    // End-of-stream is ordered after the producers' last
+                    // sends/close: record the acquire half of that edge.
+                    emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
                     return None;
                 }
                 let me = current_task();
                 st.recv_waiters.push_back(me);
             }
+            set_wait_context(format!("recv on {}", self.inner.label));
             block(None);
         }
     }
@@ -232,9 +269,11 @@ impl<T> Receiver<T> {
                 let mut st = self.inner.st.lock();
                 if let Some(v) = st.buf.pop_front() {
                     ChanInner::wake_one_send(&mut st);
+                    emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
                     return Ok(v);
                 }
                 if st.closed || st.senders == 0 {
+                    emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
                     return Err(RecvTimeoutError::Closed);
                 }
                 if crate::sched::now() >= deadline {
@@ -243,6 +282,7 @@ impl<T> Receiver<T> {
                 let me = current_task();
                 st.recv_waiters.push_back(me);
             }
+            set_wait_context(format!("recv on {}", self.inner.label));
             if block(Some(deadline)) == WakeReason::Timeout {
                 // Purge our (stale) registration so wake_one skips cheaply.
                 let mut st = self.inner.st.lock();
@@ -250,6 +290,7 @@ impl<T> Receiver<T> {
                 st.recv_waiters.retain(|t| *t != me);
                 if let Some(v) = st.buf.pop_front() {
                     ChanInner::wake_one_send(&mut st);
+                    emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
                     return Ok(v);
                 }
                 return Err(RecvTimeoutError::Timeout);
@@ -263,6 +304,7 @@ impl<T> Receiver<T> {
         let v = st.buf.pop_front();
         if v.is_some() {
             ChanInner::wake_one_send(&mut st);
+            emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
         }
         v
     }
@@ -285,7 +327,9 @@ impl<T> Receiver<T> {
 /// A counting semaphore on virtual time. The building block for modelling
 /// capacity-limited resources (RPC slots, device queue depth, thread pools).
 pub struct Semaphore {
-    st: Mutex<SemState>,
+    st: PlMutex<SemState>,
+    id: u64,
+    label: Arc<str>,
 }
 
 struct SemState {
@@ -296,11 +340,20 @@ struct SemState {
 impl Semaphore {
     /// Create with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
+        Self::named(permits, None)
+    }
+
+    /// [`Semaphore::new`] with a name carried into sync events and deadlock
+    /// dumps.
+    pub fn named(permits: usize, name: Option<&str>) -> Self {
+        let id = new_sync_obj_id();
         Semaphore {
-            st: Mutex::new(SemState {
+            st: PlMutex::new(SemState {
                 permits,
                 waiters: VecDeque::new(),
             }),
+            id,
+            label: obj_label("sem", id, name),
         }
     }
 
@@ -319,6 +372,7 @@ impl Semaphore {
                     st.permits -= n;
                     // Grant any further satisfiable head-of-line waiters.
                     Self::wake_head(&mut st);
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return;
                 }
                 let me = current_task();
@@ -326,6 +380,7 @@ impl Semaphore {
                     st.waiters.push_back((me, n));
                 }
             }
+            set_wait_context(format!("{} permit(s) of {}", n, self.label));
             block(None);
         }
     }
@@ -340,6 +395,7 @@ impl Semaphore {
         let mut st = self.st.lock();
         if st.waiters.is_empty() && st.permits >= 1 {
             st.permits -= 1;
+            emit_sync(SyncOp::Wait, self.id, &self.label);
             true
         } else {
             false
@@ -351,6 +407,7 @@ impl Semaphore {
         let mut st = self.st.lock();
         st.permits += n;
         Self::wake_head(&mut st);
+        emit_sync(SyncOp::Signal, self.id, &self.label);
     }
 
     /// Release one permit.
@@ -399,7 +456,9 @@ impl Drop for SemaphoreGuard<'_> {
 /// A one-shot event: waiters block until `set` is called; once set, all
 /// current and future waits return immediately.
 pub struct Event {
-    st: Mutex<EventState>,
+    st: PlMutex<EventState>,
+    id: u64,
+    label: Arc<str>,
 }
 
 struct EventState {
@@ -416,11 +475,14 @@ impl Default for Event {
 impl Event {
     /// Create an unset event.
     pub fn new() -> Self {
+        let id = new_sync_obj_id();
         Event {
-            st: Mutex::new(EventState {
+            st: PlMutex::new(EventState {
                 set: false,
                 waiters: Vec::new(),
             }),
+            id,
+            label: obj_label("event", id, None),
         }
     }
 
@@ -431,6 +493,7 @@ impl Event {
         for w in st.waiters.drain(..) {
             wake(w);
         }
+        emit_sync(SyncOp::Signal, self.id, &self.label);
     }
 
     /// True if already set.
@@ -444,10 +507,12 @@ impl Event {
             {
                 let mut st = self.st.lock();
                 if st.set {
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return;
                 }
                 st.waiters.push(current_task());
             }
+            set_wait_context(format!("{} to be set", self.label));
             block(None);
         }
     }
@@ -458,6 +523,7 @@ impl Event {
             {
                 let mut st = self.st.lock();
                 if st.set {
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return true;
                 }
                 if crate::sched::now() >= deadline {
@@ -465,10 +531,14 @@ impl Event {
                 }
                 st.waiters.push(current_task());
             }
+            set_wait_context(format!("{} to be set", self.label));
             if block(Some(deadline)) == WakeReason::Timeout {
                 let mut st = self.st.lock();
                 let me = current_task();
                 st.waiters.retain(|t| *t != me);
+                if st.set {
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
+                }
                 return st.set;
             }
         }
@@ -481,7 +551,9 @@ impl Event {
 /// consumed by the next wait, so a notification between "check work" and
 /// "block" is never lost.
 pub struct Notify {
-    st: Mutex<NotifyState>,
+    st: PlMutex<NotifyState>,
+    id: u64,
+    label: Arc<str>,
 }
 
 struct NotifyState {
@@ -498,11 +570,14 @@ impl Default for Notify {
 impl Notify {
     /// Create with no pending notification.
     pub fn new() -> Self {
+        let id = new_sync_obj_id();
         Notify {
-            st: Mutex::new(NotifyState {
+            st: PlMutex::new(NotifyState {
                 pending: false,
                 waiters: Vec::new(),
             }),
+            id,
+            label: obj_label("notify", id, None),
         }
     }
 
@@ -514,6 +589,7 @@ impl Notify {
         if let Some(w) = st.waiters.pop() {
             wake(w);
         }
+        emit_sync(SyncOp::Signal, self.id, &self.label);
     }
 
     /// Block in virtual time until notified, consuming the permit.
@@ -523,10 +599,12 @@ impl Notify {
                 let mut st = self.st.lock();
                 if st.pending {
                     st.pending = false;
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return;
                 }
                 st.waiters.push(current_task());
             }
+            set_wait_context(format!("a permit on {}", self.label));
             block(None);
         }
     }
@@ -540,6 +618,7 @@ impl Notify {
                 let mut st = self.st.lock();
                 if st.pending {
                     st.pending = false;
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return true;
                 }
                 if crate::sched::now() >= deadline {
@@ -547,12 +626,14 @@ impl Notify {
                 }
                 st.waiters.push(current_task());
             }
+            set_wait_context(format!("a permit on {}", self.label));
             if block(Some(deadline)) == WakeReason::Timeout {
                 let mut st = self.st.lock();
                 let me = current_task();
                 st.waiters.retain(|t| *t != me);
                 if st.pending {
                     st.pending = false;
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
                     return true;
                 }
                 return false;
@@ -568,8 +649,10 @@ impl Notify {
 /// A reusable barrier for `n` simulated threads (used by the data-parallel
 /// trainer's gradient synchronization).
 pub struct Barrier {
-    st: Mutex<BarrierState>,
+    st: PlMutex<BarrierState>,
     n: usize,
+    id: u64,
+    label: Arc<str>,
 }
 
 struct BarrierState {
@@ -582,19 +665,27 @@ impl Barrier {
     /// Create a barrier for `n` participants. `n` must be positive.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
+        let id = new_sync_obj_id();
         Barrier {
-            st: Mutex::new(BarrierState {
+            st: PlMutex::new(BarrierState {
                 count: 0,
                 generation: 0,
                 waiters: Vec::new(),
             }),
             n,
+            id,
+            label: obj_label("barrier", id, None),
         }
     }
 
     /// Wait for all `n` participants. Returns true for exactly one "leader"
     /// per generation.
+    ///
+    /// Every arrival signals and every departure waits, so all work before
+    /// the barrier happens-before all work after it, for every pair of
+    /// participants.
     pub fn wait(&self) -> bool {
+        emit_sync(SyncOp::Signal, self.id, &self.label);
         let my_gen;
         {
             let mut st = self.st.lock();
@@ -606,17 +697,260 @@ impl Barrier {
                 for w in st.waiters.drain(..) {
                     wake(w);
                 }
+                emit_sync(SyncOp::Wait, self.id, &self.label);
                 return true;
             }
             st.waiters.push(current_task());
+            set_wait_context(format!(
+                "{} ({} of {} arrived)",
+                self.label, st.count, self.n
+            ));
         }
         loop {
             block(None);
             let st = self.st.lock();
             if st.generation != my_gen {
+                drop(st);
+                emit_sync(SyncOp::Wait, self.id, &self.label);
                 return false;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex and Condvar
+// ---------------------------------------------------------------------------
+
+/// A virtual-time mutual-exclusion lock.
+///
+/// Unlike the raw `parking_lot` locks used for internal state, this mutex
+/// blocks contenders in *virtual* time (FIFO-fair) and emits
+/// [`SyncOp::Acquire`]/[`SyncOp::Release`] events, which makes it visible to
+/// lockset analysis: guarding file accesses with a `sync::Mutex` is what
+/// tells `iosan` they cannot race.
+///
+/// Ownership is tracked separately from the data: `own` holds the
+/// virtual-time holder/waiter protocol, `data` is a real lock that is only
+/// ever taken by the current owner (or by host threads outside the
+/// simulation), so it is uncontended by construction — no `unsafe` needed.
+pub struct Mutex<T> {
+    id: u64,
+    label: Arc<str>,
+    own: PlMutex<OwnState>,
+    data: PlMutex<T>,
+}
+
+struct OwnState {
+    holder: Option<TaskId>,
+    waiters: VecDeque<TaskId>,
+}
+
+/// RAII guard over a locked [`Mutex`]. Releases (and emits the release
+/// event) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    /// True when the guard holds the virtual-time ownership protocol (the
+    /// caller was a simulated thread); host-side locking bypasses it.
+    sim_owned: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Self::named(value, None)
+    }
+
+    /// [`Mutex::new`] with a name carried into sync events, race reports and
+    /// deadlock dumps.
+    pub fn named(value: T, name: Option<&str>) -> Self {
+        let id = new_sync_obj_id();
+        Mutex {
+            id,
+            label: obj_label("mutex", id, name),
+            own: PlMutex::new(OwnState {
+                holder: None,
+                waiters: VecDeque::new(),
+            }),
+            data: PlMutex::new(value),
+        }
+    }
+
+    /// The lock's sync-object id (as it appears in [`SyncOp::Acquire`] events).
+    pub fn sync_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Acquire, blocking in virtual time. FIFO-fair among blocked waiters.
+    ///
+    /// Callable from host threads too (before/after `Sim::run`), where it
+    /// degrades to a plain lock without the virtual-time protocol.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if !on_sim_thread() {
+            return MutexGuard {
+                lock: self,
+                inner: Some(self.data.lock()),
+                sim_owned: false,
+            };
+        }
+        let me = current_task();
+        loop {
+            {
+                let mut st = self.own.lock();
+                // Strict FIFO: a newcomer queues behind already-blocked
+                // waiters even when the lock is momentarily free.
+                let first_in_line = st.waiters.front() == Some(&me) || st.waiters.is_empty();
+                if st.holder.is_none() && first_in_line {
+                    if st.waiters.front() == Some(&me) {
+                        st.waiters.pop_front();
+                    }
+                    st.holder = Some(me);
+                    break;
+                }
+                if !st.waiters.contains(&me) {
+                    st.waiters.push_back(me);
+                }
+                let holder = st.holder;
+                drop(st);
+                match holder {
+                    Some(h) => set_wait_context(format!("{} held by {}", self.label, h)),
+                    None => set_wait_context(format!("{} (queued)", self.label)),
+                }
+            }
+            block(None);
+        }
+        emit_sync(SyncOp::Acquire, self.id, &self.label);
+        MutexGuard {
+            lock: self,
+            inner: Some(self.data.lock()),
+            sim_owned: true,
+        }
+    }
+
+    /// Try to acquire without blocking. Returns `None` if held or if blocked
+    /// waiters are queued (they have priority).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if !on_sim_thread() {
+            return self.data.try_lock().map(|g| MutexGuard {
+                lock: self,
+                inner: Some(g),
+                sim_owned: false,
+            });
+        }
+        let mut st = self.own.lock();
+        if st.holder.is_some() || !st.waiters.is_empty() {
+            return None;
+        }
+        st.holder = Some(current_task());
+        drop(st);
+        emit_sync(SyncOp::Acquire, self.id, &self.label);
+        Some(MutexGuard {
+            lock: self,
+            inner: Some(self.data.lock()),
+            sim_owned: true,
+        })
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard data present")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard data present")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first: the next owner takes it immediately
+        // after winning the ownership protocol.
+        drop(self.inner.take());
+        if !self.sim_owned {
+            return;
+        }
+        {
+            let mut st = self.lock.own.lock();
+            st.holder = None;
+            if let Some(w) = st.waiters.front() {
+                wake(*w);
+            }
+        }
+        emit_sync(SyncOp::Release, self.lock.id, &self.lock.label);
+    }
+}
+
+/// A virtual-time condition variable paired with [`Mutex`].
+///
+/// `wait` atomically releases the mutex and blocks (the single-running-thread
+/// invariant makes the release-then-block sequence atomic with respect to
+/// all other simulated threads), re-acquiring before returning. Standard
+/// caveat applies: wake-ups may be spurious with respect to the predicate,
+/// so always wait in a loop.
+pub struct Condvar {
+    id: u64,
+    label: Arc<str>,
+    waiters: PlMutex<Vec<TaskId>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub fn new() -> Self {
+        Self::named(None)
+    }
+
+    /// [`Condvar::new`] with a name carried into sync events and deadlock
+    /// dumps.
+    pub fn named(name: Option<&str>) -> Self {
+        let id = new_sync_obj_id();
+        Condvar {
+            id,
+            label: obj_label("condvar", id, name),
+            waiters: PlMutex::new(Vec::new()),
+        }
+    }
+
+    /// Release `guard`'s mutex, block until notified, re-acquire, return the
+    /// new guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        self.waiters.lock().push(current_task());
+        set_wait_context(format!("{} (released {})", self.label, lock.label));
+        drop(guard); // emits the mutex Release
+        block(None);
+        emit_sync(SyncOp::Wait, self.id, &self.label);
+        lock.lock() // emits the mutex Acquire
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        let mut w = self.waiters.lock();
+        if let Some(t) = w.pop() {
+            wake(t);
+        }
+        drop(w);
+        emit_sync(SyncOp::Signal, self.id, &self.label);
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        let mut w = self.waiters.lock();
+        for t in w.drain(..) {
+            wake(t);
+        }
+        drop(w);
+        emit_sync(SyncOp::Signal, self.id, &self.label);
     }
 }
 
@@ -636,7 +970,7 @@ mod tests {
                 tx.send(i).unwrap();
             }
         });
-        let got = Arc::new(Mutex::new(Vec::new()));
+        let got = Arc::new(PlMutex::new(Vec::new()));
         let got2 = got.clone();
         sim.spawn("consumer", move || {
             while let Some(v) = rx.recv() {
@@ -735,7 +1069,7 @@ mod tests {
     fn semaphore_fifo_no_starvation() {
         let sim = Sim::new();
         let sem = Arc::new(Semaphore::new(2));
-        let order = Arc::new(Mutex::new(Vec::new()));
+        let order = Arc::new(PlMutex::new(Vec::new()));
         // t0 takes both permits; t1 wants both; t2 wants one. FIFO fairness
         // means t1 must get its pair before t2 sneaks in.
         {
@@ -854,6 +1188,93 @@ mod tests {
             sim.now() < SimTime::ZERO + Duration::from_secs(1),
             "no timeout was hit"
         );
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let sim = Sim::new();
+        let m = Arc::new(Mutex::named(0u64, Some("counter")));
+        let inside = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let (m, inside) = (m.clone(), inside.clone());
+            sim.spawn(format!("w{i}"), move || {
+                for _ in 0..5 {
+                    let mut g = m.lock();
+                    assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0, "exclusive");
+                    sleep(Duration::from_micros(10));
+                    *g += 1;
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    drop(g);
+                    sleep(Duration::from_micros(1));
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*m.lock(), 20);
+    }
+
+    #[test]
+    fn mutex_try_lock_and_host_side_access() {
+        let m = Mutex::new(1u32);
+        {
+            let g = m.try_lock().expect("host try_lock on free mutex");
+            assert_eq!(*g, 1);
+        }
+        let sim = Sim::new();
+        let m = Arc::new(m);
+        let m2 = m.clone();
+        sim.spawn("t", move || {
+            let g = m2.lock();
+            assert!(m2.try_lock().is_none(), "held: try_lock fails");
+            drop(g);
+            assert!(m2.try_lock().is_some());
+        });
+        sim.run();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_with_lock_reacquired() {
+        let sim = Sim::new();
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::named(Some("ready")));
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let seen_at = Arc::new(AtomicUsize::new(0));
+        let seen = seen_at.clone();
+        sim.spawn("waiter", move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = cv2.wait(g);
+            }
+            seen.store(now().as_nanos() as usize, Ordering::SeqCst);
+        });
+        sim.spawn("setter", move || {
+            sleep(Duration::from_millis(3));
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        sim.run();
+        assert_eq!(seen_at.load(Ordering::SeqCst), 3_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "held by t0")]
+    fn mutex_deadlock_names_holder() {
+        let sim = Sim::new();
+        let a = Arc::new(Mutex::named((), Some("A")));
+        let b = Arc::new(Mutex::named((), Some("B")));
+        let (a2, b2) = (a.clone(), b.clone());
+        sim.spawn("left", move || {
+            let _ga = a.lock();
+            sleep(Duration::from_millis(1));
+            let _gb = b.lock();
+        });
+        sim.spawn("right", move || {
+            let _gb = b2.lock();
+            sleep(Duration::from_millis(1));
+            let _ga = a2.lock();
+        });
+        sim.run();
     }
 
     #[test]

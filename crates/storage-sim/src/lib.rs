@@ -10,6 +10,7 @@
 //! All operations charge **virtual time** on the [`simrt`] clock and must be
 //! invoked from simulated threads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -8,6 +8,7 @@
 //! profiler with pluggable tracers, TraceMe host tracing, XSpace traces
 //! and chrome-trace export ([`profiler`], [`traceme`], [`trace`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

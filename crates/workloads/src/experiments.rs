@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dstat_sim::{Dstat, DstatSample};
+use iosan::{IoSanitizer, SanitizerReport};
 use parking_lot::Mutex;
 use tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanReport, TfDarshanWrapper};
 use tfsim::{
@@ -106,6 +107,11 @@ pub struct RunConfig {
     /// Counterfactual for the §V.B argument: stage the *largest* files
     /// first, up to this byte budget, instead of the small ones.
     pub stage_largest_budget: Option<u64>,
+    /// Run the run under the `iosan` sanitizer: happens-before race
+    /// detection on file ranges, FD-lifecycle checks, lock-order analysis,
+    /// symtab balance and origin audits. The report lands in
+    /// [`RunOutput::sanitizer`] and its summary in the tf-Darshan report.
+    pub sanitize: bool,
 }
 
 impl RunConfig {
@@ -123,6 +129,7 @@ impl RunConfig {
             dstat: false,
             stage_below: None,
             stage_largest_budget: None,
+            sanitize: false,
         }
     }
 }
@@ -149,6 +156,8 @@ pub struct RunOutput {
     pub staged: Option<tfdarshan::StagingPlan>,
     /// Checkpoints written.
     pub checkpoints: usize,
+    /// Full iosan report, when the run was sanitized.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl RunOutput {
@@ -207,6 +216,14 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
     let mut ds = generate(w, &m, cfg.scale);
     let dataset_summary = (ds.len(), ds.total_bytes(), ds.median_size());
     m.drop_caches();
+
+    // Sanitizer goes on the spine first so it observes every event of the
+    // run, including dataset staging and daemon traffic.
+    let san = if cfg.sanitize {
+        Some(IoSanitizer::install(&m.sim, m.process.probe()))
+    } else {
+        None
+    };
 
     // Install tf-Darshan when the mode needs it.
     let needs_darshan = matches!(
@@ -438,10 +455,36 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
     let space = out_space.lock().take();
     let bandwidth_points = out_points.lock().clone();
     let checkpoints = *out_ckpts.lock();
+    let mut report = tfd.as_ref().and_then(|t| t.last_report());
+    let sanitizer = san.map(|handle| {
+        // Symtab balance: detach tf-Darshan (runtime detach, Table I) and
+        // audit that every GOT symbol reverted to its default binding.
+        if let Some(tfd) = &tfd {
+            if tfd.wrapper().is_attached() {
+                tfd.wrapper().detach().expect("detach succeeds");
+            }
+        }
+        handle
+            .sanitizer()
+            .note_patched_symbols(&m.process.got().patched_symbols());
+        // Origin audit: the App-only POSIX fold covers a window of the run,
+        // so it must never claim more bytes than the spine carried with
+        // App origin overall.
+        if let Some(rep) = &report {
+            handle
+                .sanitizer()
+                .audit_app_fold(rep.io.bytes_read + rep.io.bytes_written);
+        }
+        let r = handle.finalize();
+        if let Some(rep) = report.as_mut() {
+            rep.sanitizer = Some(r.summary());
+        }
+        r
+    });
     RunOutput {
         fit,
         wall,
-        report: tfd.as_ref().and_then(|t| t.last_report()),
+        report,
         space,
         bandwidth_points,
         dstat_samples: dstat.map(|d| d.samples()).unwrap_or_default(),
@@ -449,6 +492,7 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
         dataset: dataset_summary,
         staged: staging_plan,
         checkpoints,
+        sanitizer,
     }
 }
 

@@ -6,10 +6,12 @@
 //! drivers that benches, examples, and integration tests share
 //! ([`experiments`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod experiments;
+pub mod iosan_gate;
 pub mod lmdb;
 pub mod models;
 pub mod platform;

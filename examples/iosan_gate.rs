@@ -1,0 +1,33 @@
+//! The iosan gate: re-run every example workload under the I/O sanitizer
+//! and fail (exit 1) on any finding.
+//!
+//! Covers the two trainings, the two STREAM benchmarks, checkpointing,
+//! staging, and the dstat daemon — each with happens-before race
+//! detection over file ranges, FD-lifecycle checks, lock-order analysis,
+//! the symtab balance check, and the origin audit. CI runs this binary.
+//!
+//! ```text
+//! cargo run --release --example iosan_gate
+//! ```
+
+use tf_darshan::workloads::iosan_gate;
+
+fn main() {
+    let mut results = Vec::new();
+    for entry in iosan_gate::entries() {
+        let name = entry.name;
+        println!("sanitizing {name} ...");
+        let r = iosan_gate::run_entry(entry);
+        println!(
+            "  {}: {} events, {} finding(s)",
+            name,
+            r.report.events_analyzed,
+            r.report.findings.len()
+        );
+        results.push(r);
+    }
+    println!("\n{}", iosan_gate::render(&results));
+    if iosan_gate::total_findings(&results) > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,8 @@
 //! Umbrella crate re-exporting the tf-Darshan reproduction stack.
+#![forbid(unsafe_code)]
 pub use darshan_sim as darshan;
 pub use dstat_sim as dstat;
+pub use iosan;
 pub use mpi_sim as mpi;
 pub use posix_sim as posix;
 pub use prefetch;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `bytes` crate covering the subset used by this
 //! workspace: `Bytes` / `BytesMut` plus the little-endian `Buf` / `BufMut`
 //! accessors used by the Darshan binary log codec.

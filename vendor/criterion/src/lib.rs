@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `criterion`. Provides the `Criterion` /
 //! `BenchmarkGroup` / `Bencher` API surface used by this workspace and
 //! measures a wall-clock mean per benchmark (warm-up, then timed samples),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `parking_lot` crate, implemented over
 //! `std::sync`. Only the API surface used by this workspace is provided:
 //! `Mutex` / `MutexGuard` (guard returned directly from `lock()`, no

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `proptest`. Implements the subset this workspace
 //! uses: the `proptest!` test macro, `Strategy` with `prop_map`, ranges,
 //! `Just`, tuples, `prop_oneof!`, `prop::collection::vec`, `any::<T>()`,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate. Deterministic splitmix64-based
 //! `StdRng` with the small trait surface the workloads use: `seed_from_u64`,
 //! `gen_range` over integer/float ranges, `gen`, and slice `shuffle`.

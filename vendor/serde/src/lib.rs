@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde`. Instead of upstream's visitor-based
 //! architecture, this vendored replacement routes everything through a JSON
 //! value tree ([`value::Value`]): `Serialize` renders a value, `Deserialize`

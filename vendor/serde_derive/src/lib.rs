@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `#[derive(Serialize, Deserialize)]` for the vendored value-tree serde.
 //!
 //! Hand-rolled: parses the item's token stream directly (no syn/quote) and

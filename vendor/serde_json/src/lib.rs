@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde_json`, layered on the value tree that lives
 //! in the vendored `serde` crate: re-exports [`Value`] / [`Map`] /
 //! [`Number`] / [`Error`], provides `to_string{,_pretty}` / `from_str` /
