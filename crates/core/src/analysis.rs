@@ -453,6 +453,7 @@ mod tests {
                     length,
                     start: end - 0.01,
                     end,
+                    rank: 0,
                 },
             )
         };

@@ -1,0 +1,355 @@
+//! Rank as a first-class dimension: per-rank tf-Darshan sessions and the
+//! job-level reduction.
+//!
+//! The paper's §III forward-compatibility argument ("if TensorFlow employs
+//! MPI as a distributed strategy … one can employ the parallel version of
+//! Darshan with the MPI module with a similar technique"), implemented:
+//!
+//! * [`RankCtx`] — one rank's view: its [`Process`] (with its own probe
+//!   bus) plus an attached tf-Darshan session whose DXT segments are
+//!   stamped with the rank;
+//! * [`JobCtx`] — owns N `RankCtx`s over one shared [`StorageStack`] (the
+//!   cluster's parallel filesystem) and one shared **job bus**: every
+//!   rank's probe events are mirrored onto it, so job-wide consumers (the
+//!   sanitizer, job-level dstat) see all ranks' I/O in a single
+//!   op-completion-ordered stream while per-rank consumers keep reading
+//!   the rank's own bus;
+//! * [`JobReport`] — per-rank reports plus the job-level merge, using
+//!   parallel Darshan's shared-file reduction semantics: records of files
+//!   touched by several ranks merge (counters sum, extrema min/max, first
+//!   timestamps min-nonzero, last timestamps max), records of rank-private
+//!   files pass through **unchanged** — which makes the `world_size == 1`
+//!   job report byte-identical to the single-process path.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use darshan_sim::{reduce, DxtSegment, PosixRecord, StdioRecord};
+use mpi_sim::MpiWorld;
+use posix_sim::{GotError, Process};
+use probe::ProbeBus;
+use serde::{Deserialize, Serialize};
+use storage_sim::StorageStack;
+
+use crate::analysis::{analyze, diff, per_file, SnapshotDiff};
+use crate::report::TfDarshanReport;
+use crate::wrapper::{TfDarshanConfig, TfDarshanWrapper};
+
+/// One rank's profiling context: the rank's process, its own probe bus
+/// (reachable via [`RankCtx::probe`]), and an attached tf-Darshan session
+/// whose DXT segments carry this rank's id.
+pub struct RankCtx {
+    rank: u32,
+    process: Arc<Process>,
+    wrapper: Arc<TfDarshanWrapper>,
+}
+
+impl RankCtx {
+    /// Wrap `process` as rank `rank` and install tf-Darshan into it. The
+    /// Darshan runtime is configured with the rank so every DXT segment it
+    /// records is rank-tagged.
+    pub fn new(rank: u32, process: Arc<Process>, mut config: TfDarshanConfig) -> Self {
+        config.darshan.rank = rank;
+        let wrapper = TfDarshanWrapper::install(process.clone(), config);
+        RankCtx {
+            rank,
+            process,
+            wrapper,
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The rank's process.
+    pub fn process(&self) -> &Arc<Process> {
+        &self.process
+    }
+
+    /// The rank's own probe bus (sees only this rank's events).
+    pub fn probe(&self) -> &ProbeBus {
+        self.process.probe()
+    }
+
+    /// The rank's tf-Darshan wrapper.
+    pub fn wrapper(&self) -> &Arc<TfDarshanWrapper> {
+        &self.wrapper
+    }
+
+    /// The rank's last completed session (diff + window DXT), or `None`
+    /// if no start/stop pair exists yet.
+    pub fn session(&self) -> Option<RankSession> {
+        let (start, stop) = self.wrapper.session_snapshots()?;
+        Some(RankSession {
+            rank: self.rank,
+            diff: diff(&start, &stop),
+            dxt: self.wrapper.session_dxt(),
+        })
+    }
+}
+
+/// One rank's extracted session: the per-rank snapshot diff plus the
+/// window's (rank-tagged) DXT segments. Input to the job reduction.
+pub struct RankSession {
+    /// The contributing rank.
+    pub rank: u32,
+    /// Per-file counter deltas of the rank's window.
+    pub diff: SnapshotDiff,
+    /// DXT segments of the rank's window.
+    pub dxt: Vec<(u64, DxtSegment)>,
+}
+
+impl RankSession {
+    /// This rank's own report — exactly what the single-process tracer
+    /// produces from the same diff and DXT.
+    pub fn report(&self) -> TfDarshanReport {
+        let (io, stdio) = analyze(&self.diff, &self.dxt);
+        TfDarshanReport {
+            window: self.diff.window,
+            io,
+            stdio,
+            files: per_file(&self.diff),
+            sanitizer: None,
+        }
+    }
+}
+
+/// The job view: per-rank reports plus the job-level merge.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Number of ranks that contributed.
+    pub world_size: u32,
+    /// The job-level report over the merged records and the concatenated
+    /// rank-tagged DXT timeline.
+    pub job: TfDarshanReport,
+    /// Per-rank reports, in rank order.
+    pub per_rank: Vec<TfDarshanReport>,
+}
+
+/// Merge per-rank sessions into the job view with parallel Darshan's
+/// shared-file reduction semantics: a record id appearing in more than one
+/// rank's diff is merged ([`darshan_sim::reduce::merge_posix_records`] /
+/// [`darshan_sim::reduce::merge_stdio_records`] — counters sum, byte
+/// extrema max, first timestamps min-nonzero, last timestamps max,
+/// cumulative times sum); a record id unique to one rank passes through
+/// unchanged. The job window spans min-start..max-stop; the job DXT is the
+/// rank-tagged concatenation (kept in end-time order for `world_size > 1`).
+pub fn reduce_job_sessions(sessions: &[RankSession]) -> JobReport {
+    assert!(
+        !sessions.is_empty(),
+        "job reduction needs at least one rank"
+    );
+
+    // Group records by id across ranks, preserving rec-id order (diffs are
+    // already rec-id-sorted, and so is a BTreeMap walk).
+    let mut posix: BTreeMap<u64, Vec<&PosixRecord>> = BTreeMap::new();
+    let mut stdio: BTreeMap<u64, Vec<&StdioRecord>> = BTreeMap::new();
+    for s in sessions {
+        for r in &s.diff.posix {
+            posix.entry(r.rec_id).or_default().push(r);
+        }
+        for r in &s.diff.stdio {
+            stdio.entry(r.rec_id).or_default().push(r);
+        }
+    }
+    let merged_posix: Vec<PosixRecord> = posix
+        .into_values()
+        .filter_map(|group| {
+            if group.len() == 1 {
+                Some(group[0].clone()) // rank-private file: pass through
+            } else {
+                let owned: Vec<PosixRecord> = group.into_iter().cloned().collect();
+                reduce::merge_posix_records(&owned)
+            }
+        })
+        .collect();
+    let merged_stdio: Vec<StdioRecord> = stdio
+        .into_values()
+        .filter_map(|group| {
+            if group.len() == 1 {
+                Some(group[0].clone())
+            } else {
+                let owned: Vec<StdioRecord> = group.into_iter().cloned().collect();
+                reduce::merge_stdio_records(&owned)
+            }
+        })
+        .collect();
+
+    // Names: the union across ranks (identical Arc reused for one rank, so
+    // the single-rank job path shares rather than copies).
+    let names = if sessions.len() == 1 {
+        sessions[0].diff.names.clone()
+    } else {
+        let mut union: HashMap<u64, String> = HashMap::new();
+        for s in sessions {
+            for (id, name) in s.diff.names.iter() {
+                union.entry(*id).or_insert_with(|| name.clone());
+            }
+        }
+        Arc::new(union)
+    };
+
+    let window = (
+        sessions
+            .iter()
+            .map(|s| s.diff.window.0)
+            .fold(f64::INFINITY, f64::min),
+        sessions
+            .iter()
+            .map(|s| s.diff.window.1)
+            .fold(f64::NEG_INFINITY, f64::max),
+    );
+    let job_diff = SnapshotDiff {
+        window,
+        posix: merged_posix,
+        stdio: merged_stdio,
+        names,
+        partial: sessions.iter().any(|s| s.diff.partial),
+    };
+
+    // Job DXT: every rank's segments on one timeline. A single rank's
+    // session order is preserved as-is (byte-identity with the
+    // single-process path); multiple ranks interleave by completion time.
+    let mut job_dxt: Vec<(u64, DxtSegment)> = Vec::new();
+    for s in sessions {
+        job_dxt.extend(s.dxt.iter().copied());
+    }
+    if sessions.len() > 1 {
+        job_dxt.sort_by(|a, b| {
+            a.1.end
+                .total_cmp(&b.1.end)
+                .then(a.1.start.total_cmp(&b.1.start))
+                .then(a.1.rank.cmp(&b.1.rank))
+        });
+    }
+
+    let (io, stdio) = analyze(&job_diff, &job_dxt);
+    let job = TfDarshanReport {
+        window: job_diff.window,
+        io,
+        stdio,
+        files: per_file(&job_diff),
+        sanitizer: None,
+    };
+    JobReport {
+        world_size: sessions.len() as u32,
+        job,
+        per_rank: sessions.iter().map(|s| s.report()).collect(),
+    }
+}
+
+/// N ranks over one shared storage stack, with one shared job bus.
+pub struct JobCtx {
+    stack: StorageStack,
+    job_bus: ProbeBus,
+    ranks: Vec<RankCtx>,
+}
+
+impl JobCtx {
+    /// Create `world_size` ranks, each with its own fresh [`Process`] over
+    /// the shared `stack`, tf-Darshan installed per rank, and the job bus
+    /// attached to every rank's process.
+    pub fn new(stack: &StorageStack, world_size: usize, config: &TfDarshanConfig) -> Self {
+        assert!(world_size > 0);
+        let processes = (0..world_size)
+            .map(|_| Process::new(stack.clone()))
+            .collect();
+        Self::from_processes(stack.clone(), processes, config)
+    }
+
+    /// Wrap an existing [`MpiWorld`]'s rank processes — the path a
+    /// distributed training job takes: `mpi-sim` owns the ranks and the
+    /// collectives; the job context adds per-rank tf-Darshan sessions and
+    /// the shared job bus on top.
+    pub fn over_world(world: &MpiWorld, config: &TfDarshanConfig) -> Self {
+        let processes: Vec<Arc<Process>> = (0..world.size()).map(|r| world.process(r)).collect();
+        let stack = processes[0].stack().clone();
+        Self::from_processes(stack, processes, config)
+    }
+
+    fn from_processes(
+        stack: StorageStack,
+        processes: Vec<Arc<Process>>,
+        config: &TfDarshanConfig,
+    ) -> Self {
+        let job_bus = ProbeBus::new();
+        let ranks = processes
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| {
+                p.attach_shared_spine(&job_bus);
+                RankCtx::new(r as u32, p, config.clone())
+            })
+            .collect();
+        JobCtx {
+            stack,
+            job_bus,
+            ranks,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// A rank's context.
+    pub fn rank(&self, rank: usize) -> &RankCtx {
+        &self.ranks[rank]
+    }
+
+    /// All ranks, rank order.
+    pub fn ranks(&self) -> &[RankCtx] {
+        &self.ranks
+    }
+
+    /// The shared job bus: all ranks' I/O events (and, via
+    /// `probe::SyncBridge`, the job's sync events) in one
+    /// op-completion-ordered stream. Job-wide consumers must read this one
+    /// bus — cross-bus ordering is not defined.
+    pub fn job_bus(&self) -> &ProbeBus {
+        &self.job_bus
+    }
+
+    /// The shared storage stack (the parallel filesystem).
+    pub fn stack(&self) -> &StorageStack {
+        &self.stack
+    }
+
+    /// Begin a job-wide profiling window: every rank attaches (first time)
+    /// and takes its start snapshot.
+    pub fn mark_start(&self) -> Result<(), GotError> {
+        for r in &self.ranks {
+            r.wrapper.mark_start()?;
+        }
+        Ok(())
+    }
+
+    /// End the job-wide window with per-rank stop snapshots.
+    pub fn mark_stop(&self) {
+        for r in &self.ranks {
+            r.wrapper.mark_stop();
+        }
+    }
+
+    /// Extract every rank's session and reduce to the job view. `None`
+    /// until a start/stop pair exists on every rank.
+    pub fn collect(&self) -> Option<JobReport> {
+        let sessions: Vec<RankSession> = self.ranks.iter().filter_map(|r| r.session()).collect();
+        if sessions.len() != self.ranks.len() {
+            return None;
+        }
+        Some(reduce_job_sessions(&sessions))
+    }
+
+    /// Detach the job bus from every rank's process (the per-rank buses
+    /// and sessions stay live).
+    pub fn detach_job_bus(&self) {
+        for r in &self.ranks {
+            r.process.detach_shared_spine();
+        }
+    }
+}

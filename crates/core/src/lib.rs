@@ -69,6 +69,7 @@
 pub mod advisor;
 pub mod analysis;
 pub mod autotune;
+pub mod job;
 pub mod report;
 pub mod staging;
 pub mod tracer;
@@ -79,6 +80,7 @@ pub use analysis::{
     analyze, bandwidth_series, diff, per_file, FileActivity, IoStats, SnapshotDiff, StdioStats,
 };
 pub use autotune::{IoAutoTuner, TuneStep};
+pub use job::{reduce_job_sessions, JobCtx, JobReport, RankCtx, RankSession};
 pub use report::{overview, TfDarshanReport};
 pub use staging::{
     advise_threshold, apply as apply_staging, plan_by_threshold, plan_within_budget, StagingPlan,

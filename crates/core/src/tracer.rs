@@ -106,11 +106,18 @@ impl Tracer for DarshanTracer {
             let names = &d.names;
             let plane = space.plane_mut(DXT_PLANE);
             for (rec, seg) in &dxt {
-                let file = names
+                let mut file = names
                     .get(rec)
                     .cloned()
                     .unwrap_or_else(|| format!("<{rec:#x}>"));
-                let ev = XEvent::new(
+                // Rank lane: in a distributed job each rank's segments get
+                // their own TraceViewer line per file (parallel Darshan's
+                // DXT records always carry the rank; rank 0 keeps the bare
+                // file name so single-process traces are unchanged).
+                if seg.rank != 0 {
+                    file = format!("{file} [rank {}]", seg.rank);
+                }
+                let mut ev = XEvent::new(
                     match seg.op {
                         DxtOp::Read => "pread",
                         DxtOp::Write => "pwrite",
@@ -120,6 +127,9 @@ impl Tracer for DarshanTracer {
                 )
                 .with_stat("offset", seg.offset)
                 .with_stat("length", seg.length);
+                if seg.rank != 0 {
+                    ev = ev.with_stat("rank", seg.rank);
+                }
                 plane.line_mut(&file).events.push(ev);
             }
         }

@@ -16,7 +16,7 @@
 //!         rec_id u64, counters [i64; N], fcounters [f64; M]
 //! stdio:  partial u8, count u32, same shape
 //! dxt:    count u32, then per file: rec_id u64, nsegs u32, then per seg:
-//!         op u8, offset u64, length u64, start f64, end f64
+//!         op u8, rank u32, offset u64, length u64, start f64, end f64
 //! ```
 
 use std::collections::HashMap;
@@ -28,7 +28,7 @@ use crate::counters::{PosixFCounter, StdioFCounter};
 use crate::runtime::{DxtOp, DxtSegment};
 
 const MAGIC: &[u8; 4] = b"DSIM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A fully materialized Darshan log (what shutdown produces and the parser
 /// returns).
@@ -132,6 +132,7 @@ impl DarshanLog {
                     DxtOp::Read => 0,
                     DxtOp::Write => 1,
                 });
+                b.put_u32_le(s.rank);
                 b.put_u64_le(s.offset);
                 b.put_u64_le(s.length);
                 b.put_f64_le(s.start);
@@ -220,13 +221,14 @@ impl DarshanLog {
             let nsegs = data.get_u32_le() as usize;
             let mut segs = Vec::with_capacity(nsegs);
             for _ in 0..nsegs {
-                need(data, 1 + 16 + 16)?;
+                need(data, 1 + 4 + 16 + 16)?;
                 let op = match data.get_u8() {
                     0 => DxtOp::Read,
                     _ => DxtOp::Write,
                 };
                 segs.push(DxtSegment {
                     op,
+                    rank: data.get_u32_le(),
                     offset: data.get_u64_le(),
                     length: data.get_u64_le(),
                     start: data.get_f64_le(),
@@ -315,6 +317,7 @@ mod tests {
                     length: 88_000,
                     start: 0.1,
                     end: 0.2,
+                    rank: 0,
                 },
                 DxtSegment {
                     op: DxtOp::Read,
@@ -322,6 +325,7 @@ mod tests {
                     length: 0,
                     start: 0.2,
                     end: 0.2001,
+                    rank: 3,
                 },
             ],
         );
@@ -356,6 +360,8 @@ mod tests {
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].length, 88_000);
         assert_eq!(segs[1].length, 0, "zero-length read survives roundtrip");
+        assert_eq!(segs[0].rank, 0);
+        assert_eq!(segs[1].rank, 3, "rank tag survives roundtrip");
     }
 
     #[test]

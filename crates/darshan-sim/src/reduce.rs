@@ -7,9 +7,13 @@
 use std::collections::HashMap;
 
 use crate::counters::{PosixCounter as P, PosixFCounter as PF, PosixRecord};
+use crate::counters::{StdioCounter as S, StdioFCounter as SF, StdioRecord};
 
 /// Counters that reduce with `max` instead of `+`.
 const MAX_COUNTERS: &[P] = &[P::POSIX_MAX_BYTE_READ, P::POSIX_MAX_BYTE_WRITTEN];
+
+/// STDIO counters that reduce with `max` instead of `+`.
+const STDIO_MAX_COUNTERS: &[S] = &[S::STDIO_MAX_BYTE_READ, S::STDIO_MAX_BYTE_WRITTEN];
 
 /// Merge per-rank records of the **same file** into one shared record.
 ///
@@ -87,6 +91,73 @@ pub fn merge_posix_records(records: &[PosixRecord]) -> Option<PosixRecord> {
     Some(out)
 }
 
+/// Merge per-rank STDIO records of the same file into one shared record.
+///
+/// Same operator shape as [`merge_posix_records`]: additive counters sum,
+/// byte extrema take the max, open/close start timestamps take the earliest
+/// non-zero value, end timestamps the latest, cumulative times sum.
+pub fn merge_stdio_records(records: &[StdioRecord]) -> Option<StdioRecord> {
+    let first = records.first()?;
+    debug_assert!(records.iter().all(|r| r.rec_id == first.rec_id));
+    let mut out = StdioRecord::new(first.rec_id);
+
+    for r in records {
+        for c in S::ALL {
+            let i = c as usize;
+            if STDIO_MAX_COUNTERS.contains(&c) {
+                out.counters[i] = out.counters[i].max(r.counters[i]);
+            } else {
+                out.counters[i] += r.counters[i];
+            }
+        }
+        for (start, end) in [
+            (
+                SF::STDIO_F_OPEN_START_TIMESTAMP,
+                SF::STDIO_F_OPEN_END_TIMESTAMP,
+            ),
+            (
+                SF::STDIO_F_CLOSE_START_TIMESTAMP,
+                SF::STDIO_F_CLOSE_END_TIMESTAMP,
+            ),
+        ] {
+            let s = r.fget(start);
+            if s > 0.0 {
+                let cur = out.fget(start);
+                *out.fget_mut(start) = if cur == 0.0 { s } else { cur.min(s) };
+            }
+            let e = r.fget(end);
+            *out.fget_mut(end) = out.fget(end).max(e);
+        }
+        for t in [
+            SF::STDIO_F_READ_TIME,
+            SF::STDIO_F_WRITE_TIME,
+            SF::STDIO_F_META_TIME,
+        ] {
+            *out.fget_mut(t) += r.fget(t);
+        }
+    }
+    Some(out)
+}
+
+/// STDIO counterpart of [`reduce_job`].
+pub fn reduce_job_stdio<R: std::borrow::Borrow<StdioRecord>>(
+    per_rank: &[Vec<R>],
+) -> Vec<StdioRecord> {
+    let mut by_id: HashMap<u64, Vec<StdioRecord>> = HashMap::new();
+    for rank in per_rank {
+        for r in rank {
+            let r = r.borrow();
+            by_id.entry(r.rec_id).or_default().push(r.clone());
+        }
+    }
+    let mut out: Vec<StdioRecord> = by_id
+        .into_values()
+        .filter_map(|v| merge_stdio_records(&v))
+        .collect();
+    out.sort_by_key(|r| r.rec_id);
+    out
+}
+
 fn is_access_slot(c: P) -> bool {
     matches!(
         c,
@@ -159,6 +230,26 @@ mod tests {
     #[test]
     fn merge_empty_is_none() {
         assert!(merge_posix_records(&[]).is_none());
+    }
+
+    #[test]
+    fn merge_stdio_sums_and_extremizes() {
+        let mk = |writes: i64, max_byte: i64, open_start: f64, close_end: f64| {
+            let mut r = StdioRecord::new(7);
+            *r.get_mut(S::STDIO_WRITES) = writes;
+            *r.get_mut(S::STDIO_MAX_BYTE_WRITTEN) = max_byte;
+            *r.fget_mut(SF::STDIO_F_OPEN_START_TIMESTAMP) = open_start;
+            *r.fget_mut(SF::STDIO_F_CLOSE_END_TIMESTAMP) = close_end;
+            *r.fget_mut(SF::STDIO_F_WRITE_TIME) = 0.25;
+            r
+        };
+        let merged = merge_stdio_records(&[mk(4, 100, 1.5, 2.0), mk(6, 900, 0.5, 5.0)]).unwrap();
+        assert_eq!(merged.get(S::STDIO_WRITES), 10);
+        assert_eq!(merged.get(S::STDIO_MAX_BYTE_WRITTEN), 900);
+        assert_eq!(merged.fget(SF::STDIO_F_OPEN_START_TIMESTAMP), 0.5);
+        assert_eq!(merged.fget(SF::STDIO_F_CLOSE_END_TIMESTAMP), 5.0);
+        assert!((merged.fget(SF::STDIO_F_WRITE_TIME) - 0.5).abs() < 1e-12);
+        assert!(merge_stdio_records(&[]).is_none());
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct DarshanConfig {
     /// correlation of overhead with files processed applies only to the
     /// first (full) extraction and to [`DarshanRuntime::snapshot_full`].
     pub snapshot_cost_per_record: Duration,
+    /// MPI rank this runtime instruments (`0` for single-process runs, as
+    /// in non-MPI Darshan). Stamped onto every [`DxtSegment`] so job-level
+    /// trace merges keep per-rank attribution.
+    pub rank: u32,
 }
 
 impl Default for DarshanConfig {
@@ -73,6 +77,7 @@ impl Default for DarshanConfig {
             per_op_overhead: Duration::from_nanos(120),
             new_record_overhead: Duration::from_micros(2),
             snapshot_cost_per_record: Duration::from_micros(90),
+            rank: 0,
         }
     }
 }
@@ -100,6 +105,9 @@ pub struct DxtSegment {
     pub start: f64,
     /// End time, seconds since Darshan initialization.
     pub end: f64,
+    /// Rank of the process that issued the operation (parallel Darshan's
+    /// DXT records always carry the rank; single-process runs use 0).
+    pub rank: u32,
 }
 
 /// Internal: record types that carry a dirty-epoch stamp and know their
@@ -720,6 +728,7 @@ impl DarshanRuntime {
             length,
             start: self.rel(t0),
             end: self.rel(t1),
+            rank: self.config.rank,
         };
         let buf = &mut *d;
         let f = buf.files.entry(rec_id).or_insert_with(|| DxtFile {

@@ -14,6 +14,7 @@ use simrt::{SimTime, TaskId};
 fn ev(origin: Origin, target: &str, kind: EventKind) -> IoEvent {
     IoEvent {
         task: TaskId(1),
+        pid: 0,
         t0: SimTime::ZERO,
         t1: SimTime::ZERO,
         origin,

@@ -113,7 +113,10 @@ struct Inner {
     /// Labels of sync objects, from event targets.
     obj_labels: HashMap<u64, Arc<str>>,
     files: HashMap<Arc<str>, FileHistory>,
-    fds: HashMap<i32, FdState>,
+    /// Descriptor state keyed by `(pid, fd)`: on a shared job spine every
+    /// rank has its own fd namespace, so fd numbers collide across
+    /// processes.
+    fds: HashMap<(u32, i32), FdState>,
     /// Race dedup: one finding per (file, task pair).
     reported_races: HashSet<(Arc<str>, u64, u64)>,
     findings: Vec<Finding>,
@@ -148,7 +151,7 @@ impl Inner {
             EventKind::Sync { op, obj } => self.fold_sync(task, *op, *obj, &ev.target, eid),
             EventKind::Open { fd } => {
                 self.fds.insert(
-                    *fd,
+                    (ev.pid, *fd),
                     FdState {
                         path: Arc::clone(&ev.target),
                         opened_by: task,
@@ -159,7 +162,7 @@ impl Inner {
                 );
             }
             EventKind::Close { fd } => {
-                if let Some(st) = self.fds.get_mut(fd) {
+                if let Some(st) = self.fds.get_mut(&(ev.pid, *fd)) {
                     match st.closed {
                         Some(prev) => {
                             let path = st.path.to_string();
@@ -182,12 +185,12 @@ impl Inner {
             }
             EventKind::Read { fd, offset, len } => {
                 self.ledger(ev.origin, *len);
-                self.check_use_after_close(task, *fd, "read", eid);
+                self.check_use_after_close(task, ev.pid, *fd, "read", eid);
                 self.record_access(ev, task, *offset, *len, false, eid);
             }
             EventKind::Write { fd, offset, len } => {
                 self.ledger(ev.origin, *len);
-                self.check_use_after_close(task, *fd, "write", eid);
+                self.check_use_after_close(task, ev.pid, *fd, "write", eid);
                 self.record_access(ev, task, *offset, *len, true, eid);
             }
             EventKind::MmapFault {
@@ -197,10 +200,14 @@ impl Inner {
                 // not descriptor operations: race-checked, no fd lifecycle.
                 self.record_access(ev, task, *offset, *len, *write, eid);
             }
-            EventKind::Seek { fd, .. } => self.check_use_after_close(task, *fd, "lseek", eid),
-            EventKind::Fstat { fd } => self.check_use_after_close(task, *fd, "fstat", eid),
-            EventKind::Fsync { fd } => self.check_use_after_close(task, *fd, "fsync", eid),
-            EventKind::Mmap { fd, .. } => self.check_use_after_close(task, *fd, "mmap", eid),
+            EventKind::Seek { fd, .. } => {
+                self.check_use_after_close(task, ev.pid, *fd, "lseek", eid)
+            }
+            EventKind::Fstat { fd } => self.check_use_after_close(task, ev.pid, *fd, "fstat", eid),
+            EventKind::Fsync { fd } => self.check_use_after_close(task, ev.pid, *fd, "fsync", eid),
+            EventKind::Mmap { fd, .. } => {
+                self.check_use_after_close(task, ev.pid, *fd, "mmap", eid)
+            }
             // Stream-level events live in stream-position space, not file
             // offsets; the underlying descriptor traffic arrives separately
             // as stdio-internal Read/Write events with true offsets.
@@ -289,8 +296,8 @@ impl Inner {
         }
     }
 
-    fn check_use_after_close(&mut self, task: u64, fd: i32, opname: &str, eid: u64) {
-        if let Some(st) = self.fds.get(&fd) {
+    fn check_use_after_close(&mut self, task: u64, pid: u32, fd: i32, opname: &str, eid: u64) {
+        if let Some(st) = self.fds.get(&(pid, fd)) {
             if let Some(closed_at) = st.closed {
                 let path = st.path.to_string();
                 self.findings.push(Finding {
@@ -477,7 +484,7 @@ impl Inner {
         let leaks: Vec<(i32, Arc<str>, u64, u64, u64)> = self
             .fds
             .iter()
-            .filter_map(|(fd, st)| match (st.closed, st.opener_finish) {
+            .filter_map(|((_pid, fd), st)| match (st.closed, st.opener_finish) {
                 (None, Some(fin)) => {
                     Some((*fd, Arc::clone(&st.path), st.opened_by, st.open_event, fin))
                 }
@@ -646,6 +653,7 @@ mod tests {
     fn ev(task: u64, kind: EventKind) -> IoEvent {
         IoEvent {
             task: TaskId(task),
+            pid: 0,
             t0: SimTime::ZERO,
             t1: SimTime::ZERO + Duration::from_nanos(10),
             origin: Origin::App,
@@ -800,6 +808,37 @@ mod tests {
         ]);
         let r = san.finalize_report();
         assert!(r.of_category(Category::FdLeak).is_empty());
+    }
+
+    #[test]
+    fn fd_namespaces_are_per_process() {
+        // On a shared job spine every rank has its own fd table: rank A
+        // closing its fd 7 must not poison rank B's (different pid) fd 7.
+        let at = |mut e: IoEvent, pid: u32| {
+            e.pid = pid;
+            e
+        };
+        let san = IoSanitizer::new();
+        san.on_events(&[
+            at(ev(1, EventKind::Open { fd: 7 }), 1),
+            at(ev(1, EventKind::Close { fd: 7 }), 1),
+            at(ev(2, EventKind::Open { fd: 7 }), 2),
+            at(
+                ev(
+                    2,
+                    EventKind::Read {
+                        fd: 7,
+                        offset: 0,
+                        len: 8,
+                    },
+                ),
+                2,
+            ),
+            at(ev(2, EventKind::Close { fd: 7 }), 2),
+        ]);
+        let r = san.finalize_report();
+        assert!(r.of_category(Category::UseAfterClose).is_empty());
+        assert!(r.of_category(Category::DoubleClose).is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use posix_sim::Process;
 use simrt::sync::Barrier;
-use simrt::{dur, sleep, JoinHandle, Sim};
+use simrt::{dur, emit_sync, new_sync_obj_id, sleep, JoinHandle, Sim, SyncOp};
 use storage_sim::StorageStack;
 
 use crate::io::{DefaultMpiIo, MpiIoLayer};
@@ -44,6 +44,31 @@ pub(crate) struct WorldInner {
     pub layer: RwLock<Arc<dyn MpiIoLayer>>,
     pub default_layer: Arc<dyn MpiIoLayer>,
     pub processes: Mutex<Vec<Arc<Process>>>,
+    /// Sync object id shared by this world's collectives: every collective
+    /// emits `Signal` on arrival and `Wait` on departure on this object, so
+    /// happens-before consumers (iosan) get the cross-rank edge "everything
+    /// before any rank's arrival happens-before everything after every
+    /// rank's departure" — rank-interleaved shared-file I/O separated by a
+    /// collective is ordered, not racy.
+    pub sync_obj: u64,
+    pub sync_labels: CollectiveLabels,
+}
+
+/// Per-collective labels carried into sync events (iosan witnesses).
+pub(crate) struct CollectiveLabels {
+    pub barrier: Arc<str>,
+    pub allreduce: Arc<str>,
+    pub bcast: Arc<str>,
+}
+
+impl CollectiveLabels {
+    fn new(obj: u64) -> Self {
+        CollectiveLabels {
+            barrier: format!("mpi:world#{obj}:barrier").into(),
+            allreduce: format!("mpi:world#{obj}:allreduce").into(),
+            bcast: format!("mpi:world#{obj}:bcast").into(),
+        }
+    }
 }
 
 /// An MPI world of `size` ranks.
@@ -59,6 +84,7 @@ impl MpiWorld {
         assert!(size > 0);
         let default_layer: Arc<dyn MpiIoLayer> = Arc::new(DefaultMpiIo);
         let processes = (0..size).map(|_| Process::new(stack.clone())).collect();
+        let sync_obj = new_sync_obj_id();
         MpiWorld {
             inner: Arc::new(WorldInner {
                 size,
@@ -67,6 +93,30 @@ impl MpiWorld {
                 layer: RwLock::new(default_layer.clone()),
                 default_layer,
                 processes: Mutex::new(processes),
+                sync_obj,
+                sync_labels: CollectiveLabels::new(sync_obj),
+            }),
+        }
+    }
+
+    /// `MPI_Comm_dup`: a world over the **same** rank processes but with
+    /// its own barrier and sync object, so collectives on the duplicate
+    /// never interleave with (or deadlock against) collectives on the
+    /// original. Background services (e.g. the distributed prefetch
+    /// daemons) run their collectives on a duplicate.
+    pub fn duplicate(&self) -> MpiWorld {
+        let i = &self.inner;
+        let sync_obj = new_sync_obj_id();
+        MpiWorld {
+            inner: Arc::new(WorldInner {
+                size: i.size,
+                net: i.net.clone(),
+                barrier: Barrier::new(i.size),
+                layer: RwLock::new(i.layer.read().clone()),
+                default_layer: i.default_layer.clone(),
+                processes: Mutex::new(i.processes.lock().clone()),
+                sync_obj,
+                sync_labels: CollectiveLabels::new(sync_obj),
             }),
         }
     }
@@ -76,9 +126,24 @@ impl MpiWorld {
         self.inner.size
     }
 
+    /// The interconnect cost model.
+    pub fn net(&self) -> &NetworkModel {
+        &self.inner.net
+    }
+
     /// The rank's process.
     pub fn process(&self, rank: usize) -> Arc<Process> {
         self.inner.processes.lock()[rank].clone()
+    }
+
+    /// A rank's communicator handle without spawning a thread (for code
+    /// that already owns the rank's simulated thread).
+    pub fn comm(&self, rank: usize) -> Comm {
+        assert!(rank < self.inner.size);
+        Comm {
+            world: self.clone(),
+            rank,
+        }
     }
 
     /// PMPI interposition: replace the MPI-IO layer (profilers link their
@@ -148,40 +213,49 @@ impl Comm {
 
     /// `MPI_Barrier`.
     pub fn barrier(&self) {
-        self.world.inner.barrier.wait();
-        if !self.world.inner.net.latency.is_zero() {
-            sleep(self.world.inner.net.latency);
+        let w = &self.world.inner;
+        emit_sync(SyncOp::Signal, w.sync_obj, &w.sync_labels.barrier);
+        w.barrier.wait();
+        if !w.net.latency.is_zero() {
+            sleep(w.net.latency);
         }
-        self.world.inner.barrier.wait();
+        w.barrier.wait();
+        emit_sync(SyncOp::Wait, w.sync_obj, &w.sync_labels.barrier);
     }
 
     /// `MPI_Allreduce` of `bytes` (ring algorithm cost model): the
     /// data-parallel gradient synchronization of distributed training.
     pub fn allreduce_bytes(&self, bytes: u64) {
+        let w = &self.world.inner;
         let n = self.size() as f64;
-        self.world.inner.barrier.wait();
+        emit_sync(SyncOp::Signal, w.sync_obj, &w.sync_labels.allreduce);
+        w.barrier.wait();
         if n > 1.0 {
-            let net = &self.world.inner.net;
+            let net = &w.net;
             let steps = 2.0 * (n - 1.0);
             let volume = 2.0 * (n - 1.0) / n * bytes as f64;
             let cost = dur::secs_f64(net.latency.as_secs_f64() * steps + volume / net.bandwidth);
             sleep(cost);
         }
-        self.world.inner.barrier.wait();
+        w.barrier.wait();
+        emit_sync(SyncOp::Wait, w.sync_obj, &w.sync_labels.allreduce);
     }
 
     /// `MPI_Bcast` of `bytes` (binomial tree cost model).
     pub fn bcast_bytes(&self, bytes: u64) {
+        let w = &self.world.inner;
         let n = self.size() as f64;
-        self.world.inner.barrier.wait();
+        emit_sync(SyncOp::Signal, w.sync_obj, &w.sync_labels.bcast);
+        w.barrier.wait();
         if n > 1.0 {
-            let net = &self.world.inner.net;
+            let net = &w.net;
             let rounds = n.log2().ceil();
             let cost =
                 dur::secs_f64((net.latency.as_secs_f64() + bytes as f64 / net.bandwidth) * rounds);
             sleep(cost);
         }
-        self.world.inner.barrier.wait();
+        w.barrier.wait();
+        emit_sync(SyncOp::Wait, w.sync_obj, &w.sync_labels.bcast);
     }
 }
 
@@ -228,6 +302,66 @@ mod tests {
         assert!(big > small * 20.0, "{small} vs {big}");
         let one_rank = cost(1, 64 << 20);
         assert!(one_rank < 1e-6, "single rank allreduce is free");
+    }
+
+    #[test]
+    fn collectives_emit_labeled_sync_events() {
+        struct Recorder(Mutex<Vec<(simrt::SyncOp, String)>>);
+        impl simrt::SyncObserver for Recorder {
+            fn on_sync(&self, ev: &simrt::SyncEvent) {
+                if ev.label.starts_with("mpi:world#") {
+                    self.0.lock().push((ev.op, ev.label.to_string()));
+                }
+            }
+        }
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        sim.set_sync_observer(rec.clone());
+        let stack = StorageStack::new();
+        let world = MpiWorld::new(&stack, 2, NetworkModel::default());
+        world.spawn_ranks(&sim, |comm| {
+            comm.barrier();
+            comm.allreduce_bytes(1 << 10);
+            comm.bcast_bytes(1 << 10);
+        });
+        sim.run();
+        let evs = rec.0.lock();
+        for kind in ["barrier", "allreduce", "bcast"] {
+            let signals = evs
+                .iter()
+                .filter(|(op, l)| *op == SyncOp::Signal && l.ends_with(kind))
+                .count();
+            let waits = evs
+                .iter()
+                .filter(|(op, l)| *op == SyncOp::Wait && l.ends_with(kind))
+                .count();
+            assert_eq!(signals, 2, "one {kind} Signal per rank");
+            assert_eq!(waits, 2, "one {kind} Wait per rank");
+        }
+        // Every rank's arrival (Signal) precedes every rank's departure
+        // (Wait) for a given collective — the cross-rank HB edge.
+        let first_wait = evs.iter().position(|(op, _)| *op == SyncOp::Wait).unwrap();
+        let barrier_signals = evs
+            .iter()
+            .take(first_wait)
+            .filter(|(op, l)| *op == SyncOp::Signal && l.ends_with("barrier"))
+            .count();
+        assert_eq!(barrier_signals, 2, "all arrivals before any departure");
+    }
+
+    #[test]
+    fn duplicate_shares_ranks_but_not_collectives() {
+        let sim = Sim::new();
+        let stack = StorageStack::new();
+        let world = MpiWorld::new(&stack, 2, NetworkModel::default());
+        let dup = world.duplicate();
+        assert!(Arc::ptr_eq(&world.process(0), &dup.process(0)));
+        assert_ne!(world.inner.sync_obj, dup.inner.sync_obj);
+        // A collective on the duplicate completes even though nobody ever
+        // enters the original world's barrier.
+        dup.spawn_ranks(&sim, |comm| comm.barrier());
+        sim.run();
+        assert!(sim.now().as_secs_f64() > 0.0);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod comm;
 pub mod io;
 pub mod mpiio_module;
 
+pub use collective::SumAllreduce;
 pub use comm::{Comm, MpiWorld, NetworkModel};
 pub use io::{DefaultMpiIo, MpiFile, MpiIoLayer};
 pub use mpiio_module::{DarshanMpiio, MpiioRecord};

@@ -8,11 +8,11 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use probe::{EventKind, IoEvent, ProbeBus};
 use simrt::SimTime;
 use storage_sim::{FileSystem, FsHandle, Metadata, OpenOptions, StorageStack, WritePayload};
@@ -119,6 +119,10 @@ pub struct FdEntry {
 /// The simulated process.
 pub struct Process {
     stack: StorageStack,
+    /// Process id, unique per simulation host. Stamped into every probe
+    /// event: fd numbers are only unique per process, so consumers of a
+    /// shared job spine need the pid to key per-descriptor state.
+    pid: u32,
     got: Got,
     fds: Mutex<HashMap<Fd, Arc<FdEntry>>>,
     next_fd: AtomicI32,
@@ -129,6 +133,13 @@ pub struct Process {
     libraries: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
     /// The process's instrumentation backplane (event spine).
     probe: ProbeBus,
+    /// Optional job-level spine shared with the other ranks of an MPI job;
+    /// every event emitted on `probe` is mirrored here so job-wide
+    /// consumers (the sanitizer, job dstat) see all ranks' I/O in one
+    /// op-completion-ordered stream.
+    shared_spine: RwLock<Option<ProbeBus>>,
+    /// Fast-path flag: `shared_spine` is attached.
+    has_shared: AtomicBool,
     /// Kernel-entry overhead charged by the default libc per syscall.
     pub syscall_overhead: Duration,
 }
@@ -137,10 +148,12 @@ impl Process {
     /// Create a process over a storage stack, with the GOT bound to the
     /// default ("libc") implementations.
     pub fn new(stack: StorageStack) -> Arc<Self> {
+        static NEXT_PID: AtomicU32 = AtomicU32::new(1);
         let libc = Arc::new(DefaultLibc);
         let stdio = Arc::new(DefaultStdio::new(libc.clone()));
         Arc::new(Process {
             stack,
+            pid: NEXT_PID.fetch_add(1, Ordering::Relaxed),
             got: Got::new(libc, stdio),
             fds: Mutex::new(HashMap::new()),
             next_fd: AtomicI32::new(3), // 0-2 reserved for std streams
@@ -150,8 +163,15 @@ impl Process {
             next_map: AtomicU64::new(1),
             libraries: Mutex::new(HashMap::new()),
             probe: ProbeBus::new(),
+            shared_spine: RwLock::new(None),
+            has_shared: AtomicBool::new(false),
             syscall_overhead: Duration::from_nanos(300),
         })
+    }
+
+    /// The process id (unique per simulation host, never 0).
+    pub fn pid(&self) -> u32 {
+        self.pid
     }
 
     /// The process's event spine. Instrumentation consumers register
@@ -161,12 +181,42 @@ impl Process {
         &self.probe
     }
 
-    /// Timestamp an instrumented operation's entry: `Some(now)` when the
-    /// spine has sinks and we are on a simulated thread, else `None` (and
-    /// the operation emits nothing).
+    /// Attach a job-level spine: every event this process emits on its own
+    /// spine is mirrored onto `bus`. Used when the process is one rank of
+    /// an MPI job — all ranks share one job bus, so job-wide consumers get
+    /// every rank's I/O (and the job's sync events) in a single
+    /// op-completion-ordered stream. Per-rank consumers keep reading
+    /// [`Process::probe`] and never see the other ranks.
+    pub fn attach_shared_spine(&self, bus: &ProbeBus) {
+        *self.shared_spine.write() = Some(bus.clone());
+        self.has_shared.store(true, Ordering::Release);
+    }
+
+    /// Detach the job-level spine attached by
+    /// [`Process::attach_shared_spine`]. Idempotent.
+    pub fn detach_shared_spine(&self) {
+        self.has_shared.store(false, Ordering::Release);
+        *self.shared_spine.write() = None;
+    }
+
+    /// The attached job-level spine, if any.
+    pub fn shared_spine(&self) -> Option<ProbeBus> {
+        self.shared_spine.read().clone()
+    }
+
+    /// Timestamp an instrumented operation's entry: `Some(now)` when a
+    /// spine (the process's own or the attached job spine) has sinks and we
+    /// are on a simulated thread, else `None` (and the operation emits
+    /// nothing).
     #[inline]
     pub(crate) fn probe_t0(&self) -> Option<SimTime> {
-        if self.probe.is_active() {
+        let shared_active = self.has_shared.load(Ordering::Acquire)
+            && self
+                .shared_spine
+                .read()
+                .as_ref()
+                .is_some_and(|b| b.is_active());
+        if self.probe.is_active() || shared_active {
             simrt::try_now()
         } else {
             None
@@ -180,14 +230,26 @@ impl Process {
             Some(t) => t,
             None => return,
         };
-        self.probe.emit(IoEvent {
+        let ev = IoEvent {
             task: simrt::current_task(),
+            pid: self.pid,
             t0,
             t1,
             origin: crate::libc::current_origin(),
             target,
             kind,
-        });
+        };
+        if self.has_shared.load(Ordering::Acquire) {
+            let guard = self.shared_spine.read();
+            if let Some(bus) = guard.as_ref() {
+                if bus.is_active() {
+                    bus.emit(ev.clone());
+                }
+            }
+        }
+        if self.probe.is_active() {
+            self.probe.emit(ev);
+        }
     }
 
     /// The process's storage stack (mount table).

@@ -35,7 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+pub mod distributed;
+
+pub use distributed::{owner_rank, DistributedConfig, DistributedPrefetch};
+
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -81,6 +85,12 @@ pub struct PrefetchConfig {
     pub max_file_bytes: u64,
     /// Idle wakeup period when no probe events arrive.
     pub tick: Duration,
+    /// When the fast tier is full, allow evicting a strictly colder staged
+    /// file to make room for a hotter candidate. Displacement pays when the
+    /// budget covers a meaningful fraction of the working set; when the
+    /// share is much smaller than a cyclically-read shard it degenerates to
+    /// evict-just-before-reuse, so callers may turn it off.
+    pub displace: bool,
     /// Optional advisor-seeded plan ([`tfdarshan::seed_plan`]) applied
     /// untimed when the daemon starts, before any online decision.
     pub seed: Option<StagingPlan>,
@@ -98,6 +108,7 @@ impl PrefetchConfig {
             low_watermark: 0.7,
             max_file_bytes: 1 << 20,
             tick: Duration::from_millis(50),
+            displace: true,
             seed: None,
         }
     }
@@ -147,6 +158,13 @@ struct Learn {
 
 struct Shared {
     learn: Mutex<Learn>,
+    /// Files this daemon promoted and still believes staged. Eviction only
+    /// ever touches the daemon's own ledger: bytes staged by somebody else
+    /// (a static pass, another rank's daemon) have no heat in this
+    /// daemon's model and would otherwise always rank coldest — several
+    /// uncoordinated daemons over one fast tier would endlessly evict each
+    /// other's files and re-stage their own.
+    ledger: Mutex<HashSet<String>>,
     notify: Notify,
     stop: AtomicBool,
     promoted_files: AtomicU64,
@@ -162,6 +180,7 @@ impl Shared {
     fn new() -> Arc<Self> {
         Arc::new(Shared {
             learn: Mutex::new(Learn::default()),
+            ledger: Mutex::new(HashSet::new()),
             notify: Notify::new(),
             stop: AtomicBool::new(false),
             promoted_files: AtomicU64::new(0),
@@ -297,7 +316,7 @@ impl Drop for PrefetchDaemon {
 }
 
 /// Map an origin path to its staged location under the fast prefix.
-fn fast_path(cfg: &PrefetchConfig, origin: &str) -> Option<String> {
+pub(crate) fn fast_path(cfg: &PrefetchConfig, origin: &str) -> Option<String> {
     let rel = origin.strip_prefix(cfg.src_prefix.as_str())?;
     Some(format!("{}{rel}", cfg.fast_prefix))
 }
@@ -313,6 +332,7 @@ fn stage_once(process: &Arc<Process>, cfg: &PrefetchConfig, plan: &StagingPlan, 
         };
         match stack.promote_untimed(path, &dst) {
             Ok(n) => {
+                shared.ledger.lock().insert(path.clone());
                 shared.promoted_files.fetch_add(1, Ordering::Relaxed);
                 shared.promoted_bytes.fetch_add(n, Ordering::Relaxed);
             }
@@ -329,7 +349,11 @@ fn stage_once(process: &Arc<Process>, cfg: &PrefetchConfig, plan: &StagingPlan, 
 /// POSIX layer (so the copy costs virtual time and shows up in dstat), all
 /// of it origin-tagged `Prefetch`. Readers racing the copy keep resolving
 /// to the intact original until `commit_promote` flips the redirect.
-fn promote_timed(process: &Arc<Process>, origin: &str, dst: &str) -> Result<u64, FsError> {
+pub(crate) fn promote_timed(
+    process: &Arc<Process>,
+    origin: &str,
+    dst: &str,
+) -> Result<u64, FsError> {
     let stack = process.stack();
     stack.begin_promote(origin, dst)?;
     let copy = || -> Result<u64, FsError> {
@@ -435,11 +459,12 @@ fn step(
 
     // Hysteresis: above the high watermark, evict the files farthest ahead
     // of being needed (coldest future) until back under the low watermark.
+    // Only this daemon's own promotions are eviction candidates.
     if stack.staged_bytes() > high {
         let mut staged: Vec<(String, u64, usize)> = stack
             .staged()
             .into_iter()
-            .filter(|(_, e)| !e.pinned && !e.dirty)
+            .filter(|(p, e)| !e.pinned && !e.dirty && shared.ledger.lock().contains(p))
             .map(|(path, e)| {
                 let d = snap
                     .pos
@@ -457,6 +482,7 @@ fn step(
                 shared.evicted_files.fetch_add(1, Ordering::Relaxed);
                 shared.evicted_bytes.fetch_add(freed, Ordering::Relaxed);
             }
+            shared.ledger.lock().remove(&path);
         }
     }
 
@@ -493,6 +519,9 @@ fn step(
             continue;
         }
         if stack.staged_bytes() + size > high {
+            if !cfg.displace {
+                break;
+            }
             // Full. Worth displacing something? Only if a staged file is
             // strictly colder (farther ahead) than this candidate.
             let cand_d = snap
@@ -502,7 +531,7 @@ fn step(
             let victim = stack
                 .staged()
                 .into_iter()
-                .filter(|(_, e)| !e.pinned && !e.dirty)
+                .filter(|(p, e)| !e.pinned && !e.dirty && shared.ledger.lock().contains(p))
                 .map(|(p, e)| {
                     let d = snap
                         .pos
@@ -513,7 +542,9 @@ fn step(
                 .max_by_key(|&(_, _, d)| d);
             match victim {
                 Some((vp, vb, vd)) if vd > cand_d && vb >= size => {
-                    if let Ok(freed) = stack.evict(&vp) {
+                    let evicted = stack.evict(&vp);
+                    shared.ledger.lock().remove(&vp);
+                    if let Ok(freed) = evicted {
                         shared.evicted_files.fetch_add(1, Ordering::Relaxed);
                         shared.evicted_bytes.fetch_add(freed, Ordering::Relaxed);
                     } else {
@@ -527,6 +558,7 @@ fn step(
         }
         match promote_timed(process, &path, &dst) {
             Ok(bytes) => {
+                shared.ledger.lock().insert(path.clone());
                 shared.promoted_files.fetch_add(1, Ordering::Relaxed);
                 shared.promoted_bytes.fetch_add(bytes, Ordering::Relaxed);
             }

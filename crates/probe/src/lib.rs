@@ -204,6 +204,11 @@ pub enum EventKind {
 pub struct IoEvent {
     /// Simulated thread that performed the operation.
     pub task: TaskId,
+    /// Process the operation belongs to (0 = unattributed, e.g. sync
+    /// bridge events). Fd numbers are only unique per process, so
+    /// consumers of a shared multi-process bus (a job spine) must key any
+    /// per-descriptor state by `(pid, fd)`, never by fd alone.
+    pub pid: u32,
     /// Virtual time at operation entry (includes modeled syscall overhead).
     pub t0: SimTime,
     /// Virtual time at operation completion.
@@ -235,6 +240,19 @@ struct BusInner {
     /// Cached `sinks.len()`, so the emission fast path is one relaxed load.
     active: AtomicUsize,
     next_id: Mutex<u64>,
+    /// Live [`ProbeBus`] handles over this spine. Thread-local buffers hold
+    /// only the `Arc<BusInner>`, not a handle — when this drops to zero the
+    /// bus is *defunct*: nobody can register, unregister or extract from it
+    /// again, so any events still buffered for it are dead and must be
+    /// discarded, not delivered into whatever simulation runs next on the
+    /// same host thread.
+    handles: AtomicUsize,
+}
+
+impl BusInner {
+    fn is_defunct(&self) -> bool {
+        self.handles.load(Ordering::Acquire) == 0
+    }
 }
 
 /// The per-process event spine. Emission appends to a thread-local buffer
@@ -251,9 +269,16 @@ impl Clone for ProbeBus {
     /// Cloning is cheap and shares the underlying spine: clones see the
     /// same sinks and feed the same buffers.
     fn clone(&self) -> Self {
+        self.inner.handles.fetch_add(1, Ordering::AcqRel);
         ProbeBus {
             inner: Arc::clone(&self.inner),
         }
+    }
+}
+
+impl Drop for ProbeBus {
+    fn drop(&mut self) {
+        self.inner.handles.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -273,6 +298,7 @@ impl ProbeBus {
                 sinks: RwLock::new(Vec::new()),
                 active: AtomicUsize::new(0),
                 next_id: Mutex::new(0),
+                handles: AtomicUsize::new(1),
             }),
         }
     }
@@ -326,6 +352,9 @@ impl ProbeBus {
         }
         BUFFERS.with(|b| {
             let mut bufs = b.borrow_mut();
+            // Opportunistically drop entries of defunct buses so a thread
+            // that outlives many simulations does not accumulate them.
+            bufs.retain(|(bus, _)| !bus.is_defunct());
             for (bus, buf) in bufs.iter_mut() {
                 if Arc::ptr_eq(bus, &self.inner) {
                     buf.push(event);
@@ -360,9 +389,13 @@ pub fn flush_current_thread() {
     // so a pathological always-emitting sink cannot spin forever.
     for _round in 0..8 {
         // Move the pending batches out first so an emitting sink cannot
-        // observe a borrowed RefCell.
+        // observe a borrowed RefCell. Buffers whose bus is defunct — every
+        // `ProbeBus` handle dropped, e.g. a previous `Sim`'s process bus —
+        // are discarded wholesale here: delivering them would carry a dead
+        // simulation's events into whatever runs next on this host thread.
         let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = BUFFERS.with(|b| {
             let mut bufs = b.borrow_mut();
+            bufs.retain(|(bus, _)| !bus.is_defunct());
             if bufs.iter().all(|(_, buf)| buf.is_empty()) {
                 return Vec::new();
             }
@@ -418,6 +451,7 @@ impl SyncObserver for SyncBridge {
     fn on_sync(&self, ev: &SyncEvent) {
         self.bus.emit(IoEvent {
             task: ev.task,
+            pid: 0,
             t0: ev.time,
             t1: ev.time,
             origin: Origin::App,
@@ -517,6 +551,7 @@ mod tests {
     fn ev(kind: EventKind) -> IoEvent {
         IoEvent {
             task: TaskId(1),
+            pid: 0,
             t0: SimTime::ZERO,
             t1: SimTime::ZERO + Duration::from_nanos(10),
             origin: Origin::App,
@@ -598,6 +633,7 @@ mod tests {
             sim.spawn("producer", move || {
                 bus.emit(IoEvent {
                     task: simrt::current_task(),
+                    pid: 0,
                     t0: simrt::now(),
                     t1: simrt::now(),
                     origin: Origin::App,
@@ -645,6 +681,79 @@ mod tests {
             })
             .unwrap();
         assert!(w < s, "execution order preserved");
+    }
+
+    #[test]
+    fn defunct_bus_buffers_are_dropped_not_delivered() {
+        // A buffered event whose bus has lost every handle must be
+        // discarded at the next flush point, not delivered to the dead
+        // bus's sinks.
+        let stale = Arc::new(CollectingSink::new());
+        {
+            let bus = ProbeBus::new();
+            bus.register(stale.clone());
+            bus.emit(ev(EventKind::Stat));
+            // `bus` (the only handle) drops here with the event still
+            // buffered on this thread.
+        }
+        let live = ProbeBus::new();
+        let sink = Arc::new(CollectingSink::new());
+        live.register(sink.clone()); // register flushes this thread
+        live.emit(ev(EventKind::Fsync { fd: 3 }));
+        flush_current_thread();
+        assert!(
+            stale.is_empty(),
+            "a defunct bus's buffered events must not be delivered"
+        );
+        assert_eq!(sink.len(), 1, "the live bus still flows");
+    }
+
+    #[test]
+    fn two_sims_one_thread_do_not_leak_buffers() {
+        // Regression: two simulations run back-to-back from one host
+        // thread. Sim 1's bus buffers a host-side event that is never
+        // flushed before the bus dies; sim 2 must not receive or be
+        // perturbed by it — and sim 1's sink must not observe sim 2's
+        // activity.
+        let sink1 = Arc::new(CollectingSink::new());
+        {
+            let sim1 = simrt::Sim::new();
+            let bus1 = ProbeBus::new();
+            bus1.register(sink1.clone());
+            let b = bus1.clone();
+            sim1.spawn("app1", move || {
+                b.emit(ev(EventKind::Open { fd: 3 }));
+            });
+            sim1.run();
+            assert_eq!(sink1.len(), 1, "sim 1's own event arrived");
+            // Host-side emission after the run, never flushed: exactly the
+            // stale residue that used to leak into the next simulation.
+            bus1.emit(ev(EventKind::Close { fd: 3 }));
+        } // every handle to bus1 is gone; the buffer entry survives
+        let sim2 = simrt::Sim::new();
+        let bus2 = ProbeBus::new();
+        let sink2 = Arc::new(CollectingSink::new());
+        bus2.register(sink2.clone());
+        let b = bus2.clone();
+        sim2.spawn("app2", move || {
+            b.emit(ev(EventKind::Read {
+                fd: 4,
+                offset: 0,
+                len: 8,
+            }));
+        });
+        sim2.run();
+        flush_current_thread();
+        assert_eq!(
+            sink1.len(),
+            1,
+            "the dead bus's stale buffer must not drain into sim 2's run"
+        );
+        assert_eq!(sink2.len(), 1);
+        assert!(
+            matches!(sink2.snapshot()[0].kind, EventKind::Read { .. }),
+            "sim 2 sees exactly its own event"
+        );
     }
 
     #[test]

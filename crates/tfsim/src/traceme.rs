@@ -139,6 +139,7 @@ impl TraceMeRecorder {
         if let Some(bus) = bus {
             bus.emit(IoEvent {
                 task: simrt::current_task(),
+                pid: 0,
                 t0: ev.start,
                 t1: ev.end,
                 origin: Origin::App,

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod distributed_ablation;
+pub mod distributed_gate;
 pub mod experiments;
 pub mod iosan_gate;
 pub mod lmdb;
@@ -18,6 +20,8 @@ pub mod platform;
 pub mod prefetch_ablation;
 
 pub use dataset::{GeneratedDataset, Scale};
+pub use distributed_ablation::{DistMode, DistributedAblationConfig, DistributedRun};
+pub use distributed_gate::{run_distributed_gate, DistributedGateOutcome};
 pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Workload};
 pub use platform::{greendog, kebnekaise, mounts, Machine};
 pub use prefetch_ablation::{AblationConfig, AblationRun, StagingMode};

@@ -1,0 +1,51 @@
+//! The distributed gate: a 4-rank job over the full rank-aware stack —
+//! per-rank tf-Darshan sessions under a `JobCtx`, barrier-ordered
+//! disjoint writes to a shared checkpoint, shard reads, an allreduce —
+//! run under the I/O sanitizer. Fails (exit 1) on any sanitizer finding
+//! or if the job-level reduction loses the shared checkpoint record.
+//! CI runs this binary in the `mpi` job.
+//!
+//! ```text
+//! cargo run --release --example distributed_gate
+//! ```
+
+use tf_darshan::workloads::run_distributed_gate;
+
+fn main() {
+    const WORLD_SIZE: usize = 4;
+    println!("running {WORLD_SIZE}-rank distributed gate under iosan ...");
+    let out = run_distributed_gate(WORLD_SIZE);
+
+    println!(
+        "  job: {} ranks, {} bytes read, {} bytes written",
+        out.report.world_size, out.report.job.io.bytes_read, out.report.job.io.bytes_written
+    );
+    println!(
+        "  sanitizer: {} events analyzed, {} finding(s)",
+        out.sanitizer.events_analyzed,
+        out.sanitizer.findings.len()
+    );
+    for f in &out.sanitizer.findings {
+        println!(
+            "    {:?}/{:?} {}: {}",
+            f.severity, f.category, f.file, f.message
+        );
+    }
+
+    let mut failed = false;
+    if !out.sanitizer.findings.is_empty() {
+        println!("FAIL: sanitizer findings on a barrier-ordered job");
+        failed = true;
+    }
+    if out.report.world_size as usize != WORLD_SIZE {
+        println!(
+            "FAIL: job report saw {} ranks, expected {WORLD_SIZE}",
+            out.report.world_size
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("distributed gate: clean");
+}

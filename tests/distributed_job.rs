@@ -1,0 +1,189 @@
+//! Rank/job integration (PR 5): the `world_size == 1` job path must be
+//! byte-identical to the single-process tracer path, and mpi-sim
+//! collectives must carry the happens-before edges that order shared-file
+//! access across ranks.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tf_darshan::iosan::{Category, IoSanitizer};
+use tf_darshan::mpi::{MpiWorld, NetworkModel};
+use tf_darshan::posix::{OpenFlags, Process};
+use tf_darshan::probe::ProbeBus;
+use tf_darshan::storage::{
+    FileSystem, LustreFs, LustreParams, PageCache, StorageStack, WritePayload,
+};
+use tf_darshan::tfdarshan::{
+    analyze, diff, per_file, JobCtx, TfDarshanConfig, TfDarshanReport, TfDarshanWrapper,
+};
+
+fn scratch_stack() -> StorageStack {
+    let stack = StorageStack::new();
+    let lustre = LustreFs::new(LustreParams::default(), Arc::new(PageCache::new(1 << 30)));
+    stack.mount("/scratch", lustre as Arc<dyn FileSystem>);
+    stack
+}
+
+fn seed_files(stack: &StorageStack) {
+    for i in 0..3 {
+        stack
+            .create_synthetic(&format!("/scratch/dj/f{i}"), 192 << 10, i as u64)
+            .unwrap();
+    }
+    stack
+        .create_synthetic("/scratch/dj/out.bin", 64 << 10, 9)
+        .unwrap();
+}
+
+/// The deterministic workload both paths run: three chunked shard reads
+/// plus one checkpoint write.
+fn exercise(process: &Arc<Process>) {
+    for i in 0..3 {
+        let fd = process
+            .open(&format!("/scratch/dj/f{i}"), OpenFlags::rdonly())
+            .unwrap();
+        let mut off = 0u64;
+        loop {
+            let n = process.pread(fd, off, 64 << 10, None).unwrap();
+            if n == 0 {
+                break;
+            }
+            off += n;
+        }
+        process.close(fd).unwrap();
+    }
+    let fd = process
+        .open(
+            "/scratch/dj/out.bin",
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    process
+        .pwrite(fd, 0, WritePayload::Synthetic(64 << 10))
+        .unwrap();
+    process.fsync(fd).unwrap();
+    process.close(fd).unwrap();
+}
+
+/// The pre-JobCtx path: a bare wrapper on a bare process, report built
+/// exactly as `DarshanTracer::collect` builds it.
+fn single_process_report() -> TfDarshanReport {
+    let sim = simrt::Sim::new();
+    let stack = scratch_stack();
+    seed_files(&stack);
+    let process = Process::new(stack);
+    let wrapper = TfDarshanWrapper::install(process.clone(), TfDarshanConfig::default());
+    let out = Arc::new(Mutex::new(None));
+    let slot = out.clone();
+    sim.spawn("single", move || {
+        wrapper.mark_start().unwrap();
+        exercise(&process);
+        wrapper.mark_stop();
+        let (start, stop) = wrapper.session_snapshots().unwrap();
+        let d = diff(&start, &stop);
+        let dxt = wrapper.session_dxt();
+        let (io, stdio) = analyze(&d, &dxt);
+        *slot.lock() = Some(TfDarshanReport {
+            window: d.window,
+            io,
+            stdio,
+            files: per_file(&d),
+            sanitizer: None,
+        });
+    });
+    sim.run();
+    let report = out.lock().take().unwrap();
+    report
+}
+
+#[test]
+fn ws1_job_path_is_byte_identical_to_single_process_path() {
+    let single = single_process_report();
+
+    let sim = simrt::Sim::new();
+    let stack = scratch_stack();
+    seed_files(&stack);
+    let job = Arc::new(JobCtx::new(&stack, 1, &TfDarshanConfig::default()));
+    let j2 = job.clone();
+    sim.spawn("job", move || {
+        j2.mark_start().unwrap();
+        exercise(j2.rank(0).process());
+        j2.mark_stop();
+    });
+    sim.run();
+    let report = job.collect().unwrap();
+
+    assert_eq!(report.world_size, 1);
+    assert_eq!(
+        report.job.to_json(),
+        single.to_json(),
+        "ws==1 job view must be the single-process report, byte for byte"
+    );
+    assert_eq!(
+        report.per_rank[0].to_json(),
+        single.to_json(),
+        "the sole rank's view is the same report"
+    );
+}
+
+/// Two ranks write the same region of a shared file; `ordered` inserts the
+/// barrier between them. Returns the data-race finding count.
+fn interleaved_writes(ordered: bool) -> usize {
+    let sim = simrt::Sim::new();
+    let stack = scratch_stack();
+    stack
+        .create_synthetic("/scratch/shared.bin", 64 << 10, 7)
+        .unwrap();
+    let world = MpiWorld::new(&stack, 2, NetworkModel::default());
+    let bus = ProbeBus::new();
+    for r in 0..2 {
+        world.process(r).attach_shared_spine(&bus);
+    }
+    let san = IoSanitizer::install(&sim, &bus);
+    world.spawn_ranks(&sim, move |comm| {
+        let p = comm.process();
+        let fd = p
+            .open(
+                "/scratch/shared.bin",
+                OpenFlags {
+                    write: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        if comm.rank() == 0 {
+            p.pwrite(fd, 0, WritePayload::Synthetic(4 << 10)).unwrap();
+        }
+        if ordered {
+            comm.barrier();
+        }
+        if comm.rank() == 1 {
+            p.pwrite(fd, 0, WritePayload::Synthetic(4 << 10)).unwrap();
+        }
+        p.close(fd).unwrap();
+    });
+    sim.run();
+    san.finalize()
+        .findings
+        .iter()
+        .filter(|f| f.category == Category::DataRace)
+        .count()
+}
+
+/// Satellite 1: the barrier's Signal/Wait pair is a cross-rank
+/// happens-before edge — same workload, race with it removed.
+#[test]
+fn collective_sync_events_order_shared_file_writes() {
+    assert_eq!(
+        interleaved_writes(true),
+        0,
+        "barrier-ordered same-range writes are race-free"
+    );
+    assert!(
+        interleaved_writes(false) > 0,
+        "without the collective the same writes race"
+    );
+}

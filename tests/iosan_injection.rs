@@ -190,6 +190,7 @@ fn lock_order_inversion_is_predicted_without_a_deadlock() {
 fn synthetic(task: u64, target: &str, kind: EventKind) -> IoEvent {
     IoEvent {
         task: TaskId(task),
+        pid: 0,
         t0: SimTime::ZERO,
         t1: SimTime::ZERO,
         origin: Origin::App,

@@ -6,7 +6,10 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use tf_darshan::darshan::{merge_posix_records, reduce_job, PosixCounter as P, PosixRecord};
+use tf_darshan::darshan::{
+    merge_posix_records, reduce_job, DxtOp, DxtSegment, PosixCounter as P, PosixRecord,
+};
+use tf_darshan::tfdarshan::{reduce_job_sessions, RankSession, SnapshotDiff};
 
 fn arb_record(id: u64) -> impl Strategy<Value = PosixRecord> {
     (0i64..1000, 0i64..1_000_000, 0i64..1_000_000, 0i64..100).prop_map(
@@ -294,6 +297,163 @@ proptest! {
                     (y.op, y.offset, y.length, y.start.to_bits(), y.end.to_bits())
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job-level reduction (PR 5): ws==1 byte-identity and shared-record merging
+// ---------------------------------------------------------------------------
+
+/// A record with at least one read, so it survives the per-file filter.
+fn arb_active_record(id: u64) -> impl Strategy<Value = PosixRecord> {
+    (1i64..1000, 1i64..1_000_000, 0i64..1_000_000, 1i64..100).prop_map(
+        move |(reads, bytes, max_byte, opens)| {
+            let mut r = PosixRecord::new(id);
+            *r.get_mut(P::POSIX_OPENS) = opens;
+            *r.get_mut(P::POSIX_READS) = reads;
+            *r.get_mut(P::POSIX_BYTES_READ) = bytes;
+            *r.get_mut(P::POSIX_MAX_BYTE_READ) = max_byte;
+            *r.get_mut(P::POSIX_SEQ_READS) = reads / 2;
+            r
+        },
+    )
+}
+
+fn arb_dxt(rank: u32) -> impl Strategy<Value = (u64, DxtSegment)> {
+    (
+        0u64..4,
+        0u64..1_000_000,
+        1u64..65536,
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(move |(rec, offset, length, t, d)| {
+            let op = if length % 2 == 0 {
+                DxtOp::Read
+            } else {
+                DxtOp::Write
+            };
+            (
+                rec,
+                DxtSegment {
+                    op,
+                    offset,
+                    length,
+                    start: t,
+                    end: t + d,
+                    rank,
+                },
+            )
+        })
+}
+
+fn session_of(rank: u32, recs: Vec<PosixRecord>, dxt: Vec<(u64, DxtSegment)>) -> RankSession {
+    let names = recs
+        .iter()
+        .map(|r| (r.rec_id, format!("/data/rec{}", r.rec_id)))
+        .collect();
+    RankSession {
+        rank,
+        diff: SnapshotDiff {
+            window: (0.0, 2.0),
+            posix: recs,
+            stdio: Vec::new(),
+            names: Arc::new(names),
+            partial: false,
+        },
+        dxt,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The refactor is behaviour-preserving: reducing a single rank's
+    /// session yields the single-process report byte for byte, for
+    /// arbitrary record sets and DXT timelines.
+    #[test]
+    fn ws1_job_reduction_is_byte_identical(
+        recs in prop::collection::vec(arb_active_record(0), 1..6),
+        dxt in prop::collection::vec(arb_dxt(0), 0..12),
+    ) {
+        let recs: Vec<PosixRecord> = recs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.rec_id = 100 + i as u64;
+                r
+            })
+            .collect();
+        let session = session_of(0, recs, dxt);
+        let single = session.report();
+        let job = reduce_job_sessions(&[session]);
+        prop_assert_eq!(job.world_size, 1);
+        prop_assert_eq!(&job.job.to_json(), &single.to_json());
+        prop_assert_eq!(&job.per_rank[0].to_json(), &single.to_json());
+    }
+
+    /// Shared records merge with fold semantics: for a record id seen by
+    /// every rank, the job view's per-file row carries the sums of the
+    /// additive counters and the max of the byte extremum, exactly as a
+    /// brute-force fold over the per-rank records computes them; private
+    /// records pass through untouched.
+    #[test]
+    fn merged_shared_records_equal_brute_force_fold(
+        shared in prop::collection::vec(arb_active_record(42), 2..5),
+        private in arb_active_record(7),
+        owner in 0u32..4,
+    ) {
+        let owner = owner.min(shared.len() as u32 - 1);
+        let sessions: Vec<RankSession> = shared
+            .iter()
+            .enumerate()
+            .map(|(r, rec)| {
+                let mut recs = vec![rec.clone()];
+                if r as u32 == owner {
+                    let mut p = private.clone();
+                    p.rec_id = 7;
+                    recs.push(p);
+                }
+                recs.sort_by_key(|x| x.rec_id);
+                session_of(r as u32, recs, Vec::new())
+            })
+            .collect();
+        let job = reduce_job_sessions(&sessions);
+        prop_assert_eq!(job.world_size as usize, sessions.len());
+
+        let row = job
+            .job
+            .files
+            .iter()
+            .find(|f| f.path == "/data/rec42")
+            .expect("shared record present once");
+        let reads: i64 = shared.iter().map(|r| r.get(P::POSIX_READS)).sum();
+        let bytes: i64 = shared.iter().map(|r| r.get(P::POSIX_BYTES_READ)).sum();
+        let max_byte: i64 = shared.iter().map(|r| r.get(P::POSIX_MAX_BYTE_READ)).max().unwrap();
+        prop_assert_eq!(row.reads, reads as u64, "reads sum across ranks");
+        prop_assert_eq!(row.bytes_read, bytes as u64, "bytes sum across ranks");
+        prop_assert_eq!(row.apparent_size, max_byte as u64 + 1, "extremum is the max");
+        prop_assert_eq!(
+            job.job.files.iter().filter(|f| f.path == "/data/rec42").count(),
+            1,
+            "one merged row, not one per rank"
+        );
+
+        // The private record reaches the job view unchanged.
+        let prow = job
+            .job
+            .files
+            .iter()
+            .find(|f| f.path == "/data/rec7")
+            .expect("private record present");
+        prop_assert_eq!(prow.bytes_read, private.get(P::POSIX_BYTES_READ) as u64);
+        // ... and only its owner's rank view has it.
+        for (r, view) in job.per_rank.iter().enumerate() {
+            prop_assert_eq!(
+                view.files.iter().any(|f| f.path == "/data/rec7"),
+                r as u32 == owner
+            );
         }
     }
 }
