@@ -281,6 +281,7 @@ mod tests {
             stdio: Default::default(),
             files: vec![],
             sanitizer: None,
+            scheduler: None,
         }
     }
 
@@ -307,6 +308,7 @@ mod tests {
             stdio: Default::default(),
             files,
             sanitizer: None,
+            scheduler: None,
         }
     }
 

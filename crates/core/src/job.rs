@@ -30,6 +30,7 @@ use mpi_sim::MpiWorld;
 use posix_sim::{GotError, Process};
 use probe::ProbeBus;
 use serde::{Deserialize, Serialize};
+use simrt::{EventHandle, EventTask, Sim};
 use storage_sim::StorageStack;
 
 use crate::analysis::{analyze, diff, per_file, SnapshotDiff};
@@ -113,6 +114,7 @@ impl RankSession {
             stdio,
             files: per_file(&self.diff),
             sanitizer: None,
+            scheduler: None,
         }
     }
 }
@@ -233,6 +235,7 @@ pub fn reduce_job_sessions(sessions: &[RankSession]) -> JobReport {
         stdio,
         files: per_file(&job_diff),
         sanitizer: None,
+        scheduler: None,
     };
     JobReport {
         world_size: sessions.len() as u32,
@@ -343,6 +346,26 @@ impl JobCtx {
             return None;
         }
         Some(reduce_job_sessions(&sessions))
+    }
+
+    /// Spawn one *event task* per rank as the rank's driver — the scalable
+    /// path for wide jobs: each rank costs a run-calendar entry instead of
+    /// a parked OS thread, so a 1k-rank job needs a 1k-entry heap, not 1k
+    /// stacks. `f` builds rank `r`'s state machine from its id and
+    /// process; the machine is polled inline by the scheduler and must use
+    /// the poll-flavored sync/collective APIs (blocking calls from a poll
+    /// panic). Ranks that genuinely need blocking POSIX code keep using
+    /// carrier threads via `sim.spawn` — the two flavors interleave on one
+    /// calendar with identical virtual-time semantics.
+    pub fn spawn_rank_events<M, F>(&self, sim: &Sim, f: F) -> Vec<EventHandle>
+    where
+        M: EventTask + 'static,
+        F: Fn(u32, Arc<Process>) -> M,
+    {
+        self.ranks
+            .iter()
+            .map(|r| sim.spawn_event(format!("rank{}", r.rank), f(r.rank, r.process.clone())))
+            .collect()
     }
 
     /// Detach the job bus from every rank's process (the per-rank buses

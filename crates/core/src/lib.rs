@@ -81,7 +81,7 @@ pub use analysis::{
 };
 pub use autotune::{IoAutoTuner, TuneStep};
 pub use job::{reduce_job_sessions, JobCtx, JobReport, RankCtx, RankSession};
-pub use report::{overview, TfDarshanReport};
+pub use report::{overview, SchedStatsReport, TfDarshanReport};
 pub use staging::{
     advise_threshold, apply as apply_staging, plan_by_threshold, plan_within_budget, StagingPlan,
 };

@@ -23,6 +23,53 @@ pub struct TfDarshanReport {
     #[serde(default)]
     #[serde(skip_serializing_if = "Option::is_none")]
     pub sanitizer: Option<iosan::SanitizerSummary>,
+    /// Scheduler statistics of the simulation that produced this report
+    /// (absent for reports built outside a full run; old reports
+    /// deserialize with `None`).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scheduler: Option<SchedStatsReport>,
+}
+
+/// Serializable mirror of [`simrt::SchedStats`]: what the discrete-event
+/// scheduler did while producing the report — carrier context switches vs
+/// inline event-task polls, task counts per flavor, and run-calendar
+/// high-water marks. The scale experiments read these next to the I/O
+/// counters to show that simulated concurrency costs heap entries, not OS
+/// threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStatsReport {
+    /// Carrier context switches (parked-thread handovers).
+    pub switches: u64,
+    /// Fast-path time advances (sleeps that kept the carrier).
+    pub fast_advances: u64,
+    /// Event-task polls (inline resumptions).
+    pub event_polls: u64,
+    /// Carrier tasks spawned over the simulation's lifetime.
+    pub carrier_spawns: u64,
+    /// Event tasks spawned over the simulation's lifetime.
+    pub event_spawns: u64,
+    /// High-water mark of the run calendar (valid + stale entries).
+    pub peak_heap_depth: u64,
+    /// High-water mark of concurrently live tasks.
+    pub peak_live_tasks: u64,
+    /// Lazy compactions of the run calendar.
+    pub heap_compactions: u64,
+}
+
+impl From<simrt::SchedStats> for SchedStatsReport {
+    fn from(s: simrt::SchedStats) -> Self {
+        SchedStatsReport {
+            switches: s.switches,
+            fast_advances: s.fast_advances,
+            event_polls: s.event_polls,
+            carrier_spawns: s.carrier_spawns,
+            event_spawns: s.event_spawns,
+            peak_heap_depth: s.peak_heap_depth as u64,
+            peak_live_tasks: s.peak_live_tasks as u64,
+            heap_compactions: s.heap_compactions,
+        }
+    }
 }
 
 impl TfDarshanReport {
@@ -126,6 +173,24 @@ impl TfDarshanReport {
                     s.events_analyzed
                 );
             }
+        }
+        if let Some(s) = &self.scheduler {
+            let _ = writeln!(out, "\n-- scheduler --");
+            let _ = writeln!(
+                out,
+                "tasks: {} carrier + {} event (peak live {}) | switches {} | fast advances {} | event polls {}",
+                s.carrier_spawns,
+                s.event_spawns,
+                s.peak_live_tasks,
+                s.switches,
+                s.fast_advances,
+                s.event_polls
+            );
+            let _ = writeln!(
+                out,
+                "run calendar: peak depth {} | compactions {}",
+                s.peak_heap_depth, s.heap_compactions
+            );
         }
         out
     }
@@ -280,6 +345,7 @@ mod tests {
             },
             files: vec![],
             sanitizer: None,
+            scheduler: None,
         }
     }
 
@@ -316,6 +382,35 @@ mod tests {
         assert!(TfDarshanReport::from_json(&old)
             .unwrap()
             .sanitizer
+            .is_none());
+    }
+
+    #[test]
+    fn scheduler_section_renders_and_roundtrips() {
+        let mut r = sample();
+        assert!(!r.render_ascii().contains("-- scheduler --"));
+        assert!(!r.to_json().contains("scheduler"), "absent when None");
+        r.scheduler = Some(SchedStatsReport {
+            switches: 42,
+            fast_advances: 7,
+            event_polls: 10_000,
+            carrier_spawns: 4,
+            event_spawns: 2_000,
+            peak_heap_depth: 2_004,
+            peak_live_tasks: 2_004,
+            heap_compactions: 1,
+        });
+        let text = r.render_ascii();
+        assert!(text.contains("-- scheduler --"));
+        assert!(text.contains("tasks: 4 carrier + 2000 event (peak live 2004)"));
+        assert!(text.contains("peak depth 2004 | compactions 1"));
+        let back = TfDarshanReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.scheduler, r.scheduler);
+        // Reports written before the scheduler stats existed still parse.
+        let old = sample().to_json();
+        assert!(TfDarshanReport::from_json(&old)
+            .unwrap()
+            .scheduler
             .is_none());
     }
 

@@ -70,6 +70,7 @@ impl Tracer for DarshanTracer {
             stdio,
             files,
             sanitizer: None,
+            scheduler: None,
         };
 
         // Statistics plane: one summary event carrying the headline stats.

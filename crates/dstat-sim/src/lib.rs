@@ -17,7 +17,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use probe::{EventKind, IoEvent, ProbeBus, ProbeSink, SinkId};
 use simrt::sync::Event;
-use simrt::{Sim, SimTime};
+use simrt::{EventCx, EventPoll, Sim, SimTime, WakeReason};
 use storage_sim::{CounterSnapshot, Device};
 
 /// Running totals of application `read`/`write` syscall bytes, fed from the
@@ -130,9 +130,11 @@ pub struct Dstat {
 }
 
 impl Dstat {
-    /// Start sampling `devices` every `interval` on a background simulated
-    /// thread. Call [`Dstat::stop`] before the simulation ends (a sampler
-    /// never stops by itself, exactly like the real tool).
+    /// Start sampling `devices` every `interval` on a background *event
+    /// task* — a timer-driven state machine on the simulation calendar, so
+    /// a fleet of samplers costs heap entries, not OS threads. Call
+    /// [`Dstat::stop`] before the simulation ends (a sampler never stops by
+    /// itself, exactly like the real tool).
     pub fn spawn(sim: &Sim, devices: Vec<Arc<Device>>, interval: Duration) -> Dstat {
         assert!(!devices.is_empty(), "dstat needs at least one device");
         assert!(!interval.is_zero());
@@ -146,18 +148,28 @@ impl Dstat {
             let stop = stop.clone();
             let syscalls = syscalls.clone();
             let rank_spines = rank_spines.clone();
-            sim.spawn("dstat", move || {
-                let mut prev: Vec<CounterSnapshot> = devices.iter().map(|d| d.snapshot()).collect();
-                let mut prev_sys_r = syscalls.read_bytes.load(Ordering::Relaxed);
-                let mut prev_sys_w = syscalls.write_bytes.load(Ordering::Relaxed);
-                // Per-rank previous totals; a spine attached mid-run starts
-                // from zero, so its first column covers everything it saw.
-                let mut prev_rank: HashMap<u32, (u64, u64)> = HashMap::new();
-                loop {
-                    let deadline = simrt::now() + interval;
-                    if stop.wait_deadline(deadline) {
-                        break;
-                    }
+            // Sampler state machine. Each poll is one wakeup of the old
+            // carrier loop: a timeout firing means the interval elapsed
+            // (take a sample), any other wake re-checks the stop flag. The
+            // virtual-time trace is identical to the carrier version's —
+            // samples land at t = k·interval until stop is set.
+            let mut first = true;
+            let mut prev: Option<Vec<CounterSnapshot>> = None;
+            let mut prev_sys_r = 0u64;
+            let mut prev_sys_w = 0u64;
+            // Per-rank previous totals; a spine attached mid-run starts
+            // from zero, so its first column covers everything it saw.
+            let mut prev_rank: HashMap<u32, (u64, u64)> = HashMap::new();
+            sim.spawn_event("dstat", move |cx: &mut EventCx| {
+                if stop.poll_wait() {
+                    return EventPoll::Done;
+                }
+                if first {
+                    prev = Some(devices.iter().map(|d| d.snapshot()).collect());
+                    prev_sys_r = syscalls.read_bytes.load(Ordering::Relaxed);
+                    prev_sys_w = syscalls.write_bytes.load(Ordering::Relaxed);
+                    first = false;
+                } else if cx.wake_reason() == WakeReason::Timeout {
                     let cur: Vec<CounterSnapshot> = devices.iter().map(|d| d.snapshot()).collect();
                     // Emitting threads flushed their spine buffers when they
                     // descheduled (only one simulated thread runs at a time),
@@ -174,16 +186,17 @@ impl Dstat {
                         rank_write_bytes.push((rs.rank, w - p.1));
                         *p = (r, w);
                     }
+                    let prev_snap = prev.as_ref().expect("initialized on first poll");
                     let sample = DstatSample {
-                        t: simrt::now(),
+                        t: cx.now(),
                         read_bytes: cur
                             .iter()
-                            .zip(&prev)
+                            .zip(prev_snap)
                             .map(|(c, p)| c.bytes_read - p.bytes_read)
                             .collect(),
                         write_bytes: cur
                             .iter()
-                            .zip(&prev)
+                            .zip(prev_snap)
                             .map(|(c, p)| c.bytes_written - p.bytes_written)
                             .collect(),
                         sys_read_bytes: sys_r - prev_sys_r,
@@ -191,10 +204,13 @@ impl Dstat {
                         rank_read_bytes,
                         rank_write_bytes,
                     };
-                    prev = cur;
+                    prev = Some(cur);
                     prev_sys_r = sys_r;
                     prev_sys_w = sys_w;
                     samples.lock().push(sample);
+                }
+                EventPoll::Block {
+                    deadline: Some(cx.now() + interval),
                 }
             });
         }

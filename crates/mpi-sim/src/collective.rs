@@ -98,6 +98,54 @@ impl SumAllreduce {
         result
     }
 
+    /// Event-task path for [`SumAllreduce::allreduce`], driven with a
+    /// [`SumProgress`] (one per in-flight round; it resets itself on
+    /// completion). Returns `None` while the round is incomplete — the
+    /// event task should return `EventPoll::Block { deadline: None }` and
+    /// re-poll when woken. On completion it returns the fused vector plus
+    /// the network cost to charge; the event task charges it by returning
+    /// `EventPoll::Sleep(cost)`. Interoperates with carrier contributors
+    /// and with [`SumAllreduce::leave`].
+    pub fn poll_allreduce(
+        &self,
+        local: &HashMap<String, u64>,
+        p: &mut SumProgress,
+    ) -> Option<(Arc<HashMap<String, u64>>, std::time::Duration)> {
+        let Some(mut st) = self.state.poll_lock() else {
+            return None; // queued on the state lock; re-poll when woken
+        };
+        if !p.contributed {
+            for (k, v) in local {
+                *st.acc.entry(k.clone()).or_insert(0) += *v;
+            }
+            st.arrived += 1;
+            p.my_round = st.round;
+            p.contributed = true;
+            if st.arrived >= st.live {
+                let result = Self::complete_round(&mut st, &self.cv);
+                let peers = st.live;
+                drop(st);
+                *p = SumProgress::default();
+                let cost = self.cost_of(&result, peers);
+                return Some((result, cost));
+            }
+            self.cv.register_waiter();
+            return None;
+        }
+        if st.round != p.my_round {
+            let result = st.result.clone();
+            let peers = st.live;
+            drop(st);
+            self.cv.ack_wait();
+            *p = SumProgress::default();
+            let cost = self.cost_of(&result, peers);
+            return Some((result, cost));
+        }
+        // Spurious wake: round still pending. Stay registered and re-block.
+        self.cv.register_waiter();
+        None
+    }
+
     /// Leave the collective. If the remaining members are all blocked in
     /// the current round, the round completes now with their contributions.
     pub fn leave(&self) {
@@ -119,19 +167,36 @@ impl SumAllreduce {
         st.result.clone()
     }
 
-    /// Ring-allreduce cost for the fused vector, charged per contributor.
-    fn charge(&self, result: &HashMap<String, u64>, peers: usize) {
+    /// Ring-allreduce cost for the fused vector, per contributor.
+    fn cost_of(&self, result: &HashMap<String, u64>, peers: usize) -> std::time::Duration {
         let n = peers as f64;
-        if n <= 1.0 || !simrt::on_sim_thread() {
-            return;
+        if n <= 1.0 {
+            return std::time::Duration::ZERO;
         }
         let bytes: usize = result.keys().map(|k| k.len() + 8).sum();
         let steps = 2.0 * (n - 1.0);
         let volume = 2.0 * (n - 1.0) / n * bytes as f64;
-        let cost =
-            dur::secs_f64(self.net.latency.as_secs_f64() * steps + volume / self.net.bandwidth);
-        sleep(cost);
+        dur::secs_f64(self.net.latency.as_secs_f64() * steps + volume / self.net.bandwidth)
     }
+
+    /// Charge the ring-allreduce cost inline (carrier contributors).
+    fn charge(&self, result: &HashMap<String, u64>, peers: usize) {
+        if !simrt::on_sim_thread() {
+            return;
+        }
+        let cost = self.cost_of(result, peers);
+        if !cost.is_zero() {
+            sleep(cost);
+        }
+    }
+}
+
+/// Progress of one member through a polled [`SumAllreduce`] round. Create
+/// with `default()`; resets itself when the round completes.
+#[derive(Default)]
+pub struct SumProgress {
+    contributed: bool,
+    my_round: u64,
 }
 
 #[cfg(test)]
@@ -209,6 +274,50 @@ mod tests {
             assert_eq!(simrt::now().as_secs_f64(), 0.0, "n=1 costs nothing");
         });
         sim.run();
+    }
+
+    #[test]
+    fn event_members_fuse_with_carrier_members() {
+        use simrt::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let all = SumAllreduce::new(NetworkModel::default(), 3);
+        let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        // Two event members and one carrier member contribute to one round.
+        for rank in 0..2u64 {
+            let all = all.clone();
+            let results = results.clone();
+            let mut prog = SumProgress::default();
+            let mut charged = false;
+            sim.spawn_event(format!("e{rank}"), move |_cx: &mut EventCx| {
+                if charged {
+                    return EventPoll::Done;
+                }
+                let local = map(&[("shared", rank + 1)]);
+                match all.poll_allreduce(&local, &mut prog) {
+                    None => EventPoll::Block { deadline: None },
+                    Some((fused, cost)) => {
+                        results.lock().push(fused);
+                        charged = true;
+                        EventPoll::Sleep(cost)
+                    }
+                }
+            });
+        }
+        {
+            let all = all.clone();
+            let results = results.clone();
+            sim.spawn("carrier", move || {
+                let fused = all.allreduce(&map(&[("shared", 3)]));
+                results.lock().push(fused);
+            });
+        }
+        sim.run();
+        let results = results.lock();
+        assert_eq!(results.len(), 3);
+        for fused in results.iter() {
+            assert_eq!(fused["shared"], 1 + 2 + 3);
+        }
+        assert!(sim.now().as_secs_f64() > 0.0, "cost was charged");
     }
 
     #[test]

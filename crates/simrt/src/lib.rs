@@ -9,11 +9,16 @@
 //! ## Model
 //!
 //! * A [`Sim`] owns a virtual clock and a calendar of runnable tasks.
-//! * [`Sim::spawn`] creates a *simulated thread*, carried by a real OS
-//!   thread. Exactly one simulated thread executes at any moment; control
-//!   transfers on [`sleep`], [`yield_now`], or blocking in [`sync`]
-//!   primitives. Interleaving is by (virtual time, FIFO sequence) — fully
-//!   deterministic.
+//! * [`Sim::spawn`] creates a *carrier* simulated thread, carried by a real
+//!   OS thread, for code that must look like blocking POSIX. Exactly one
+//!   simulated thread executes at any moment; control transfers on
+//!   [`sleep`], [`yield_now`], or blocking in [`sync`] primitives.
+//!   Interleaving is by (virtual time, FIFO sequence) — fully deterministic.
+//! * [`Sim::spawn_event`] creates an *event task*: a stackless state machine
+//!   ([`EventTask`]) resumed inline by the discrete-event loop — no OS
+//!   thread, so tens of thousands of timers, samplers, and collective
+//!   waiters cost a heap entry each. Both flavors share one calendar, one
+//!   id space, and identical ordering semantics.
 //! * [`Sim::run`] drives the calendar until all simulated threads finish,
 //!   propagating panics and diagnosing virtual-time deadlocks.
 //!
@@ -51,6 +56,7 @@ mod time;
 pub use sched::{
     block, current_task, current_task_name, emit_sync, new_sync_obj_id, now, on_sim_thread,
     set_context_switch_hook, set_wait_context, sleep, sleep_until, try_now, wake, yield_now,
-    JoinHandle, Sim, SyncEvent, SyncObserver, SyncOp, TaskId, WakeReason,
+    EventCx, EventHandle, EventPoll, EventTask, JoinHandle, SchedStats, Sim, SyncEvent,
+    SyncObserver, SyncOp, TaskId, WakeReason,
 };
 pub use time::{dur, SimTime};

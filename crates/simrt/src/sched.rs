@@ -2,28 +2,44 @@
 //!
 //! # Execution model
 //!
-//! A [`Sim`] hosts any number of *simulated threads*. Each simulated thread
-//! is carried by a real OS thread, but **exactly one simulated thread
-//! executes at any moment**: a thread runs until it performs a blocking
-//! operation on virtual time ([`sleep`], [`yield_now`], or blocking on a
-//! synchronization primitive from [`crate::sync`]), at which point the
-//! scheduler hands control to the runnable thread with the earliest wake-up
-//! time (FIFO among equals). This is a conservative discrete-event
-//! simulation with thread carriers: user code reads like ordinary blocking
-//! code, yet the interleaving is fully deterministic — same program, same
-//! schedule, same virtual timestamps, on every run.
+//! A [`Sim`] hosts any number of *simulated threads* in two flavors behind
+//! one calendar:
+//!
+//! * **Carrier tasks** ([`Sim::spawn`]) are carried by a real OS thread.
+//!   User code reads like ordinary blocking code (plain POSIX-shaped calls
+//!   on a real stack), which is what the GOT-patched instrumentation
+//!   wrappers need.
+//! * **Event tasks** ([`Sim::spawn_event`]) are state machines resumed
+//!   inline by the discrete-event loop — no OS thread, no stack. Each
+//!   resumption is one [`EventTask::poll`] call that returns what the task
+//!   does next ([`EventPoll`]). Timers, samplers, and collective waiters
+//!   scale to tens of thousands of these for the cost of a heap entry each.
+//!
+//! **Exactly one simulated thread executes at any moment.** The scheduler
+//! is a priority-queue discrete-event core: a single dispatch loop pops
+//! `(wake_time, seq)` from the run calendar, advances the clock, and runs
+//! the task — resuming a carrier by waking its parked OS thread, or
+//! polling an event task right there on whichever OS thread is inside the
+//! scheduler (a blocking carrier, or the host in [`Sim::run`]). Equal wake
+//! times run in FIFO spawn/push order, which makes the whole simulation
+//! deterministic: same program, same schedule, same virtual timestamps, on
+//! every run, regardless of the carrier/event mix.
 //!
 //! The one-runnable-at-a-time invariant also means synchronization
 //! primitives built on the scheduler need no atomicity tricks: between a
-//! thread's decision to block and the block itself, no other simulated
-//! thread can run.
+//! task's decision to block and the block itself, no other simulated
+//! task can run. Event tasks get the same guarantee: a waiter-list
+//! registration made during a poll is visible before any other task runs.
 //!
 //! # Why not async?
 //!
 //! tf-Darshan instruments *synchronous* POSIX calls made from a thread pool;
 //! the instrumentation, the GOT patching, and the Darshan wrappers must look
 //! like their real counterparts (plain function calls on a thread's stack).
-//! Thread carriers preserve that shape exactly.
+//! Thread carriers preserve that shape exactly — and the event-task flavor
+//! exists precisely for the code that does *not* need it (pure coordination:
+//! timers, tickers, barrier waiters), so scale experiments are not capped by
+//! OS thread counts.
 
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -33,14 +49,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard as PlMutexGuard, RwLock};
 
 use crate::time::SimTime;
 
-/// Process-wide hook fired just before a carrier thread *genuinely* hands
-/// over (slow-path sleep, yield, block, task finish). Fast-path virtual-time
-/// advances — where the sleeper keeps the carrier — do not fire it, so a
-/// hook installed here runs only at real context switches.
+/// Process-wide hook fired just before control *genuinely* hands over
+/// (slow-path sleep, yield, block, task finish — and after every event-task
+/// poll, which is a resumption boundary of exactly the same kind). Fast-path
+/// virtual-time advances — where the sleeper keeps the carrier — do not fire
+/// it, so a hook installed here runs only at real context switches.
 ///
 /// Instrumentation layers use this to drain per-thread event buffers at
 /// deterministic points. The hook runs while the calling thread is still
@@ -87,7 +104,8 @@ pub enum SyncOp {
     /// The current task completed a join on simulated thread `obj`.
     Join,
     /// The current task is about to finish (its closure returned or
-    /// panicked). Its clock is final after this event.
+    /// panicked, or its event machine returned [`EventPoll::Done`]). Its
+    /// clock is final after this event.
     Finish,
 }
 
@@ -110,9 +128,10 @@ pub struct SyncEvent {
 }
 
 /// A consumer of [`SyncEvent`]s. Registered per-[`Sim`]; called on the
-/// carrier thread of the task performing the operation, which may hold
-/// primitive-internal locks — the observer must not sleep, block, yield, or
-/// touch scheduler state (reading the event's fields is always safe).
+/// carrier thread of the task performing the operation (or the thread
+/// currently polling an event task), which may hold primitive-internal
+/// locks — the observer must not sleep, block, yield, or touch scheduler
+/// state (reading the event's fields is always safe).
 pub trait SyncObserver: Send + Sync {
     /// Observe one synchronization event.
     fn on_sync(&self, ev: &SyncEvent);
@@ -129,7 +148,8 @@ pub fn new_sync_obj_id() -> u64 {
 /// Emit a synchronization event for the calling simulated thread. No-op when
 /// the caller is not a simulated thread (host-side construction/drop) or the
 /// task's [`Sim`] has no observer registered. Used by [`crate::sync`]; public
-/// so higher layers can mark custom ordering edges.
+/// so higher layers can mark custom ordering edges. During an event-task
+/// poll, events are attributed to the event task, not the thread pumping it.
 pub fn emit_sync(op: SyncOp, obj: u64, label: &Arc<str>) {
     CURRENT.with(|c| {
         let b = c.borrow();
@@ -155,7 +175,8 @@ pub fn emit_sync(op: SyncOp, obj: u64, label: &Arc<str>) {
 
 /// Describe what the calling simulated thread is about to block on, for the
 /// deadlock wait-for dump ("recv on chan#3", "mutex#1 'ckpt' held by t2").
-/// Cleared automatically when the thread resumes. No-op off sim threads.
+/// Cleared automatically when the thread resumes (for event tasks: at their
+/// next poll). No-op off sim threads.
 pub fn set_wait_context(ctx: impl Into<String>) {
     let ctx = ctx.into();
     CURRENT.with(|c| {
@@ -178,41 +199,152 @@ impl fmt::Display for TaskId {
     }
 }
 
-/// Why a blocked thread resumed.
+/// Why a blocked task resumed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WakeReason {
-    /// Another thread called [`wake`] (via a sync primitive).
+    /// Another task called [`wake`] (via a sync primitive).
     Notified,
     /// The block's deadline elapsed.
     Timeout,
+}
+
+// ---------------------------------------------------------------------------
+// Event tasks
+// ---------------------------------------------------------------------------
+
+/// What an event task does next, returned from [`EventTask::poll`].
+#[derive(Debug)]
+pub enum EventPoll {
+    /// The task is finished; its machine is dropped and joiners wake.
+    Done,
+    /// Advance virtual time by the given duration, then poll again.
+    Sleep(Duration),
+    /// Poll again at the given virtual instant (clamped to now if past).
+    SleepUntil(SimTime),
+    /// Deschedule until another task [`wake`]s this one — the event-task
+    /// analogue of [`block`]. Register in a primitive's wait list first
+    /// (e.g. via the `poll_*` methods in [`crate::sync`]); the optional
+    /// deadline bounds the wait, reported as [`WakeReason::Timeout`] at the
+    /// next poll.
+    Block {
+        /// Latest instant to resume regardless of notification.
+        deadline: Option<SimTime>,
+    },
+    /// Re-enter the calendar at the current time, letting equal-time peers
+    /// run first.
+    Yield,
+}
+
+/// Per-poll context handed to [`EventTask::poll`].
+pub struct EventCx {
+    sim: Sim,
+    tid: TaskId,
+    now: SimTime,
+    wake_reason: WakeReason,
+}
+
+impl EventCx {
+    /// The simulation this task belongs to (e.g. to spawn follow-up tasks).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This event task's id.
+    pub fn task(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Virtual time of this poll.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Why the task was resumed: [`WakeReason::Timeout`] when a
+    /// [`EventPoll::Block`] deadline fired, [`WakeReason::Notified`]
+    /// otherwise (first poll, sleeps, yields, and wakes all count as
+    /// notified).
+    pub fn wake_reason(&self) -> WakeReason {
+        self.wake_reason
+    }
+}
+
+/// A lightweight simulated thread: a state machine resumed inline by the
+/// discrete-event loop. No OS thread, no stack — ten thousand of these cost
+/// ten thousand heap entries.
+///
+/// Rules of the poll:
+///
+/// * `poll` runs as the current simulated task: [`emit_sync`], [`wake`],
+///   [`now`], [`set_wait_context`], and spawning are all attributed to it.
+/// * `poll` must **not** call the inline-blocking APIs ([`sleep`],
+///   [`yield_now`], [`block`], blocking `sync` methods) — return the
+///   matching [`EventPoll`] instead. Violations panic, poisoning the sim
+///   with a message naming the task.
+/// * Any guard acquired during a poll (e.g. from `sync::Mutex::poll_lock`)
+///   must be dropped before the poll returns.
+/// * A panic inside `poll` finishes the task and poisons the simulation,
+///   exactly like a carrier panic.
+pub trait EventTask: Send {
+    /// Resume the task; runs at the task's wake time on the thread driving
+    /// the scheduler.
+    fn poll(&mut self, cx: &mut EventCx) -> EventPoll;
+}
+
+/// Closures are event tasks: each call is one poll.
+impl<F> EventTask for F
+where
+    F: FnMut(&mut EventCx) -> EventPoll + Send,
+{
+    fn poll(&mut self, cx: &mut EventCx) -> EventPoll {
+        self(cx)
+    }
+}
+
+/// Which execution flavor a task uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Flavor {
+    /// Parked OS thread, resumed by condvar handover.
+    Carrier,
+    /// Stackless state machine, polled inline by the dispatch loop.
+    Event,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TaskState {
     /// Has a valid entry in the run heap.
     Ready,
-    /// Currently executing on its carrier thread.
+    /// Currently executing (on its carrier thread, or mid-poll).
     Running,
     /// Waiting for a wake; `timed` blocks also hold a heap entry for their
     /// deadline.
     Blocked,
-    /// Carrier finished (closure returned or panicked).
+    /// The task finished (closure returned/panicked, or the event machine
+    /// returned [`EventPoll::Done`]).
     Finished,
 }
 
 struct TaskInfo {
     name: String,
     state: TaskState,
+    flavor: Flavor,
     /// Generation counter: bumped on every transition. Heap entries carry
     /// the generation at push time; entries whose generation no longer
-    /// matches are stale and skipped on pop.
+    /// matches are stale and skipped on pop (and lazily compacted away,
+    /// see `maybe_compact`).
     gen: u64,
+    /// True while a heap entry with the task's *current* generation exists.
+    /// Together with `SchedState::valid_entries` this lets the scheduler
+    /// know the stale fraction of the heap without scanning it.
+    has_entry: bool,
     wake_reason: WakeReason,
-    /// Tasks blocked in `JoinHandle::join` on this task.
+    /// Tasks blocked in a join on this task.
     join_waiters: Vec<TaskId>,
     /// What the task is blocked on, set by sync primitives via
     /// [`set_wait_context`]; dumped by the deadlock diagnostic.
     wait_ctx: Option<String>,
+    /// The state machine of an event task, parked here between polls.
+    /// Taken out (so the scheduler lock can be released) while polling.
+    machine: Option<Box<dyn EventTask>>,
 }
 
 /// An entry in the run calendar. Ordered by (wake time, sequence) so that
@@ -239,10 +371,36 @@ impl PartialOrd for Entry {
     }
 }
 
+/// Scheduler counters, cheap enough to maintain unconditionally. Snapshot
+/// via [`Sim::stats`]; surfaced through `RunOutput` and the report JSON so
+/// scale experiments can see scheduler cost next to I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Carrier context switches (parked-thread handovers).
+    pub switches: u64,
+    /// Fast-path time advances (sleeps that kept the carrier).
+    pub fast_advances: u64,
+    /// Event-task polls (inline resumptions; the DES loop's unit of work).
+    pub event_polls: u64,
+    /// Carrier tasks spawned over the simulation's lifetime.
+    pub carrier_spawns: u64,
+    /// Event tasks spawned over the simulation's lifetime.
+    pub event_spawns: u64,
+    /// High-water mark of the run calendar (valid + stale entries).
+    pub peak_heap_depth: usize,
+    /// High-water mark of concurrently live tasks.
+    pub peak_live_tasks: usize,
+    /// Lazy compactions of the run calendar (stale fraction exceeded ½).
+    pub heap_compactions: u64,
+}
+
 struct SchedState {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Entry>,
+    /// Heap entries whose generation still matches their task. The rest of
+    /// the heap is stale tombstones awaiting pop or compaction.
+    valid_entries: usize,
     running: Option<TaskId>,
     tasks: HashMap<TaskId, TaskInfo>,
     next_tid: u64,
@@ -250,12 +408,19 @@ struct SchedState {
     live: usize,
     /// Set once `Sim::run` dispatches the first task.
     started: bool,
-    /// First panic message observed in any simulated thread; poisons the sim.
+    /// First panic message observed in any simulated task; poisons the sim.
     poison: Option<String>,
-    /// Statistics: number of carrier context switches performed.
-    switches: u64,
-    /// Statistics: number of fast-path advances (no carrier switch needed).
-    fast_advances: u64,
+    stats: SchedStats,
+}
+
+/// What `dispatch_next` produced.
+enum Dispatch {
+    /// A carrier was marked running; its parked thread must be notified.
+    Carrier,
+    /// An event task was marked running; the caller must poll its machine.
+    Event(Box<dyn EventTask>),
+    /// Nothing runnable.
+    Idle,
 }
 
 pub(crate) struct SimInner {
@@ -269,12 +434,24 @@ pub(crate) struct SimInner {
 }
 
 impl SimInner {
-    /// Push a Ready entry for `tid` at `wake`, bumping its generation.
-    /// Caller must hold the state lock and have set `tasks[tid].state`.
-    fn push_ready(st: &mut SchedState, tid: TaskId, wake: SimTime) {
+    /// Bump `tid`'s generation, tombstoning any live heap entry it has.
+    fn bump_gen(st: &mut SchedState, tid: TaskId) {
         let info = st.tasks.get_mut(&tid).expect("unknown task");
         info.gen += 1;
+        if info.has_entry {
+            info.has_entry = false;
+            st.valid_entries -= 1;
+        }
+    }
+
+    /// Push a heap entry for `tid` at `wake` against its *current*
+    /// generation. The task must not already hold a valid entry.
+    fn push_entry(st: &mut SchedState, tid: TaskId, wake: SimTime) {
+        let info = st.tasks.get_mut(&tid).expect("unknown task");
+        debug_assert!(!info.has_entry, "one valid entry per task");
+        info.has_entry = true;
         let gen = info.gen;
+        st.valid_entries += 1;
         st.seq += 1;
         let seq = st.seq;
         st.heap.push(Entry {
@@ -283,47 +460,92 @@ impl SimInner {
             tid,
             gen,
         });
+        if st.heap.len() > st.stats.peak_heap_depth {
+            st.stats.peak_heap_depth = st.heap.len();
+        }
+        Self::maybe_compact(st);
     }
 
-    /// Pop the next valid entry and make it Running. Returns false when no
-    /// runnable task exists. Caller must hold the lock; `running` must be
-    /// `None`.
-    fn dispatch_next(st: &mut SchedState) -> bool {
+    /// Push a Ready entry for `tid` at `wake`, bumping its generation.
+    /// Caller must hold the state lock and have set `tasks[tid].state`.
+    fn push_ready(st: &mut SchedState, tid: TaskId, wake: SimTime) {
+        Self::bump_gen(st, tid);
+        Self::push_entry(st, tid, wake);
+    }
+
+    /// Lazily compact the run calendar when more than half of it is stale
+    /// tombstones (timeout-then-notify churn is the classic producer).
+    /// Keeps heap length O(live tasks) at amortized O(1) per push; rebuild
+    /// order is irrelevant because pop order is fully determined by the
+    /// (wake, seq) comparator.
+    fn maybe_compact(st: &mut SchedState) {
+        let len = st.heap.len();
+        if len < 64 || len <= st.valid_entries * 2 {
+            return;
+        }
+        let heap = std::mem::take(&mut st.heap);
+        let live: Vec<Entry> = heap
+            .into_vec()
+            .into_iter()
+            .filter(|e| st.tasks.get(&e.tid).is_some_and(|i| i.gen == e.gen))
+            .collect();
+        debug_assert_eq!(live.len(), st.valid_entries);
+        st.heap = BinaryHeap::from(live);
+        st.stats.heap_compactions += 1;
+    }
+
+    /// Pop the next valid entry and make its task Running. Caller must hold
+    /// the lock; `running` must be `None`.
+    fn dispatch_next(st: &mut SchedState) -> Dispatch {
         debug_assert!(st.running.is_none());
         while let Some(e) = st.heap.pop() {
             let Some(info) = st.tasks.get_mut(&e.tid) else {
                 continue;
             };
             if info.gen != e.gen {
-                continue; // stale
+                continue; // stale tombstone
             }
             match info.state {
                 TaskState::Ready => {
                     info.state = TaskState::Running;
-                    info.gen += 1;
                     info.wake_reason = WakeReason::Notified;
                 }
                 TaskState::Blocked => {
                     // A timed block whose deadline fired.
                     info.state = TaskState::Running;
-                    info.gen += 1;
                     info.wake_reason = WakeReason::Timeout;
                 }
                 TaskState::Running | TaskState::Finished => continue,
             }
+            info.gen += 1;
+            info.has_entry = false;
+            info.wait_ctx = None;
+            st.valid_entries -= 1;
             debug_assert!(e.wake >= st.now, "time must not run backwards");
             st.now = st.now.max(e.wake);
             st.running = Some(e.tid);
-            st.switches += 1;
-            return true;
+            let info = st.tasks.get_mut(&e.tid).expect("just seen");
+            match info.flavor {
+                Flavor::Carrier => {
+                    st.stats.switches += 1;
+                    return Dispatch::Carrier;
+                }
+                Flavor::Event => {
+                    st.stats.event_polls += 1;
+                    return Dispatch::Event(
+                        info.machine.take().expect("event task machine present"),
+                    );
+                }
+            }
         }
-        false
+        Dispatch::Idle
     }
 
     /// Detect deadlock: simulation started, nothing running, nothing
     /// runnable, yet live tasks remain. The panic message dumps the
-    /// wait-for graph: every blocked task, what it is waiting on (the
-    /// context recorded by [`set_wait_context`]), and who is joined on it.
+    /// wait-for graph: every blocked task (carrier **and** event flavor),
+    /// what it is waiting on (the context recorded by [`set_wait_context`]),
+    /// and who is joined on it.
     fn check_deadlock(st: &mut SchedState) {
         if st.started && st.running.is_none() && st.live > 0 && st.poison.is_none() {
             let mut ids: Vec<TaskId> = st
@@ -340,9 +562,13 @@ impl SimInner {
                     .wait_ctx
                     .as_deref()
                     .unwrap_or("<unknown: bare block()>");
+                let tag = match info.flavor {
+                    Flavor::Carrier => "",
+                    Flavor::Event => " [event]",
+                };
                 graph.push_str(&format!(
-                    "\n  {} ({}): blocked on {}",
-                    id, info.name, waits_on
+                    "\n  {} ({}){}: blocked on {}",
+                    id, info.name, tag, waits_on
                 ));
                 if !info.join_waiters.is_empty() {
                     let waiters: Vec<String> =
@@ -362,6 +588,105 @@ impl SimInner {
             panic!("simulation poisoned: {msg}");
         }
     }
+}
+
+/// The discrete-event dispatch loop. Pops the calendar and runs what comes
+/// out: event tasks are polled inline on the calling OS thread (scheduler
+/// lock released for the poll, [`run_switch_hook`] fired after each — a
+/// poll boundary is a genuine handover); the loop returns `true` as soon as
+/// a carrier is dispatched (the caller notifies its parked thread) and
+/// `false` when nothing is runnable (the caller runs the deadlock check).
+///
+/// Every handover point pumps: blocking carriers, finishing tasks, and the
+/// host in [`Sim::run`]. That is what lets a 10k-event-task workload run on
+/// a constant-size pool of OS threads — whichever thread is in the
+/// scheduler drains the event queue as part of handing over.
+fn pump(inner: &Arc<SimInner>, st: &mut PlMutexGuard<'_, SchedState>) -> bool {
+    loop {
+        if st.poison.is_some() {
+            return false;
+        }
+        let mut machine = match SimInner::dispatch_next(st) {
+            Dispatch::Carrier => return true,
+            Dispatch::Idle => return false,
+            Dispatch::Event(m) => m,
+        };
+        let tid = st.running.expect("event task is running");
+        let now = st.now;
+        let info = st.tasks.get(&tid).expect("dispatched task exists");
+        let wake_reason = info.wake_reason;
+        let label: Arc<str> = Arc::from(info.name.as_str());
+        let outcome = st.unlocked(|| {
+            // Run the machine as the current simulated task so emit_sync /
+            // wake / spawn / set_wait_context attribute to it, then restore
+            // the pumping thread's own identity (a carrier mid-block, or
+            // the host in `Sim::run`).
+            let prev = CURRENT.with(|c| c.borrow_mut().replace((inner.clone(), tid)));
+            let mut cx = EventCx {
+                sim: Sim {
+                    inner: inner.clone(),
+                },
+                tid,
+                now,
+                wake_reason,
+            };
+            let r = catch_unwind(AssertUnwindSafe(|| machine.poll(&mut cx)));
+            if matches!(r, Ok(EventPoll::Done) | Err(_)) {
+                // The task's clock is final after this point; joiners
+                // inherit it through the Join edge.
+                emit_sync(SyncOp::Finish, tid.0, &label);
+            }
+            // Event-task resumption boundary: a genuine handover, so the
+            // instrumentation backplane flushes this thread's buffers at a
+            // deterministic point.
+            run_switch_hook();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+            r
+        });
+        // Relocked. No other task ran meanwhile: `running` stayed on this
+        // event task, so carriers kept waiting and wake() could not touch it.
+        st.running = None;
+        match outcome {
+            Err(e) => {
+                finish_common(st, tid, Some(panic_message(&e)));
+                // Poison is set; the loop head returns false and callers
+                // propagate through poison_check.
+            }
+            Ok(EventPoll::Done) => {
+                finish_common(st, tid, None);
+            }
+            Ok(EventPoll::Sleep(d)) => {
+                let wake = st.now + d;
+                requeue_event(st, tid, machine, wake);
+            }
+            Ok(EventPoll::SleepUntil(t)) => {
+                let wake = t.max(st.now);
+                requeue_event(st, tid, machine, wake);
+            }
+            Ok(EventPoll::Yield) => {
+                let wake = st.now;
+                requeue_event(st, tid, machine, wake);
+            }
+            Ok(EventPoll::Block { deadline }) => {
+                let info = st.tasks.get_mut(&tid).expect("unknown task");
+                info.state = TaskState::Blocked;
+                info.machine = Some(machine);
+                SimInner::bump_gen(st, tid);
+                if let Some(dl) = deadline {
+                    let wake = dl.max(st.now);
+                    SimInner::push_entry(st, tid, wake);
+                }
+            }
+        }
+    }
+}
+
+/// Park `machine` back in its task and re-enter the calendar at `wake`.
+fn requeue_event(st: &mut SchedState, tid: TaskId, machine: Box<dyn EventTask>, wake: SimTime) {
+    let info = st.tasks.get_mut(&tid).expect("unknown task");
+    info.state = TaskState::Ready;
+    info.machine = Some(machine);
+    SimInner::push_ready(st, tid, wake);
 }
 
 /// A deterministic virtual-time simulation.
@@ -384,18 +709,22 @@ thread_local! {
 }
 
 /// Access the calling simulated thread's context, or panic if the caller is
-/// not a simulated thread.
+/// not a simulated thread. The thread-local borrow is released before `f`
+/// runs so that `f` may re-enter the scheduler (the pump swaps `CURRENT`
+/// while polling event tasks).
 fn with_current<R>(f: impl FnOnce(&Arc<SimInner>, TaskId) -> R) -> R {
-    CURRENT.with(|c| {
+    let (inner, tid) = CURRENT.with(|c| {
         let b = c.borrow();
         let (inner, tid) = b
             .as_ref()
             .expect("not on a simulated thread: call from within Sim::spawn");
-        f(inner, *tid)
-    })
+        (inner.clone(), *tid)
+    });
+    f(&inner, tid)
 }
 
-/// True if the calling OS thread carries a simulated thread.
+/// True if the calling OS thread carries a simulated thread (or is mid-poll
+/// of an event task).
 pub fn on_sim_thread() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
 }
@@ -409,6 +738,21 @@ fn current_matches(inner: &Arc<SimInner>) -> bool {
     })
 }
 
+/// Panic (poisoning the sim) when an event task reaches an inline-blocking
+/// API from inside its poll. Event tasks have no stack to park: they must
+/// return the matching [`EventPoll`] instead.
+fn forbid_event_inline(st: &SchedState, tid: TaskId, what: &str) {
+    if let Some(info) = st.tasks.get(&tid) {
+        if info.flavor == Flavor::Event {
+            panic!(
+                "event task {} ('{}') called {what} inline from poll(); \
+                 event tasks must return the matching EventPoll instead",
+                tid, info.name
+            );
+        }
+    }
+}
+
 impl Sim {
     /// Create an empty simulation at t = 0.
     pub fn new() -> Self {
@@ -418,14 +762,14 @@ impl Sim {
                     now: SimTime::ZERO,
                     seq: 0,
                     heap: BinaryHeap::new(),
+                    valid_entries: 0,
                     running: None,
                     tasks: HashMap::new(),
                     next_tid: 0,
                     live: 0,
                     started: false,
                     poison: None,
-                    switches: 0,
-                    fast_advances: 0,
+                    stats: SchedStats::default(),
                 }),
                 cv: Condvar::new(),
                 sync_observer: RwLock::new(None),
@@ -448,9 +792,14 @@ impl Sim {
         *self.inner.sync_observer.write() = None;
     }
 
-    /// Spawn a simulated thread. It becomes runnable at the current virtual
-    /// time but does not execute until [`Sim::run`] dispatches it (or, when
-    /// called from a running simulated thread, until the spawner blocks).
+    /// Spawn a carrier task: a simulated thread carried by a real OS thread,
+    /// for code that must look like blocking POSIX. It becomes runnable at
+    /// the current virtual time but does not execute until [`Sim::run`]
+    /// dispatches it (or, when called from a running simulated thread, until
+    /// the spawner blocks).
+    ///
+    /// For pure coordination work (timers, tickers, collective waiters) use
+    /// [`Sim::spawn_event`]: same calendar, same determinism, no OS thread.
     pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> JoinHandle<T>
     where
         T: Send + 'static,
@@ -463,15 +812,22 @@ impl Sim {
             let tid = TaskId(st.next_tid);
             st.next_tid += 1;
             st.live += 1;
+            st.stats.carrier_spawns += 1;
+            if st.live > st.stats.peak_live_tasks {
+                st.stats.peak_live_tasks = st.live;
+            }
             st.tasks.insert(
                 tid,
                 TaskInfo {
                     name: name.clone(),
                     state: TaskState::Ready,
+                    flavor: Flavor::Carrier,
                     gen: 0,
+                    has_entry: false,
                     wake_reason: WakeReason::Notified,
                     join_waiters: Vec::new(),
                     wait_ctx: None,
+                    machine: None,
                 },
             );
             let now = st.now;
@@ -525,25 +881,91 @@ impl Sim {
         }
     }
 
+    /// Spawn an event task: a stackless state machine resumed inline by the
+    /// dispatch loop. Shares the task-id space, calendar, sync-event
+    /// attribution, join protocol, and deadlock diagnostics with carrier
+    /// tasks — it just never owns an OS thread.
+    ///
+    /// The machine is polled first at the current virtual time (in FIFO
+    /// order with everything else scheduled for that instant).
+    pub fn spawn_event<M>(&self, name: impl Into<String>, machine: M) -> EventHandle
+    where
+        M: EventTask + 'static,
+    {
+        let name = name.into();
+        let tid = {
+            let mut st = self.inner.state.lock();
+            let tid = TaskId(st.next_tid);
+            st.next_tid += 1;
+            st.live += 1;
+            st.stats.event_spawns += 1;
+            if st.live > st.stats.peak_live_tasks {
+                st.stats.peak_live_tasks = st.live;
+            }
+            st.tasks.insert(
+                tid,
+                TaskInfo {
+                    name: name.clone(),
+                    state: TaskState::Ready,
+                    flavor: Flavor::Event,
+                    gen: 0,
+                    has_entry: false,
+                    wake_reason: WakeReason::Notified,
+                    join_waiters: Vec::new(),
+                    wait_ctx: None,
+                    machine: Some(Box::new(machine)),
+                },
+            );
+            let now = st.now;
+            SimInner::push_ready(&mut st, tid, now);
+            tid
+        };
+        let label: Arc<str> = Arc::from(name.as_str());
+        if current_matches(&self.inner) {
+            emit_sync(SyncOp::Spawn, tid.0, &label);
+        }
+        EventHandle {
+            inner: self.inner.clone(),
+            tid,
+        }
+    }
+
     /// Run the simulation to completion: dispatch tasks in virtual-time
-    /// order until every simulated thread has finished.
+    /// order until every simulated task has finished. Event tasks scheduled
+    /// while no carrier is runnable are polled right here on the host
+    /// thread — a simulation of nothing but event tasks never spawns an OS
+    /// thread at all.
     ///
     /// # Panics
     ///
-    /// Propagates the first panic raised in any simulated thread, and panics
+    /// Propagates the first panic raised in any simulated task, and panics
     /// on virtual-time deadlock (live tasks, none runnable).
     pub fn run(&self) {
         {
             let mut st = self.inner.state.lock();
             assert!(!st.started, "Sim::run called twice");
             st.started = true;
-            if st.running.is_none() && SimInner::dispatch_next(&mut st) {
-                self.inner.cv.notify_all();
+            if st.running.is_none() {
+                if pump(&self.inner, &mut st) {
+                    self.inner.cv.notify_all();
+                } else {
+                    SimInner::check_deadlock(&mut st);
+                }
             }
         }
         let mut st = self.inner.state.lock();
         while st.live > 0 && st.poison.is_none() {
             self.inner.cv.wait(&mut st);
+            // Belt and braces: if we were woken with the scheduler idle
+            // (e.g. a host-side spawn while everything was parked), drive
+            // the calendar from here.
+            if st.running.is_none() && st.live > 0 && st.poison.is_none() {
+                if pump(&self.inner, &mut st) {
+                    self.inner.cv.notify_all();
+                } else {
+                    SimInner::check_deadlock(&mut st);
+                }
+            }
         }
         if let Some(msg) = st.poison.clone() {
             drop(st);
@@ -562,13 +984,24 @@ impl Sim {
     /// Number of carrier context switches performed so far (a measure of
     /// scheduler work; used by the engine micro-benchmarks).
     pub fn context_switches(&self) -> u64 {
-        self.inner.state.lock().switches
+        self.inner.state.lock().stats.switches
     }
 
     /// Number of fast-path time advances (sleeps that did not require a
     /// carrier switch because the sleeper remained the earliest task).
     pub fn fast_advances(&self) -> u64 {
-        self.inner.state.lock().fast_advances
+        self.inner.state.lock().stats.fast_advances
+    }
+
+    /// Snapshot of the scheduler counters (switches, fast advances, event
+    /// polls, peak heap depth, peak live tasks, compactions).
+    pub fn stats(&self) -> SchedStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Number of tasks spawned and not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.state.lock().live
     }
 }
 
@@ -582,21 +1015,24 @@ fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn finish_task(inner: &Arc<SimInner>, tid: TaskId, panic_msg: Option<String>) {
-    let mut st = inner.state.lock();
+/// Shared finish bookkeeping for both flavors: mark Finished, wake joiners,
+/// decrement live, record the first panic as poison. Caller handles the
+/// running-slot handover.
+fn finish_common(st: &mut SchedState, tid: TaskId, panic_msg: Option<String>) {
     let waiters = if let Some(info) = st.tasks.get_mut(&tid) {
         info.state = TaskState::Finished;
-        info.gen += 1;
+        info.machine = None;
         std::mem::take(&mut info.join_waiters)
     } else {
         Vec::new()
     };
+    SimInner::bump_gen(st, tid);
     for w in waiters {
         if let Some(info) = st.tasks.get_mut(&w) {
             if info.state == TaskState::Blocked {
                 info.state = TaskState::Ready;
                 let now = st.now;
-                SimInner::push_ready(&mut st, w, now);
+                SimInner::push_ready(st, w, now);
             }
         }
     }
@@ -611,15 +1047,21 @@ fn finish_task(inner: &Arc<SimInner>, tid: TaskId, panic_msg: Option<String>) {
             st.poison = Some(format!("simulated thread '{name}' panicked: {msg}"));
         }
     }
+}
+
+fn finish_task(inner: &Arc<SimInner>, tid: TaskId, panic_msg: Option<String>) {
+    let mut st = inner.state.lock();
+    finish_common(&mut st, tid, panic_msg);
     if st.running == Some(tid) {
         st.running = None;
-        SimInner::dispatch_next(&mut st);
-        SimInner::check_deadlock(&mut st);
+        if !pump(inner, &mut st) {
+            SimInner::check_deadlock(&mut st);
+        }
     }
     inner.cv.notify_all();
 }
 
-/// Handle to a spawned simulated thread.
+/// Handle to a spawned carrier task.
 pub struct JoinHandle<T> {
     inner: Arc<SimInner>,
     tid: TaskId,
@@ -642,39 +1084,7 @@ impl<T> JoinHandle<T> {
     /// Panics if the joined thread panicked.
     pub fn join(mut self) -> T {
         if on_sim_thread() {
-            let me = current_task();
-            loop {
-                let finished = {
-                    let mut st = self.inner.state.lock();
-                    match st.tasks.get_mut(&self.tid) {
-                        None => true,
-                        Some(i) if i.state == TaskState::Finished => true,
-                        Some(i) => {
-                            i.join_waiters.push(me);
-                            false
-                        }
-                    }
-                };
-                if finished {
-                    break;
-                }
-                // Safe check-then-block: no other simulated thread can run
-                // between the registration above and this block.
-                set_wait_context(format!("join on {}", self.tid));
-                block(None);
-            }
-            if current_matches(&self.inner) {
-                let label: Arc<str> = {
-                    let st = self.inner.state.lock();
-                    Arc::from(
-                        st.tasks
-                            .get(&self.tid)
-                            .map(|i| i.name.as_str())
-                            .unwrap_or(""),
-                    )
-                };
-                emit_sync(SyncOp::Join, self.tid.0, &label);
-            }
+            join_sim_side(&self.inner, self.tid);
         }
         if let Some(c) = self.carrier.take() {
             let _ = c.join();
@@ -684,6 +1094,77 @@ impl<T> JoinHandle<T> {
             Some(Err(e)) => std::panic::resume_unwind(e),
             None => panic!("joined thread produced no result (never ran?)"),
         }
+    }
+}
+
+/// Handle to a spawned event task.
+pub struct EventHandle {
+    inner: Arc<SimInner>,
+    tid: TaskId,
+}
+
+impl EventHandle {
+    /// The event task's id (same id space as carrier tasks).
+    pub fn id(&self) -> TaskId {
+        self.tid
+    }
+
+    /// True once the machine returned [`EventPoll::Done`] (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.inner
+            .state
+            .lock()
+            .tasks
+            .get(&self.tid)
+            .map(|i| i.state == TaskState::Finished)
+            .unwrap_or(true)
+    }
+
+    /// Block in virtual time until the event task finishes. Callable from
+    /// carrier tasks of the same sim; from the host it asserts the task has
+    /// already finished (meaningful only after [`Sim::run`]).
+    pub fn join(&self) {
+        if on_sim_thread() && current_matches(&self.inner) {
+            join_sim_side(&self.inner, self.tid);
+        } else {
+            assert!(
+                self.is_finished(),
+                "EventHandle::join off the simulation requires the task to have finished"
+            );
+        }
+    }
+}
+
+/// Virtual-time half of a join: wait for `tid` to finish, then record the
+/// Join edge. Shared by carrier and event joins.
+fn join_sim_side(inner: &Arc<SimInner>, tid: TaskId) {
+    let me = current_task();
+    loop {
+        let finished = {
+            let mut st = inner.state.lock();
+            match st.tasks.get_mut(&tid) {
+                None => true,
+                Some(i) if i.state == TaskState::Finished => true,
+                Some(i) => {
+                    i.join_waiters.push(me);
+                    false
+                }
+            }
+        };
+        if finished {
+            break;
+        }
+        // Safe check-then-block: no other simulated thread can run
+        // between the registration above and this block.
+        set_wait_context(format!("join on {}", tid));
+        block(None);
+    }
+    if current_matches(inner) {
+        let label: Arc<str> = {
+            let st = inner.state.lock();
+            Arc::from(st.tasks.get(&tid).map(|i| i.name.as_str()).unwrap_or(""))
+        };
+        emit_sync(SyncOp::Join, tid.0, &label);
     }
 }
 
@@ -720,7 +1201,8 @@ pub fn current_task_name() -> String {
     })
 }
 
-/// Advance virtual time by `d` for the calling thread.
+/// Advance virtual time by `d` for the calling thread. Carrier tasks only —
+/// an event task returns [`EventPoll::Sleep`] from its poll instead.
 ///
 /// Fast path: when the sleeper would still be the earliest runnable task at
 /// its wake time, the clock simply jumps forward without a carrier switch.
@@ -729,6 +1211,7 @@ pub fn sleep(d: Duration) {
         let wake = {
             let mut st = inner.state.lock();
             SimInner::poison_check(&st);
+            forbid_event_inline(&st, tid, "sleep()");
             debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
             let wake = st.now + d;
             // Fast path: nothing else can legally run before `wake`. A peeked
@@ -740,7 +1223,7 @@ pub fn sleep(d: Duration) {
             };
             if !must_switch {
                 st.now = wake;
-                st.fast_advances += 1;
+                st.stats.fast_advances += 1;
                 return;
             }
             wake
@@ -752,13 +1235,12 @@ pub fn sleep(d: Duration) {
         SimInner::poison_check(&st);
         // Slow path: hand over and wait for our turn. Unconditionally valid
         // even though the lock was dropped — no other simulated thread can
-        // have run meanwhile, and dispatch_next may simply pick us again.
+        // have run meanwhile, and the pump may simply pick us again.
         let info = st.tasks.get_mut(&tid).expect("unknown task");
         info.state = TaskState::Ready;
         SimInner::push_ready(&mut st, tid, wake);
         st.running = None;
-        let dispatched = SimInner::dispatch_next(&mut st);
-        debug_assert!(dispatched, "we just pushed a ready entry");
+        pump(inner, &mut st);
         inner.cv.notify_all();
         while st.running != Some(tid) && st.poison.is_none() {
             inner.cv.wait(&mut st);
@@ -775,12 +1257,14 @@ pub fn sleep_until(t: SimTime) {
     }
 }
 
-/// Let equal-time peers run before continuing.
+/// Let equal-time peers run before continuing. Carrier tasks only — an
+/// event task returns [`EventPoll::Yield`] from its poll instead.
 pub fn yield_now() {
     with_current(|inner, tid| {
         {
             let st = inner.state.lock();
             SimInner::poison_check(&st);
+            forbid_event_inline(&st, tid, "yield_now()");
             if st.heap.peek().is_none() {
                 return; // nobody to yield to
             }
@@ -793,7 +1277,7 @@ pub fn yield_now() {
         let now = st.now;
         SimInner::push_ready(&mut st, tid, now);
         st.running = None;
-        SimInner::dispatch_next(&mut st);
+        pump(inner, &mut st);
         inner.cv.notify_all();
         while st.running != Some(tid) && st.poison.is_none() {
             inner.cv.wait(&mut st);
@@ -804,6 +1288,8 @@ pub fn yield_now() {
 
 /// Deschedule the calling thread until another thread calls [`wake`] on it,
 /// or until `deadline` (if given) elapses. Returns how it was woken.
+/// Carrier tasks only — an event task returns [`EventPoll::Block`] from its
+/// poll instead.
 ///
 /// This is the primitive on which all of [`crate::sync`] is built. The
 /// single-running-thread invariant makes the check-then-block pattern safe:
@@ -815,6 +1301,11 @@ pub fn block(deadline: Option<SimTime>) -> WakeReason {
         // any scheduler state changes. The single-running-thread invariant
         // keeps the pattern safe — a non-sleeping hook cannot let another
         // thread run between a wait-list registration and this block.
+        {
+            let st = inner.state.lock();
+            SimInner::poison_check(&st);
+            forbid_event_inline(&st, tid, "block()");
+        }
         run_switch_hook();
         let mut st = inner.state.lock();
         SimInner::poison_check(&st);
@@ -822,26 +1313,19 @@ pub fn block(deadline: Option<SimTime>) -> WakeReason {
         {
             let info = st.tasks.get_mut(&tid).expect("unknown task");
             info.state = TaskState::Blocked;
-            info.gen += 1;
         }
+        SimInner::bump_gen(&mut st, tid);
         if let Some(dl) = deadline {
             // Register the timeout as a heap entry against the *blocked*
-            // generation; dispatch_next interprets popping a Blocked task
+            // generation; the dispatcher interprets popping a Blocked task
             // as a timeout firing.
-            let gen = st.tasks[&tid].gen;
-            st.seq += 1;
-            let seq = st.seq;
             let wake = dl.max(st.now);
-            st.heap.push(Entry {
-                wake,
-                seq,
-                tid,
-                gen,
-            });
+            SimInner::push_entry(&mut st, tid, wake);
         }
         st.running = None;
-        SimInner::dispatch_next(&mut st);
-        SimInner::check_deadlock(&mut st);
+        if !pump(inner, &mut st) {
+            SimInner::check_deadlock(&mut st);
+        }
         inner.cv.notify_all();
         while st.running != Some(tid) && st.poison.is_none() {
             inner.cv.wait(&mut st);
@@ -853,37 +1337,41 @@ pub fn block(deadline: Option<SimTime>) -> WakeReason {
     })
 }
 
-/// Make a blocked thread runnable at the current virtual time. No-op if the
-/// thread is not blocked (e.g. already woken by a timeout).
+/// Make a blocked task runnable at the current virtual time. Returns true
+/// if the task was indeed blocked (a no-op on any other state returns
+/// false — e.g. a waiter already woken by its timeout). Works identically
+/// on carrier and event tasks: the woken event task is polled when its
+/// calendar entry surfaces.
 ///
 /// Callable only from simulated threads, with one exception: after
 /// [`Sim::run`] returns, destructors of sync primitives may run on the host
 /// thread; at that point no task can be blocked (the run would have
 /// deadlocked otherwise), so an off-sim `wake` is a sound no-op.
-pub fn wake(tid: TaskId) {
+pub fn wake(tid: TaskId) -> bool {
     if !on_sim_thread() {
-        return;
+        return false;
     }
     with_current(|inner, _| {
         let mut st = inner.state.lock();
         let Some(info) = st.tasks.get_mut(&tid) else {
-            return;
+            return false;
         };
         if info.state != TaskState::Blocked {
-            return;
+            return false;
         }
         info.state = TaskState::Ready;
         let now = st.now;
         SimInner::push_ready(&mut st, tid, now);
-        // The waker keeps running; the woken thread enters the calendar.
-    });
+        // The waker keeps running; the woken task enters the calendar.
+        true
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::time::SimTime;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn single_thread_advances_clock() {
@@ -942,6 +1430,37 @@ mod tests {
                     sleep(Duration::from_millis(1));
                     log.lock().push(i);
                 });
+            }
+            sim.run();
+            assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn equal_time_fifo_order_holds_across_flavors() {
+        // Alternating carrier/event tasks all wake at t=1ms; the calendar
+        // must run them in spawn order regardless of flavor.
+        for _ in 0..10 {
+            let sim = Sim::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..8usize {
+                let log = log.clone();
+                if i % 2 == 0 {
+                    sim.spawn(format!("c{i}"), move || {
+                        sleep(Duration::from_millis(1));
+                        log.lock().push(i);
+                    });
+                } else {
+                    let mut slept = false;
+                    sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
+                        if !slept {
+                            slept = true;
+                            return EventPoll::Sleep(Duration::from_millis(1));
+                        }
+                        log.lock().push(i);
+                        EventPoll::Done
+                    });
+                }
             }
             sim.run();
             assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
@@ -1050,6 +1569,36 @@ mod tests {
     }
 
     #[test]
+    fn mixed_flavor_deadlock_names_both_parties() {
+        // A carrier and an event task, each blocked on something the other
+        // never provides: the wait-for dump must name both, tagging the
+        // event task's flavor.
+        let sim = Sim::new();
+        sim.spawn("stuck-carrier", || {
+            set_wait_context("a token from the ticker");
+            block(None);
+        });
+        let mut registered = false;
+        sim.spawn_event("stuck-ticker", move |_cx: &mut EventCx| {
+            if !registered {
+                registered = true;
+            }
+            set_wait_context("an ack from the carrier");
+            EventPoll::Block { deadline: None }
+        });
+        let err = catch_unwind(AssertUnwindSafe(|| sim.run())).expect_err("deadlock must panic");
+        let msg = panic_message(&err);
+        assert!(
+            msg.contains("t0 (stuck-carrier): blocked on a token from the ticker"),
+            "carrier missing from dump: {msg}"
+        );
+        assert!(
+            msg.contains("t1 (stuck-ticker) [event]: blocked on an ack from the carrier"),
+            "event task missing from dump: {msg}"
+        );
+    }
+
+    #[test]
     fn sync_observer_sees_spawn_join_finish() {
         struct Rec(Mutex<Vec<(TaskId, SyncOp, u64)>>);
         impl SyncObserver for Rec {
@@ -1085,11 +1634,247 @@ mod tests {
     }
 
     #[test]
+    fn sync_observer_sees_event_task_edges() {
+        struct Rec(Mutex<Vec<(TaskId, SyncOp, u64)>>);
+        impl SyncObserver for Rec {
+            fn on_sync(&self, ev: &SyncEvent) {
+                self.0.lock().push((ev.task, ev.op, ev.obj));
+            }
+        }
+        let rec = Arc::new(Rec(Mutex::new(Vec::new())));
+        let sim = Sim::new();
+        sim.set_sync_observer(rec.clone());
+        let sim2 = sim.clone();
+        sim.spawn("parent", move || {
+            let mut ticks = 0;
+            let h = sim2.spawn_event("ticker", move |_cx: &mut EventCx| {
+                ticks += 1;
+                if ticks < 3 {
+                    EventPoll::Sleep(Duration::from_millis(1))
+                } else {
+                    EventPoll::Done
+                }
+            });
+            h.join();
+        });
+        sim.run();
+        let got = rec.0.lock().clone();
+        let parent = TaskId(0);
+        let ticker = TaskId(1);
+        assert!(got.contains(&(parent, SyncOp::Spawn, ticker.0)));
+        assert!(got.contains(&(ticker, SyncOp::Finish, ticker.0)));
+        assert!(got.contains(&(parent, SyncOp::Join, ticker.0)));
+        let fin = got
+            .iter()
+            .position(|e| *e == (ticker, SyncOp::Finish, ticker.0))
+            .unwrap();
+        let join = got
+            .iter()
+            .position(|e| *e == (parent, SyncOp::Join, ticker.0))
+            .unwrap();
+        assert!(fin < join);
+    }
+
+    #[test]
     #[should_panic(expected = "boom")]
     fn panic_propagates() {
         let sim = Sim::new();
         sim.spawn("bad", || panic!("boom"));
         sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "event boom")]
+    fn event_task_panic_propagates() {
+        let sim = Sim::new();
+        sim.spawn_event("bad", |_cx: &mut EventCx| -> EventPoll {
+            panic!("event boom")
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "called sleep() inline")]
+    fn event_task_may_not_sleep_inline() {
+        let sim = Sim::new();
+        sim.spawn_event("naughty", |_cx: &mut EventCx| {
+            sleep(Duration::from_millis(1)); // panics: no stack to park
+            EventPoll::Done
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lone_event_task_runs_on_host_thread() {
+        // A pure event-task simulation must complete without spawning any
+        // carrier; the host thread in Sim::run drives the calendar.
+        let sim = Sim::new();
+        let mut left = 1000u32;
+        sim.spawn_event("timer", move |cx: &mut EventCx| {
+            assert_eq!(cx.wake_reason(), WakeReason::Notified);
+            if left == 0 {
+                return EventPoll::Done;
+            }
+            left -= 1;
+            EventPoll::Sleep(Duration::from_micros(10))
+        });
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 1000 * 10_000);
+        let stats = sim.stats();
+        assert_eq!(stats.event_spawns, 1);
+        assert_eq!(stats.carrier_spawns, 0);
+        assert!(stats.event_polls >= 1001, "one poll per tick plus Done");
+        assert_eq!(stats.switches, 0, "no carrier ever dispatched");
+    }
+
+    #[test]
+    fn event_task_block_wake_and_timeout() {
+        let sim = Sim::new();
+        let slot: Arc<Mutex<Option<TaskId>>> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut phase = 0;
+        sim.spawn_event("waiter", move |cx: &mut EventCx| {
+            phase += 1;
+            match phase {
+                1 => {
+                    *slot2.lock() = Some(cx.task());
+                    // First a bounded wait that nobody answers...
+                    EventPoll::Block {
+                        deadline: Some(cx.now() + Duration::from_millis(2)),
+                    }
+                }
+                2 => {
+                    assert_eq!(cx.wake_reason(), WakeReason::Timeout);
+                    log2.lock().push(("timeout", cx.now().as_nanos()));
+                    // ...then an unbounded wait the carrier answers.
+                    EventPoll::Block { deadline: None }
+                }
+                _ => {
+                    assert_eq!(cx.wake_reason(), WakeReason::Notified);
+                    log2.lock().push(("notified", cx.now().as_nanos()));
+                    EventPoll::Done
+                }
+            }
+        });
+        sim.spawn("waker", move || {
+            sleep(Duration::from_millis(5));
+            wake(slot.lock().expect("registered"));
+        });
+        sim.run();
+        assert_eq!(
+            *log.lock(),
+            vec![("timeout", 2_000_000), ("notified", 5_000_000)]
+        );
+    }
+
+    #[test]
+    fn event_handle_join_from_carrier_inherits_clock() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.spawn("main", move || {
+            let mut done = false;
+            let h = sim2.spawn_event("slow", move |_cx: &mut EventCx| {
+                if done {
+                    return EventPoll::Done;
+                }
+                done = true;
+                EventPoll::Sleep(Duration::from_millis(4))
+            });
+            assert!(!h.is_finished());
+            h.join();
+            assert!(h.is_finished());
+            assert_eq!(now().as_nanos(), 4_000_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ten_thousand_event_tasks_one_os_thread() {
+        // The scale contract in miniature: 10k simulated tasks, zero
+        // carriers. Each sleeps a staggered amount twice, then finishes.
+        let sim = Sim::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..10_000u64 {
+            let done = done.clone();
+            let mut phase = 0;
+            sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
+                phase += 1;
+                if phase <= 2 {
+                    EventPoll::Sleep(Duration::from_micros(1 + i % 97))
+                } else {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    EventPoll::Done
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(done.load(Ordering::Relaxed), 10_000);
+        let stats = sim.stats();
+        assert_eq!(stats.peak_live_tasks, 10_000);
+        assert_eq!(stats.switches, 0, "no OS-thread handover anywhere");
+    }
+
+    #[test]
+    fn heap_stays_compact_under_timeout_then_notify_churn() {
+        // Each round: the waiter blocks with a far deadline, the waker
+        // notifies long before it fires. Without compaction every round
+        // leaves a stale hour-out tombstone and the heap grows to ~10k;
+        // with lazy compaction it stays O(live tasks).
+        const ROUNDS: usize = 10_000;
+        let sim = Sim::new();
+        let slot: Arc<Mutex<Option<TaskId>>> = Arc::new(Mutex::new(None));
+        let slot2 = slot.clone();
+        sim.spawn("waiter", move || {
+            *slot2.lock() = Some(current_task());
+            for _ in 0..ROUNDS {
+                let r = block(Some(now() + Duration::from_secs(3600)));
+                assert_eq!(r, WakeReason::Notified);
+            }
+        });
+        sim.spawn("waker", move || {
+            for _ in 0..ROUNDS {
+                sleep(Duration::from_micros(1));
+                let tid = slot.lock().expect("waiter registered");
+                wake(tid);
+            }
+        });
+        sim.run();
+        let stats = sim.stats();
+        assert!(
+            stats.peak_heap_depth <= 64,
+            "heap must stay O(live tasks) under churn, peaked at {}",
+            stats.peak_heap_depth
+        );
+        assert!(
+            stats.heap_compactions > 0,
+            "churn at this volume must trigger compaction"
+        );
+    }
+
+    #[test]
+    fn stats_track_peaks_and_flavors() {
+        let sim = Sim::new();
+        for i in 0..3 {
+            sim.spawn(format!("c{i}"), || sleep(Duration::from_millis(1)));
+        }
+        let mut done = false;
+        sim.spawn_event("e0", move |_cx: &mut EventCx| {
+            if done {
+                return EventPoll::Done;
+            }
+            done = true;
+            EventPoll::Sleep(Duration::from_millis(1))
+        });
+        sim.run();
+        let stats = sim.stats();
+        assert_eq!(stats.carrier_spawns, 3);
+        assert_eq!(stats.event_spawns, 1);
+        assert_eq!(stats.peak_live_tasks, 4);
+        assert!(stats.peak_heap_depth >= 4);
+        assert!(stats.event_polls >= 2);
+        assert_eq!(sim.live_tasks(), 0);
     }
 
     #[test]

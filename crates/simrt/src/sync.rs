@@ -8,6 +8,20 @@
 //!
 //! Internal state still lives behind `parking_lot::Mutex` because carrier
 //! threads are real OS threads — but those locks are always uncontended.
+//!
+//! ## Event-task wait paths
+//!
+//! Every primitive also offers a non-blocking `poll_*` method for event
+//! tasks ([`crate::Sim::spawn_event`]), which have no stack to park and
+//! must never call the blocking methods. A poll either completes the
+//! operation immediately or registers the calling task in the wait list
+//! and returns a "pending" result — the event task then returns
+//! [`crate::EventPoll::Block`] from its poll and retries when resumed.
+//! Registration is idempotent (re-polling does not duplicate the entry),
+//! the same [`SyncOp`] edges are emitted as on the blocking paths, and the
+//! single-running-task invariant makes register-then-block atomic exactly
+//! as it is for carriers. All waiting is wake- or timer-driven — there is
+//! no busy-wait anywhere.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -47,6 +61,30 @@ pub enum RecvTimeoutError {
     Closed,
 }
 
+/// Outcome of [`Receiver::poll_recv`] (the event-task wait path).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PollRecv<T> {
+    /// A message was dequeued.
+    Ready(T),
+    /// Channel closed (or all senders dropped) and drained.
+    Closed,
+    /// Nothing queued; the calling task is registered as a waiter and
+    /// should block.
+    Pending,
+}
+
+/// Outcome of [`Sender::poll_send`] (the event-task wait path).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PollSend<T> {
+    /// The message was enqueued.
+    Sent,
+    /// Channel closed or all receivers gone; the message is handed back.
+    Closed(T),
+    /// Channel full; the message is handed back, the calling task is
+    /// registered as a waiter and should block.
+    Full(T),
+}
+
 struct ChanState<T> {
     buf: VecDeque<T>,
     cap: Option<usize>,
@@ -64,14 +102,23 @@ struct ChanInner<T> {
 }
 
 impl<T> ChanInner<T> {
+    // The wake loops skip stale registrations (a waiter that already timed
+    // out or was woken for another reason and has not yet purged itself):
+    // `wake` returns false for anything not actually blocked, and stopping
+    // there would silently drop the notification for the live waiter
+    // behind it.
     fn wake_one_recv(st: &mut ChanState<T>) {
-        if let Some(w) = st.recv_waiters.pop_front() {
-            wake(w);
+        while let Some(w) = st.recv_waiters.pop_front() {
+            if wake(w) {
+                break;
+            }
         }
     }
     fn wake_one_send(st: &mut ChanState<T>) {
-        if let Some(w) = st.send_waiters.pop_front() {
-            wake(w);
+        while let Some(w) = st.send_waiters.pop_front() {
+            if wake(w) {
+                break;
+            }
         }
     }
     fn wake_all(st: &mut ChanState<T>) {
@@ -199,6 +246,34 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Event-task wait path for [`Sender::send`]: try to send, registering
+    /// the calling task as a send waiter when the channel is full. On
+    /// [`PollSend::Full`] the caller gets its value back and should return
+    /// [`crate::EventPoll::Block`], re-polling when resumed.
+    pub fn poll_send(&self, v: T) -> PollSend<T> {
+        let ctx;
+        {
+            let mut st = self.inner.st.lock();
+            if st.closed || st.receivers == 0 {
+                return PollSend::Closed(v);
+            }
+            let full = st.cap.map(|c| st.buf.len() >= c).unwrap_or(false);
+            if !full {
+                st.buf.push_back(v);
+                ChanInner::wake_one_recv(&mut st);
+                emit_sync(SyncOp::Signal, self.inner.id, &self.inner.label);
+                return PollSend::Sent;
+            }
+            let me = current_task();
+            if !st.send_waiters.contains(&me) {
+                st.send_waiters.push_back(me);
+            }
+            ctx = format!("send on full {}", self.inner.label);
+        }
+        set_wait_context(ctx);
+        PollSend::Full(v)
+    }
+
     /// Non-blocking send; returns the value back if the channel is full.
     pub fn try_send(&self, v: T) -> Result<(), SendError<T>> {
         let mut st = self.inner.st.lock();
@@ -298,6 +373,33 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Event-task wait path for [`Receiver::recv`]: try to receive,
+    /// registering the calling task as a recv waiter when the channel is
+    /// empty but still open. On [`PollRecv::Pending`] the caller should
+    /// return [`crate::EventPoll::Block`], re-polling when resumed.
+    pub fn poll_recv(&self) -> PollRecv<T> {
+        let ctx;
+        {
+            let mut st = self.inner.st.lock();
+            if let Some(v) = st.buf.pop_front() {
+                ChanInner::wake_one_send(&mut st);
+                emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
+                return PollRecv::Ready(v);
+            }
+            if st.closed || st.senders == 0 {
+                emit_sync(SyncOp::Wait, self.inner.id, &self.inner.label);
+                return PollRecv::Closed;
+            }
+            let me = current_task();
+            if !st.recv_waiters.contains(&me) {
+                st.recv_waiters.push_back(me);
+            }
+            ctx = format!("recv on {}", self.inner.label);
+        }
+        set_wait_context(ctx);
+        PollRecv::Pending
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<T> {
         let mut st = self.inner.st.lock();
@@ -388,6 +490,39 @@ impl Semaphore {
     /// Acquire one permit.
     pub fn acquire(&self) {
         self.acquire_many(1);
+    }
+
+    /// Event-task wait path for [`Semaphore::acquire_many`]: returns true
+    /// when the permits were taken, false after registering the calling
+    /// task in the FIFO queue (the caller should block and re-poll).
+    pub fn poll_acquire_many(&self, n: usize) -> bool {
+        let ctx;
+        {
+            let mut st = self.st.lock();
+            let me = current_task();
+            let first_in_line =
+                st.waiters.front().map(|(t, _)| *t) == Some(me) || st.waiters.is_empty();
+            if first_in_line && st.permits >= n {
+                if !st.waiters.is_empty() {
+                    st.waiters.pop_front();
+                }
+                st.permits -= n;
+                Self::wake_head(&mut st);
+                emit_sync(SyncOp::Wait, self.id, &self.label);
+                return true;
+            }
+            if !st.waiters.iter().any(|(t, _)| *t == me) {
+                st.waiters.push_back((me, n));
+            }
+            ctx = format!("{} permit(s) of {}", n, self.label);
+        }
+        set_wait_context(ctx);
+        false
+    }
+
+    /// [`Semaphore::poll_acquire_many`] for one permit.
+    pub fn poll_acquire(&self) -> bool {
+        self.poll_acquire_many(1)
     }
 
     /// Try to acquire without blocking.
@@ -517,6 +652,26 @@ impl Event {
         }
     }
 
+    /// Event-task wait path for [`Event::wait`]: returns true if set
+    /// (emitting the acquire edge), false after registering the calling
+    /// task as a waiter (the caller should block — with a deadline of its
+    /// own choosing for the `wait_deadline` analogue — and re-poll).
+    pub fn poll_wait(&self) -> bool {
+        {
+            let mut st = self.st.lock();
+            if st.set {
+                emit_sync(SyncOp::Wait, self.id, &self.label);
+                return true;
+            }
+            let me = current_task();
+            if !st.waiters.contains(&me) {
+                st.waiters.push(me);
+            }
+        }
+        set_wait_context(format!("{} to be set", self.label));
+        false
+    }
+
     /// Block until set or until `deadline`. Returns true if set.
     pub fn wait_deadline(&self, deadline: SimTime) -> bool {
         loop {
@@ -607,6 +762,27 @@ impl Notify {
             set_wait_context(format!("a permit on {}", self.label));
             block(None);
         }
+    }
+
+    /// Event-task wait path for [`Notify::wait`]: consumes the permit and
+    /// returns true if one is pending, otherwise registers the calling task
+    /// as a waiter and returns false (the caller should block — bounded by
+    /// a deadline for the `wait_timeout` analogue — and re-poll).
+    pub fn poll_wait(&self) -> bool {
+        {
+            let mut st = self.st.lock();
+            if st.pending {
+                st.pending = false;
+                emit_sync(SyncOp::Wait, self.id, &self.label);
+                return true;
+            }
+            let me = current_task();
+            if !st.waiters.contains(&me) {
+                st.waiters.push(me);
+            }
+        }
+        set_wait_context(format!("a permit on {}", self.label));
+        false
     }
 
     /// Block until notified or until `timeout` elapses. Returns true (and
@@ -713,6 +889,60 @@ impl Barrier {
                 drop(st);
                 emit_sync(SyncOp::Wait, self.id, &self.label);
                 return false;
+            }
+        }
+    }
+
+    /// Event-task wait path for [`Barrier::wait`], driven through `token`
+    /// (start each crossing with `None`):
+    ///
+    /// * first poll — records the arrival (emitting the release edge). If it
+    ///   completes the barrier, all waiters wake and `Some(true)` elects the
+    ///   caller leader; otherwise the caller is registered, `token` holds
+    ///   the generation, and `None` says block and re-poll.
+    /// * later polls — `Some(false)` once the generation advanced (the
+    ///   acquire edge is emitted and `token` resets for reuse), `None` on a
+    ///   spurious wake.
+    pub fn poll_wait(&self, token: &mut Option<u64>) -> Option<bool> {
+        match *token {
+            None => {
+                emit_sync(SyncOp::Signal, self.id, &self.label);
+                let ctx;
+                {
+                    let mut st = self.st.lock();
+                    let my_gen = st.generation;
+                    st.count += 1;
+                    if st.count == self.n {
+                        st.count = 0;
+                        st.generation += 1;
+                        for w in st.waiters.drain(..) {
+                            wake(w);
+                        }
+                        emit_sync(SyncOp::Wait, self.id, &self.label);
+                        return Some(true);
+                    }
+                    st.waiters.push(current_task());
+                    ctx = format!("{} ({} of {} arrived)", self.label, st.count, self.n);
+                    *token = Some(my_gen);
+                }
+                set_wait_context(ctx);
+                None
+            }
+            Some(my_gen) => {
+                let mut st = self.st.lock();
+                if st.generation != my_gen {
+                    drop(st);
+                    emit_sync(SyncOp::Wait, self.id, &self.label);
+                    *token = None;
+                    return Some(false);
+                }
+                // Spurious wake: still the same generation. Stay registered
+                // (the leader's drain is the only dequeue) and block again.
+                let me = current_task();
+                if !st.waiters.contains(&me) {
+                    st.waiters.push(me);
+                }
+                None
             }
         }
     }
@@ -828,6 +1058,46 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Event-task wait path for [`Mutex::lock`]: acquire if this task is
+    /// first in line, otherwise register it in the FIFO queue and return
+    /// `None` (the caller should block and re-poll). Unlike [`try_lock`],
+    /// a queued poller keeps its place and eventually wins the lock.
+    ///
+    /// The returned guard must be dropped before the event task's poll
+    /// returns — an event task cannot hold a lock across polls.
+    ///
+    /// [`try_lock`]: Mutex::try_lock
+    pub fn poll_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let me = current_task();
+        let ctx;
+        {
+            let mut st = self.own.lock();
+            let first_in_line = st.waiters.front() == Some(&me) || st.waiters.is_empty();
+            if st.holder.is_none() && first_in_line {
+                if st.waiters.front() == Some(&me) {
+                    st.waiters.pop_front();
+                }
+                st.holder = Some(me);
+                drop(st);
+                emit_sync(SyncOp::Acquire, self.id, &self.label);
+                return Some(MutexGuard {
+                    lock: self,
+                    inner: Some(self.data.lock()),
+                    sim_owned: true,
+                });
+            }
+            if !st.waiters.contains(&me) {
+                st.waiters.push_back(me);
+            }
+            ctx = match st.holder {
+                Some(h) => format!("{} held by {}", self.label, h),
+                None => format!("{} (queued)", self.label),
+            };
+        }
+        set_wait_context(ctx);
+        None
+    }
+
     /// Try to acquire without blocking. Returns `None` if held or if blocked
     /// waiters are queued (they have priority).
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
@@ -931,6 +1201,29 @@ impl Condvar {
         block(None);
         emit_sync(SyncOp::Wait, self.id, &self.label);
         lock.lock() // emits the mutex Acquire
+    }
+
+    /// Event-task wait path for [`Condvar::wait`]. Because an event task
+    /// cannot hold a guard across polls, the protocol is split: while
+    /// holding the guard, call `register_waiter`, then drop the guard,
+    /// return [`crate::EventPoll::Block`], and on resumption call
+    /// [`Condvar::ack_wait`] before re-polling the mutex and re-checking
+    /// the predicate. Registration is idempotent across re-polls.
+    pub fn register_waiter(&self) {
+        {
+            let mut w = self.waiters.lock();
+            let me = current_task();
+            if !w.contains(&me) {
+                w.push(me);
+            }
+        }
+        set_wait_context(format!("{} (event-task wait)", self.label));
+    }
+
+    /// Record the acquire edge of a completed event-task wait (the
+    /// counterpart of the edge [`Condvar::wait`] emits when it resumes).
+    pub fn ack_wait(&self) {
+        emit_sync(SyncOp::Wait, self.id, &self.label);
     }
 
     /// Wake one waiter.
@@ -1275,6 +1568,267 @@ mod tests {
             let _ga = a2.lock();
         });
         sim.run();
+    }
+
+    #[test]
+    fn event_consumer_drains_channel_via_poll_recv() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>(None);
+        sim.spawn("producer", move || {
+            for i in 0..10 {
+                sleep(Duration::from_micros(5));
+                tx.send(i).unwrap();
+            }
+        });
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        let got2 = got.clone();
+        sim.spawn_event("consumer", move |_cx: &mut EventCx| loop {
+            match rx.poll_recv() {
+                PollRecv::Ready(v) => got2.lock().push(v),
+                PollRecv::Closed => return EventPoll::Done,
+                PollRecv::Pending => return EventPoll::Block { deadline: None },
+            }
+        });
+        sim.run();
+        assert_eq!(*got.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_producer_feels_backpressure_via_poll_send() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u64>(Some(2));
+        let mut next = 0u64;
+        let mut pending: Option<u64> = None;
+        sim.spawn_event("producer", move |_cx: &mut EventCx| loop {
+            let v = pending.take().unwrap_or(next);
+            if v >= 5 {
+                tx.close();
+                return EventPoll::Done;
+            }
+            match tx.poll_send(v) {
+                PollSend::Sent => next = v + 1,
+                PollSend::Full(v) => {
+                    pending = Some(v);
+                    return EventPoll::Block { deadline: None };
+                }
+                PollSend::Closed(_) => panic!("receiver alive"),
+            }
+        });
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        let got2 = got.clone();
+        sim.spawn("consumer", move || {
+            while let Some(v) = rx.recv() {
+                sleep(Duration::from_micros(1));
+                got2.lock().push(v);
+            }
+        });
+        sim.run();
+        assert_eq!(*got.lock(), (0..5).collect::<Vec<_>>());
+        // 5 sends through a depth-2 buffer against a 1 µs/item consumer:
+        // the producer was genuinely throttled, not buffered away.
+        assert!(sim.now() >= SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn event_tasks_share_semaphore_via_poll_acquire() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let sem = Arc::new(Semaphore::new(2));
+        for i in 0..4 {
+            let sem = sem.clone();
+            let mut holding = false;
+            sim.spawn_event(format!("w{i}"), move |_cx: &mut EventCx| {
+                if !holding {
+                    if !sem.poll_acquire() {
+                        return EventPoll::Block { deadline: None };
+                    }
+                    holding = true;
+                    return EventPoll::Sleep(Duration::from_millis(1)); // "work"
+                }
+                sem.release();
+                EventPoll::Done
+            });
+        }
+        sim.run();
+        // 4 jobs, 2 permits, 1 ms each → 2 ms makespan.
+        assert_eq!(sim.now(), SimTime::from_nanos(2_000_000));
+    }
+
+    #[test]
+    fn barrier_crossing_mixes_carriers_and_event_tasks() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let bar = Arc::new(Barrier::new(4));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let released_at = Arc::new(PlMutex::new(Vec::new()));
+        for i in 0..2u64 {
+            let (bar, leaders, rel) = (bar.clone(), leaders.clone(), released_at.clone());
+            sim.spawn(format!("c{i}"), move || {
+                sleep(Duration::from_millis(i));
+                if bar.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+                rel.lock().push(now().as_nanos());
+            });
+        }
+        for i in 2..4u64 {
+            let (bar, leaders, rel) = (bar.clone(), leaders.clone(), released_at.clone());
+            let mut token = None;
+            let mut slept = false;
+            sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
+                if !slept {
+                    slept = true;
+                    return EventPoll::Sleep(Duration::from_millis(i));
+                }
+                match bar.poll_wait(&mut token) {
+                    Some(is_leader) => {
+                        if is_leader {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        rel.lock().push(now().as_nanos());
+                        EventPoll::Done
+                    }
+                    None => EventPoll::Block { deadline: None },
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        // Everyone is released at the last arrival (t = 3 ms).
+        assert_eq!(*released_at.lock(), vec![3_000_000; 4]);
+    }
+
+    #[test]
+    fn event_tasks_take_fifo_turns_on_poll_lock() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let m = Arc::new(Mutex::named(0u64, Some("shared")));
+        // One carrier and two event tasks each add 5 under the lock; the
+        // event tasks must queue FIFO behind the carrier's critical section.
+        {
+            let m = m.clone();
+            sim.spawn("carrier", move || {
+                for _ in 0..5 {
+                    let mut g = m.lock();
+                    *g += 1;
+                    sleep(Duration::from_micros(10));
+                    drop(g);
+                    sleep(Duration::from_micros(1));
+                }
+            });
+        }
+        for i in 0..2 {
+            let m = m.clone();
+            let mut left = 5;
+            sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
+                while left > 0 {
+                    match m.poll_lock() {
+                        Some(mut g) => {
+                            *g += 1;
+                            left -= 1;
+                            drop(g);
+                            return EventPoll::Yield;
+                        }
+                        None => return EventPoll::Block { deadline: None },
+                    }
+                }
+                EventPoll::Done
+            });
+        }
+        sim.run();
+        assert_eq!(*m.lock(), 15);
+    }
+
+    #[test]
+    fn notify_drives_event_daemon_rounds() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let n = Arc::new(Notify::new());
+        let rounds = Arc::new(AtomicUsize::new(0));
+        let (n2, r2) = (n.clone(), rounds.clone());
+        sim.spawn_event("daemon", move |_cx: &mut EventCx| {
+            while n2.poll_wait() {
+                if r2.fetch_add(1, Ordering::SeqCst) + 1 == 3 {
+                    return EventPoll::Done;
+                }
+            }
+            EventPoll::Block { deadline: None }
+        });
+        sim.spawn("poker", move || {
+            for _ in 0..3 {
+                sleep(Duration::from_millis(1));
+                n.notify_one();
+            }
+        });
+        sim.run();
+        assert_eq!(rounds.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn condvar_event_waiter_sees_predicate() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::named(Some("ready")));
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let seen_at = Arc::new(AtomicUsize::new(0));
+        let seen = seen_at.clone();
+        let mut waited = false;
+        sim.spawn_event("waiter", move |_cx: &mut EventCx| {
+            if waited {
+                cv2.ack_wait();
+            }
+            match m2.poll_lock() {
+                None => EventPoll::Block { deadline: None },
+                Some(g) => {
+                    if *g {
+                        seen.store(now().as_nanos() as usize, Ordering::SeqCst);
+                        return EventPoll::Done;
+                    }
+                    cv2.register_waiter();
+                    waited = true;
+                    drop(g);
+                    EventPoll::Block { deadline: None }
+                }
+            }
+        });
+        sim.spawn("setter", move || {
+            sleep(Duration::from_millis(3));
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        sim.run();
+        assert_eq!(seen_at.load(Ordering::SeqCst), 3_000_000);
+    }
+
+    #[test]
+    fn event_sampler_stops_on_event_poll_wait() {
+        use crate::sched::{EventCx, EventPoll};
+        let sim = Sim::new();
+        let stop = Arc::new(Event::new());
+        let samples = Arc::new(AtomicUsize::new(0));
+        let (stop2, s2) = (stop.clone(), samples.clone());
+        let mut first = true;
+        sim.spawn_event("sampler", move |cx: &mut EventCx| {
+            if stop2.poll_wait() {
+                return EventPoll::Done;
+            }
+            if !first && cx.wake_reason() == WakeReason::Timeout {
+                s2.fetch_add(1, Ordering::SeqCst);
+            }
+            first = false;
+            EventPoll::Block {
+                deadline: Some(cx.now() + Duration::from_millis(1)),
+            }
+        });
+        sim.spawn("main", move || {
+            sleep(Duration::from_millis(10) + Duration::from_micros(500));
+            stop.set();
+        });
+        sim.run();
+        assert_eq!(samples.load(Ordering::SeqCst), 10);
     }
 
     #[test]

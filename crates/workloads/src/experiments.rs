@@ -9,7 +9,9 @@ use std::time::Duration;
 use dstat_sim::{Dstat, DstatSample};
 use iosan::{IoSanitizer, SanitizerReport};
 use parking_lot::Mutex;
-use tfdarshan::{DarshanTracerFactory, TfDarshanConfig, TfDarshanReport, TfDarshanWrapper};
+use tfdarshan::{
+    DarshanTracerFactory, SchedStatsReport, TfDarshanConfig, TfDarshanReport, TfDarshanWrapper,
+};
 use tfsim::{
     fit, Callback, Dataset, FitResult, ModelCheckpoint, ModelSpec, Parallelism, ProfilerOptions,
     TensorBoardCallback, TfRuntime, XSpace,
@@ -158,6 +160,9 @@ pub struct RunOutput {
     pub checkpoints: usize,
     /// Full iosan report, when the run was sanitized.
     pub sanitizer: Option<SanitizerReport>,
+    /// Scheduler statistics of the run's simulation: context switches,
+    /// event-task polls, task counts per flavor, run-calendar peaks.
+    pub scheduler: SchedStatsReport,
 }
 
 impl RunOutput {
@@ -449,6 +454,7 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
     }
 
     m.sim.run();
+    let scheduler = SchedStatsReport::from(m.sim.stats());
 
     let fit = out_fit.lock().clone();
     let wall = *out_wall.lock();
@@ -456,6 +462,9 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
     let bandwidth_points = out_points.lock().clone();
     let checkpoints = *out_ckpts.lock();
     let mut report = tfd.as_ref().and_then(|t| t.last_report());
+    if let Some(rep) = report.as_mut() {
+        rep.scheduler = Some(scheduler);
+    }
     let sanitizer = san.map(|handle| {
         // Symtab balance: detach tf-Darshan (runtime detach, Table I) and
         // audit that every GOT symbol reverted to its default binding.
@@ -493,6 +502,7 @@ pub fn run(w: Workload, cfg: RunConfig) -> RunOutput {
         staged: staging_plan,
         checkpoints,
         sanitizer,
+        scheduler,
     }
 }
 

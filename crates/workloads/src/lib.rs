@@ -18,6 +18,7 @@ pub mod lmdb;
 pub mod models;
 pub mod platform;
 pub mod prefetch_ablation;
+pub mod sched_scale;
 
 pub use dataset::{GeneratedDataset, Scale};
 pub use distributed_ablation::{DistMode, DistributedAblationConfig, DistributedRun};
@@ -25,3 +26,4 @@ pub use distributed_gate::{run_distributed_gate, DistributedGateOutcome};
 pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Workload};
 pub use platform::{greendog, kebnekaise, mounts, Machine};
 pub use prefetch_ablation::{AblationConfig, AblationRun, StagingMode};
+pub use sched_scale::{os_threads, run_sched_scale, SchedScaleOutcome};

@@ -1,0 +1,62 @@
+//! The scheduler scale smoke: 2 000 simulated threads on the event-driven
+//! DES core, run under the I/O sanitizer. Fails (exit 1) on any sanitizer
+//! finding or if the simulated fleet leaked into the OS-thread count. CI
+//! runs this binary in the `scale` job.
+//!
+//! ```text
+//! cargo run --release --example scale_smoke
+//! ```
+
+use tf_darshan::workloads::sched_scale::{run_sched_scale, CARRIER_POOL};
+
+const SIM_THREADS: usize = 2_000;
+const ROUNDS: usize = 3;
+
+fn main() {
+    println!("running {SIM_THREADS} simulated threads × {ROUNDS} barrier rounds under iosan ...");
+    let out = run_sched_scale(SIM_THREADS, ROUNDS, true);
+    let s = &out.stats;
+    println!(
+        "tasks: {} carrier + {} event (peak live {}) | switches {} | event polls {}",
+        s.carrier_spawns, s.event_spawns, s.peak_live_tasks, s.switches, s.event_polls
+    );
+    println!(
+        "run calendar: peak depth {} | compactions {} | virtual wall {:.3}s",
+        s.peak_heap_depth,
+        s.heap_compactions,
+        out.virtual_wall.as_secs_f64()
+    );
+    let mut failed = false;
+
+    let san = out.sanitizer.as_ref().expect("smoke runs sanitized");
+    if san.is_clean() {
+        println!("iosan: clean ({} events analyzed)", san.events_analyzed);
+    } else {
+        println!("iosan FINDINGS:\n{}", san.render_ascii());
+        failed = true;
+    }
+
+    if s.event_spawns as usize != SIM_THREADS {
+        println!(
+            "FAIL: expected {SIM_THREADS} event tasks, scheduler saw {}",
+            s.event_spawns
+        );
+        failed = true;
+    }
+    match out.peak_os_threads {
+        Some(peak) => {
+            println!("peak OS threads: {peak} (carrier pool: {CARRIER_POOL})");
+            // A generous constant: the pool, the host thread, and whatever
+            // the runtime itself needs — but nowhere near SIM_THREADS.
+            if peak > 64 {
+                println!("FAIL: OS-thread count scaled with the simulated fleet");
+                failed = true;
+            }
+        }
+        None => println!("peak OS threads: unavailable (no procfs)"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("scale smoke passed");
+}

@@ -92,6 +92,7 @@ fn single_process_report() -> TfDarshanReport {
             stdio,
             files: per_file(&d),
             sanitizer: None,
+            scheduler: None,
         });
     });
     sim.run();

@@ -15,8 +15,9 @@ pub struct Mutex<T: ?Sized> {
 
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
-    // `Option` so `Condvar::wait` can temporarily take the std guard out
-    // while blocking, matching parking_lot's `wait(&mut guard)` signature.
+    // `Option` so `Condvar::wait` and `unlocked` can temporarily take the
+    // std guard out while blocking, matching parking_lot's signatures.
+    lock: &'a sync::Mutex<T>,
     inner: Option<sync::MutexGuard<'a, T>>,
 }
 
@@ -44,14 +45,21 @@ impl<T: ?Sized> Mutex<T> {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            lock: &self.inner,
+            inner: Some(guard),
+        }
     }
 
     /// Attempt to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                lock: &self.inner,
+                inner: Some(g),
+            }),
             Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: &self.inner,
                 inner: Some(p.into_inner()),
             }),
             Err(TryLockError::WouldBlock) => None,
@@ -64,6 +72,20 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Temporarily release the lock while running `f`, re-acquiring before
+    /// returning (parking_lot's `MutexGuard::unlocked`).
+    pub fn unlocked<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        drop(self.inner.take());
+        let r = f();
+        self.inner = Some(match self.lock.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+        r
     }
 }
 
