@@ -73,6 +73,7 @@ pub mod job;
 pub mod report;
 pub mod staging;
 pub mod tracer;
+pub mod wire;
 pub mod wrapper;
 
 pub use advisor::{recommend, seed_plan, AdvisorContext, Recommendation, StorageClass};
@@ -81,11 +82,12 @@ pub use analysis::{
 };
 pub use autotune::{IoAutoTuner, TuneStep};
 pub use job::{reduce_job_sessions, JobCtx, JobReport, RankCtx, RankSession};
-pub use report::{overview, SchedStatsReport, TfDarshanReport};
+pub use report::{html_escape, overview, SchedStatsReport, TfDarshanReport};
 pub use staging::{
     advise_threshold, apply as apply_staging, plan_by_threshold, plan_within_budget, StagingPlan,
 };
 pub use tracer::{DarshanTracer, DarshanTracerFactory, ANALYSIS_PLANE, DXT_PLANE};
+pub use wire::{SessionDiffMsg, WIRE_VERSION};
 pub use wrapper::{TfDarshanConfig, TfDarshanWrapper};
 
 #[cfg(test)]

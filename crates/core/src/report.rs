@@ -213,17 +213,33 @@ fn render_hist(hist: &[u64; 10]) -> String {
     out
 }
 
+/// Escape a string for safe interpolation into HTML markup, in both text
+/// and attribute positions. File paths and job ids land in reports
+/// verbatim from the workload, which becomes a real injection surface the
+/// moment reports are *served* over HTTP instead of written to disk — so
+/// everything job-supplied goes through here.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#x27;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 impl TfDarshanReport {
     /// Render a self-contained HTML page with the same panels — the
     /// stand-in for the modified TensorBoard Profile plugin's web view
     /// (tables and textual histograms; no external assets).
     pub fn render_html(&self) -> String {
         let io = &self.io;
-        let esc = |s: &str| {
-            s.replace('&', "&amp;")
-                .replace('<', "&lt;")
-                .replace('>', "&gt;")
-        };
+        let esc = html_escape;
         let hist_pre =
             |hist: &[u64; 10]| -> String { esc(&super::report::render_hist_for_html(hist)) };
         let mut files_rows = String::new();
@@ -434,6 +450,25 @@ mod tests {
         let mut partial = sample();
         partial.io.partial = true;
         assert!(partial.render_html().contains("PARTIAL"));
+    }
+
+    #[test]
+    fn html_report_escapes_job_supplied_paths() {
+        let mut r = sample();
+        r.files = vec![FileActivity {
+            path: r#"/data/<script>alert("x")</script>&'"#.into(),
+            reads: 1,
+            bytes_read: 10,
+            apparent_size: 10,
+            read_time: 0.1,
+        }];
+        let html = r.render_html();
+        assert!(!html.contains("<script>alert"));
+        assert!(html.contains("&lt;script&gt;alert(&quot;x&quot;)&lt;/script&gt;&amp;&#x27;"));
+        assert_eq!(
+            html_escape(r#"<a href="x">&'b'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#x27;b&#x27;&lt;/a&gt;"
+        );
     }
 
     #[test]

@@ -1723,18 +1723,18 @@ mod tests {
             let m = m.clone();
             let mut left = 5;
             sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
-                while left > 0 {
-                    match m.poll_lock() {
-                        Some(mut g) => {
-                            *g += 1;
-                            left -= 1;
-                            drop(g);
-                            return EventPoll::Yield;
-                        }
-                        None => return EventPoll::Block { deadline: None },
-                    }
+                if left == 0 {
+                    return EventPoll::Done;
                 }
-                EventPoll::Done
+                match m.poll_lock() {
+                    Some(mut g) => {
+                        *g += 1;
+                        left -= 1;
+                        drop(g);
+                        EventPoll::Yield
+                    }
+                    None => EventPoll::Block { deadline: None },
+                }
             });
         }
         sim.run();

@@ -19,6 +19,7 @@ pub mod models;
 pub mod platform;
 pub mod prefetch_ablation;
 pub mod sched_scale;
+pub mod serve_gate;
 
 pub use dataset::{GeneratedDataset, Scale};
 pub use distributed_ablation::{DistMode, DistributedAblationConfig, DistributedRun};
@@ -27,3 +28,4 @@ pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Wo
 pub use platform::{greendog, kebnekaise, mounts, Machine};
 pub use prefetch_ablation::{AblationConfig, AblationRun, StagingMode};
 pub use sched_scale::{os_threads, run_sched_scale, SchedScaleOutcome};
+pub use serve_gate::{run_serve_gate, ServeGateOutcome};

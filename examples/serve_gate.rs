@@ -1,0 +1,38 @@
+//! The serve gate: six concurrent simulated training jobs stream session
+//! diffs to one live daemon — half in-process, half over the NDJSON TCP
+//! ingest socket — and the gate checks *exactness*: every job's
+//! `/metrics` rollup must equal the sum of the session reports the job
+//! itself published, u64-identically, while `/jobs`, `/jobs/<id>/report`
+//! and the escaped live HTML page all serve. Fails (exit 1) on any
+//! mismatch. CI runs this binary in the `serve` job.
+//!
+//! ```text
+//! cargo run --release --example serve_gate
+//! ```
+
+use tf_darshan::workloads::run_serve_gate;
+
+fn main() {
+    const JOBS: usize = 6;
+    const EPOCHS: usize = 3;
+    println!("running serve gate: {JOBS} concurrent jobs x {EPOCHS} sessions ...");
+    let out = run_serve_gate(JOBS, EPOCHS);
+
+    println!(
+        "  published {} session diffs across {} jobs (both transports)",
+        out.sessions_published, out.jobs
+    );
+    for line in out.metrics.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+
+    if out.passed() {
+        println!("serve gate PASSED: daemon rollups match every job's own reduction exactly");
+    } else {
+        println!("serve gate FAILED:");
+        for m in &out.mismatches {
+            println!("  MISMATCH: {m}");
+        }
+        std::process::exit(1);
+    }
+}

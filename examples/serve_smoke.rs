@@ -1,0 +1,102 @@
+//! Quickstart for the live observability daemon: start a daemon, run
+//! four concurrent simulated training jobs that stream their session
+//! diffs to it, then scrape it exactly the way an operator would —
+//! `/metrics` for Prometheus, `/jobs` for the tenant listing, and a live
+//! per-job HTML report page.
+//!
+//! While this binary sleeps between scrapes you can curl the printed
+//! endpoints yourself:
+//!
+//! ```text
+//! cargo run --release --example serve_smoke
+//! # in another shell, while it runs:
+//! curl http://<printed addr>/metrics
+//! curl http://<printed addr>/jobs
+//! curl http://<printed addr>/jobs/train-0/html
+//! ```
+
+use std::sync::Arc;
+
+use tf_darshan::posix::OpenFlags;
+use tf_darshan::serve::{
+    LocalPublisher, Publisher, ServeConfig, ServeDaemon, ServeSink, TcpPublisher,
+};
+use tf_darshan::tfdarshan::{JobCtx, TfDarshanConfig};
+use tf_darshan::workloads::greendog;
+
+fn main() {
+    let daemon = ServeDaemon::start(ServeConfig::default()).expect("daemon binds");
+    println!("serve daemon up:");
+    println!("  http   http://{}", daemon.http_addr());
+    println!("  ingest {} (NDJSON session diffs)", daemon.ingest_addr());
+
+    // Four jobs on four host threads; two publish in-process, two over TCP.
+    let handles: Vec<_> = (0..4usize)
+        .map(|j| {
+            let publisher: Arc<dyn Publisher> = if j % 2 == 0 {
+                Arc::new(LocalPublisher::new(daemon.service()))
+            } else {
+                Arc::new(TcpPublisher::new(daemon.ingest_addr()))
+            };
+            std::thread::spawn(move || run_job(j, publisher))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Give the TCP path a beat to drain, then scrape like an operator.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let (_, metrics) = daemon.get("/metrics").expect("scrape");
+    println!("\n$ curl /metrics (per-job families)");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("tfdarshan_job_bytes_read_total") && !l.starts_with('#'))
+    {
+        println!("  {line}");
+    }
+    let (_, jobs) = daemon.get("/jobs").expect("listing");
+    println!("\n$ curl /jobs\n{jobs}");
+    let (status, page) = daemon.get("/jobs/train-0/html").expect("html");
+    println!(
+        "\n$ curl /jobs/train-0/html  -> {status}, {} bytes of live report",
+        page.len()
+    );
+
+    daemon.shutdown();
+    println!("\ndaemon stopped.");
+}
+
+/// One simulated training job: three epochs over a small private dataset,
+/// publishing each profiling window as a session diff.
+fn run_job(j: usize, publisher: Arc<dyn Publisher>) {
+    let m = greendog();
+    let path = format!("/data/ssd/smoke/j{j}/data.bin");
+    m.stack
+        .create_synthetic(&path, 512 << 10, j as u64)
+        .unwrap();
+
+    let job = Arc::new(JobCtx::new(&m.stack, 1, &TfDarshanConfig::default()));
+    let sink = Arc::new(ServeSink::new(format!("train-{j}"), publisher));
+    let (j2, sink2) = (job.clone(), sink.clone());
+    m.sim.spawn("trainer", move || {
+        let process = j2.rank(0).process().clone();
+        for _ in 0..3 {
+            j2.mark_start().expect("attach");
+            let fd = process.open(&path, OpenFlags::rdonly()).unwrap();
+            let mut off = 0u64;
+            loop {
+                let n = process.pread(fd, off, 64 << 10, None).unwrap();
+                if n == 0 {
+                    break;
+                }
+                off += n;
+            }
+            process.close(fd).unwrap();
+            j2.mark_stop();
+            let session = j2.rank(0).session().expect("window closed");
+            sink2.publish_session(&session);
+        }
+    });
+    m.sim.run();
+}

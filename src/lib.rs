@@ -7,6 +7,7 @@ pub use mpi_sim as mpi;
 pub use posix_sim as posix;
 pub use prefetch;
 pub use probe;
+pub use serve;
 pub use simrt;
 pub use storage_sim as storage;
 pub use tfdarshan;
