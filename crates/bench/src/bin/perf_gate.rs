@@ -1,0 +1,122 @@
+//! CI perf-regression gate for the probe backplane.
+//!
+//! Compares the most recent `results/ablation_probe_overhead.json` (written
+//! by `cargo bench -p bench --bench ablation_probe_overhead [-- --smoke]`)
+//! against the committed `results/perf_baseline.json`. Any gated metric more
+//! than `PERF_GATE_TOLERANCE` (default 25%) above its baseline fails the
+//! build; the absolute emission-overhead budget (< 100 ns) is enforced
+//! unconditionally.
+//!
+//! Usage: `cargo run -p bench --bin perf_gate [measured.json] [baseline.json]`
+//!
+//! To re-baseline after an intentional change, run the full (non-smoke)
+//! bench on a quiet machine and copy the refreshed metrics into
+//! `results/perf_baseline.json` (see PERF_BASELINE.md).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Metrics compared ratio-wise against the baseline. Host-time figures vary
+/// across machines, so the baseline should be refreshed on the reference
+/// runner (PERF_BASELINE.md records which one).
+const GATED: &[&str] = &["ns_per_op_0_sinks", "ns_per_op_1_sink", "ns_per_op_4_sinks"];
+
+/// Hard ceiling on the per-event emission overhead, in host nanoseconds.
+const EMISSION_BUDGET_NS: f64 = 100.0;
+
+fn results_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p.push(name);
+    p
+}
+
+fn load(path: &PathBuf) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad JSON in {}: {e}", path.display()))
+}
+
+fn metric(v: &serde_json::Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| format!("missing numeric metric '{key}'"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let measured_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_path("ablation_probe_overhead.json"));
+    let baseline_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_path("perf_baseline.json"));
+    let tolerance = std::env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+
+    let (measured, baseline) = match (load(&measured_path), load(&baseline_path)) {
+        (Ok(m), Ok(b)) => (m, b),
+        (m, b) => {
+            for err in [m.err(), b.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "perf gate: {} vs baseline {} (tolerance +{:.0}%)",
+        measured_path.display(),
+        baseline_path.display(),
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for key in GATED {
+        let (got, base) = match (metric(&measured, key), metric(&baseline, key)) {
+            (Ok(g), Ok(b)) => (g, b),
+            (g, b) => {
+                for err in [g.err(), b.err()].into_iter().flatten() {
+                    eprintln!("perf_gate: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let limit = base * (1.0 + tolerance);
+        let ok = got <= limit;
+        println!(
+            "  {key:<24} {got:>8.1} ns/op   baseline {base:>8.1}   limit {limit:>8.1}   [{}]",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    match metric(&measured, "emission_overhead_ns") {
+        Ok(spine) => {
+            let ok = spine < EMISSION_BUDGET_NS;
+            println!(
+                "  {:<24} {spine:>8.1} ns/op   budget   {EMISSION_BUDGET_NS:>8.1}              [{}]",
+                "emission_overhead_ns",
+                if ok { "ok" } else { "OVER BUDGET" }
+            );
+            failed |= !ok;
+        }
+        Err(err) => {
+            eprintln!("perf_gate: {err}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("perf_gate: FAIL — see PERF_BASELINE.md for the re-baselining policy");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: PASS");
+        ExitCode::SUCCESS
+    }
+}

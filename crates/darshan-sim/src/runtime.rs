@@ -570,6 +570,27 @@ impl DarshanRuntime {
         *r.fget_mut(PF::POSIX_F_META_TIME) += self.rel(t1) - self.rel(t0);
     }
 
+    /// Instrument a re-`open` of a path whose record id is already known
+    /// (an interned-id memo hit in the event fold): the same counter and
+    /// timestamp mutation as [`DarshanRuntime::posix_open`], with no path
+    /// hashing or name registration. No-op if the record has vanished
+    /// (it cannot: records are never evicted).
+    pub fn posix_reopen(&self, rec_id: u64, t0: SimTime, t1: SimTime) {
+        self.agg_opens.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.current_epoch();
+        let mut m = self.posix.lock();
+        let Some(r) = m.touch(rec_id, epoch) else {
+            return;
+        };
+        *r.get_mut(P::POSIX_OPENS) += 1;
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(PF::POSIX_F_OPEN_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(PF::POSIX_F_OPEN_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(PF::POSIX_F_OPEN_END_TIMESTAMP) = e;
+        *r.fget_mut(PF::POSIX_F_META_TIME) += e - s;
+    }
+
     /// Register a record for a file whose `open` predates attachment
     /// (OPENS stays 0; only subsequently observed operations count).
     pub fn posix_register_existing(&self, path: &str) -> Option<u64> {
@@ -589,15 +610,16 @@ impl DarshanRuntime {
     }
 
     /// Instrument a `stat` by path (creates the record if needed, like
-    /// Darshan's stat wrapper).
-    pub fn posix_stat_path(&self, path: &str, t0: SimTime, t1: SimTime) {
+    /// Darshan's stat wrapper). Returns the record id so event folds can
+    /// memoize it; `None` when the module is out of record memory.
+    pub fn posix_stat_path(&self, path: &str, t0: SimTime, t1: SimTime) -> Option<u64> {
         let epoch = self.current_epoch();
         let mut m = self.posix.lock();
         let id = record_id(path);
         if !m.records.contains_key(&id) {
             if m.records.len() >= self.config.max_records_per_module {
                 m.partial = true;
-                return;
+                return None;
             }
             self.register_name(path);
             m.records.insert(id, PosixRecord::new(id));
@@ -605,6 +627,7 @@ impl DarshanRuntime {
         let r = m.touch(id, epoch).expect("record just ensured");
         *r.get_mut(P::POSIX_STATS) += 1;
         *r.fget_mut(PF::POSIX_F_META_TIME) += self.rel(t1) - self.rel(t0);
+        Some(id)
     }
 
     /// Instrument a `close`.
@@ -647,6 +670,23 @@ impl DarshanRuntime {
         *r.fget_mut(SF::STDIO_F_OPEN_END_TIMESTAMP) = e;
         *r.fget_mut(SF::STDIO_F_META_TIME) += e - s;
         Some(id)
+    }
+
+    /// Instrument a re-`fopen` of a stream whose record id is already
+    /// known (interned-id memo hit); see [`DarshanRuntime::posix_reopen`].
+    pub fn stdio_reopen(&self, rec_id: u64, t0: SimTime, t1: SimTime) {
+        let epoch = self.current_epoch();
+        let mut m = self.stdio.lock();
+        let Some(r) = m.touch(rec_id, epoch) else {
+            return;
+        };
+        *r.get_mut(S::STDIO_OPENS) += 1;
+        let (s, e) = (self.rel(t0), self.rel(t1));
+        if r.fget(SF::STDIO_F_OPEN_START_TIMESTAMP) == 0.0 {
+            *r.fget_mut(SF::STDIO_F_OPEN_START_TIMESTAMP) = s;
+        }
+        *r.fget_mut(SF::STDIO_F_OPEN_END_TIMESTAMP) = e;
+        *r.fget_mut(SF::STDIO_F_META_TIME) += e - s;
     }
 
     /// Instrument `fread`.

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use probe::{EventKind, IoEvent, Origin, ProbeSink};
+use probe::{EventKind, IoEvent, Origin, PathId, ProbeSink};
 
 use crate::counters::{PosixCounter as P, StdioCounter as S};
 use crate::runtime::DarshanRuntime;
@@ -45,6 +45,14 @@ pub struct DarshanSink {
     maps: Mutex<HashMap<u64, u64>>,
     /// stream → record id.
     streams: Mutex<HashMap<u64, u64>>,
+    /// interned path → POSIX record id. Filled the first time a path is
+    /// seen; module records are never evicted, so a hit means the record
+    /// exists and the fold can skip resolving the string and re-hashing
+    /// it into a record id.
+    posix_recs: Mutex<HashMap<PathId, u64>>,
+    /// interned path → STDIO record id (separate module, separate map:
+    /// a path opened via POSIX may have no STDIO record yet).
+    stdio_recs: Mutex<HashMap<PathId, u64>>,
 }
 
 impl DarshanSink {
@@ -55,17 +63,27 @@ impl DarshanSink {
             fds: Mutex::new(HashMap::new()),
             maps: Mutex::new(HashMap::new()),
             streams: Mutex::new(HashMap::new()),
+            posix_recs: Mutex::new(HashMap::new()),
+            stdio_recs: Mutex::new(HashMap::new()),
         })
     }
 
     /// Resolve the record id of `fd`, registering lazily for descriptors
     /// opened before attachment (their `open` predates the sink, so the
     /// path travels on the event instead — à la `/proc/self/fd`).
-    fn rec_of(&self, fd: i32, path: &str) -> Option<u64> {
+    fn rec_of(&self, fd: i32, path: PathId) -> Option<u64> {
         if let Some(id) = self.fds.lock().get(&fd) {
             return Some(*id);
         }
-        let id = self.rt.posix_register_existing(path)?;
+        let memo = self.posix_recs.lock().get(&path).copied();
+        let id = match memo {
+            Some(id) => id,
+            None => {
+                let id = self.rt.posix_register_existing(&path.resolve())?;
+                self.posix_recs.lock().insert(path, id);
+                id
+            }
+        };
         self.fds.lock().insert(fd, id);
         Some(id)
     }
@@ -81,7 +99,21 @@ impl DarshanSink {
         let (t0, t1) = (ev.t0, ev.t1);
         match ev.kind {
             EventKind::Open { fd } => {
-                if let Some(id) = rt.posix_open(&ev.target, t0, t1) {
+                let memo = self.posix_recs.lock().get(&ev.target).copied();
+                let id = match memo {
+                    Some(id) => {
+                        rt.posix_reopen(id, t0, t1);
+                        Some(id)
+                    }
+                    None => {
+                        let id = rt.posix_open(&ev.target.resolve(), t0, t1);
+                        if let Some(id) = id {
+                            self.posix_recs.lock().insert(ev.target, id);
+                        }
+                        id
+                    }
+                };
+                if let Some(id) = id {
                     self.fds.lock().insert(fd, id);
                 }
             }
@@ -93,33 +125,43 @@ impl DarshanSink {
                 }
             }
             EventKind::Read { fd, offset, len } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_read(id, offset, len, t0, t1);
                 }
             }
             EventKind::Write { fd, offset, len } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_write(id, offset, len, t0, t1);
                 }
             }
             EventKind::Seek { fd, .. } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_meta(id, P::POSIX_SEEKS, t0, t1);
                 }
             }
-            EventKind::Stat => rt.posix_stat_path(&ev.target, t0, t1),
+            EventKind::Stat => {
+                let memo = self.posix_recs.lock().get(&ev.target).copied();
+                match memo {
+                    Some(id) => rt.posix_meta(id, P::POSIX_STATS, t0, t1),
+                    None => {
+                        if let Some(id) = rt.posix_stat_path(&ev.target.resolve(), t0, t1) {
+                            self.posix_recs.lock().insert(ev.target, id);
+                        }
+                    }
+                }
+            }
             EventKind::Fstat { fd } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_meta(id, P::POSIX_STATS, t0, t1);
                 }
             }
             EventKind::Fsync { fd } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_meta(id, P::POSIX_FSYNCS, t0, t1);
                 }
             }
             EventKind::Mmap { map, fd, .. } => {
-                if let Some(id) = self.rec_of(fd, &ev.target) {
+                if let Some(id) = self.rec_of(fd, ev.target) {
                     rt.posix_meta(id, P::POSIX_MMAPS, t0, t1);
                     self.maps.lock().insert(map, id);
                 }
@@ -135,7 +177,21 @@ impl DarshanSink {
             }
             EventKind::MmapFault { .. } => {} // not a syscall: blind spot
             EventKind::StdioOpen { stream } => {
-                if let Some(id) = rt.stdio_open(&ev.target, t0, t1) {
+                let memo = self.stdio_recs.lock().get(&ev.target).copied();
+                let id = match memo {
+                    Some(id) => {
+                        rt.stdio_reopen(id, t0, t1);
+                        Some(id)
+                    }
+                    None => {
+                        let id = rt.stdio_open(&ev.target.resolve(), t0, t1);
+                        if let Some(id) = id {
+                            self.stdio_recs.lock().insert(ev.target, id);
+                        }
+                        id
+                    }
+                };
+                if let Some(id) = id {
                     self.streams.lock().insert(stream, id);
                 }
             }

@@ -73,12 +73,14 @@ impl LibcIo for DarshanIo {
         r
     }
 
+    #[inline]
     fn read(&self, p: &Process, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64> {
         let r = self.orig.read(p, fd, len, buf);
         self.rt.charge_op();
         r
     }
 
+    #[inline]
     fn pread(
         &self,
         p: &Process,
@@ -92,18 +94,21 @@ impl LibcIo for DarshanIo {
         r
     }
 
+    #[inline]
     fn write(&self, p: &Process, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64> {
         let r = self.orig.write(p, fd, data);
         self.rt.charge_op();
         r
     }
 
+    #[inline]
     fn pwrite(&self, p: &Process, fd: Fd, offset: u64, data: WritePayload<'_>) -> PosixResult<u64> {
         let r = self.orig.pwrite(p, fd, offset, data);
         self.rt.charge_op();
         r
     }
 
+    #[inline]
     fn lseek(&self, p: &Process, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
         let r = self.orig.lseek(p, fd, offset, whence);
         self.rt.charge_op();
@@ -196,6 +201,7 @@ impl LibcStdio for DarshanStdio {
         r
     }
 
+    #[inline]
     fn fread(
         &self,
         p: &Process,
@@ -208,6 +214,7 @@ impl LibcStdio for DarshanStdio {
         r
     }
 
+    #[inline]
     fn fwrite(&self, p: &Process, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64> {
         let r = self.orig.fwrite(p, s, data);
         self.rt.charge_op();

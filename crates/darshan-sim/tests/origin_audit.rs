@@ -18,7 +18,7 @@ fn ev(origin: Origin, target: &str, kind: EventKind) -> IoEvent {
         t0: SimTime::ZERO,
         t1: SimTime::ZERO,
         origin,
-        target: Arc::from(target),
+        target: probe::intern(target),
         kind,
     }
 }

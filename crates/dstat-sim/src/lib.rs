@@ -375,7 +375,7 @@ mod tests {
                     t0: t,
                     t1: t,
                     origin: probe::Origin::App,
-                    target: Arc::from("/mnt/cached"),
+                    target: probe::intern("/mnt/cached"),
                     kind: EventKind::Read {
                         fd: 3,
                         offset: 0,
@@ -411,7 +411,7 @@ mod tests {
                 t0: t,
                 t1: t,
                 origin: probe::Origin::App,
-                target: Arc::from("/mnt/shard"),
+                target: probe::intern("/mnt/shard"),
                 kind: EventKind::Read {
                     fd: 3,
                     offset: 0,

@@ -43,7 +43,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use probe::{EventKind, IoEvent, Origin, ProbeBus, ProbeSink, SinkId, SyncBridge};
+use probe::{EventKind, IoEvent, Origin, PathId, ProbeBus, ProbeSink, SinkId, SyncBridge};
 use simrt::{Sim, SyncOp};
 
 /// One byte-range access retained for race checking. Stores the FastTrack
@@ -88,7 +88,7 @@ struct FileHistory {
 }
 
 struct FdState {
-    path: Arc<str>,
+    path: PathId,
     opened_by: u64,
     open_event: u64,
     closed: Option<u64>,
@@ -110,15 +110,16 @@ struct Inner {
     finish_clocks: HashMap<u64, VectorClock>,
     /// Lock-order graph: (held, then-acquired) → first witness event id.
     lock_edges: BTreeMap<(u64, u64), u64>,
-    /// Labels of sync objects, from event targets.
-    obj_labels: HashMap<u64, Arc<str>>,
-    files: HashMap<Arc<str>, FileHistory>,
+    /// Labels of sync objects, from event targets (interned ids; resolved
+    /// only when a finding is rendered).
+    obj_labels: HashMap<u64, PathId>,
+    files: HashMap<PathId, FileHistory>,
     /// Descriptor state keyed by `(pid, fd)`: on a shared job spine every
     /// rank has its own fd namespace, so fd numbers collide across
     /// processes.
     fds: HashMap<(u32, i32), FdState>,
     /// Race dedup: one finding per (file, task pair).
-    reported_races: HashSet<(Arc<str>, u64, u64)>,
+    reported_races: HashSet<(PathId, u64, u64)>,
     findings: Vec<Finding>,
     app_bytes: u64,
     prefetch_bytes: u64,
@@ -148,12 +149,12 @@ impl Inner {
         let task = ev.task.0;
         self.tasks_seen.insert(task);
         match &ev.kind {
-            EventKind::Sync { op, obj } => self.fold_sync(task, *op, *obj, &ev.target, eid),
+            EventKind::Sync { op, obj } => self.fold_sync(task, *op, *obj, ev.target, eid),
             EventKind::Open { fd } => {
                 self.fds.insert(
                     (ev.pid, *fd),
                     FdState {
-                        path: Arc::clone(&ev.target),
+                        path: ev.target,
                         opened_by: task,
                         open_event: eid,
                         closed: None,
@@ -232,10 +233,10 @@ impl Inner {
         }
     }
 
-    fn fold_sync(&mut self, task: u64, op: SyncOp, obj: u64, label: &Arc<str>, eid: u64) {
+    fn fold_sync(&mut self, task: u64, op: SyncOp, obj: u64, label: PathId, eid: u64) {
         match op {
             SyncOp::Acquire => {
-                self.obj_labels.insert(obj, Arc::clone(label));
+                self.obj_labels.insert(obj, label);
                 self.locks_seen.insert(obj);
                 if let Some(rel) = self.rel_clocks.get(&obj).cloned() {
                     self.clock(task).join(&rel);
@@ -262,7 +263,7 @@ impl Inner {
                 self.clock(task).tick(task);
             }
             SyncOp::Signal => {
-                self.obj_labels.insert(obj, Arc::clone(label));
+                self.obj_labels.insert(obj, label);
                 let snap = self.clock(task).clone();
                 self.sig_clocks.entry(obj).or_default().join(&snap);
                 self.clock(task).tick(task);
@@ -340,10 +341,10 @@ impl Inner {
             locks: self.lockset(task),
         };
         let clock_now = self.clock(task).clone();
-        let path = Arc::clone(&ev.target);
+        let path = ev.target;
         // Writes race with everything; reads race only with writes, so a
         // read is never compared against the (much larger) read history.
-        let hist = self.files.entry(Arc::clone(&path)).or_default();
+        let hist = self.files.entry(path).or_default();
         let mut race_with: Vec<Access> = Vec::new();
         {
             let candidates = if write {
@@ -376,11 +377,7 @@ impl Inner {
             hist.reads.push(access.clone());
         }
         for prior in race_with {
-            let key = (
-                Arc::clone(&path),
-                prior.task.min(task),
-                prior.task.max(task),
-            );
+            let key = (path, prior.task.min(task), prior.task.max(task));
             if !self.reported_races.insert(key) {
                 continue;
             }
@@ -481,13 +478,11 @@ impl Inner {
     fn finalize(&mut self) -> SanitizerReport {
         // FD leaks: opener finished with the fd open, and nobody ever
         // closed it before the run ended.
-        let leaks: Vec<(i32, Arc<str>, u64, u64, u64)> = self
+        let leaks: Vec<(i32, PathId, u64, u64, u64)> = self
             .fds
             .iter()
             .filter_map(|((_pid, fd), st)| match (st.closed, st.opener_finish) {
-                (None, Some(fin)) => {
-                    Some((*fd, Arc::clone(&st.path), st.opened_by, st.open_event, fin))
-                }
+                (None, Some(fin)) => Some((*fd, st.path, st.opened_by, st.open_event, fin)),
                 _ => None,
             })
             .collect();
@@ -657,7 +652,7 @@ mod tests {
             t0: SimTime::ZERO,
             t1: SimTime::ZERO + Duration::from_nanos(10),
             origin: Origin::App,
-            target: Arc::from("/f"),
+            target: probe::intern("/f"),
             kind,
         }
     }

@@ -10,7 +10,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
-use probe::{EventKind, Origin};
+use probe::{EventKind, Origin, PathId};
 use simrt::sleep;
 use storage_sim::{FsError, Metadata, WritePayload};
 
@@ -107,15 +107,19 @@ impl LibcIo for DefaultLibc {
             0
         };
         let path: Arc<str> = Arc::from(path);
+        // Intern once at open; every subsequent operation on this fd emits
+        // the copyable id instead of cloning the Arc.
+        let path_id = probe::intern_arc(&path);
         let fd = p.alloc_fd(FdEntry {
-            path: path.clone(),
+            path,
+            path_id,
             fs,
             handle: h,
             flags,
             pos: parking_lot::Mutex::new(pos),
         });
         if let Some(t0) = t0 {
-            p.probe_emit(t0, path, EventKind::Open { fd });
+            p.probe_emit(t0, path_id, EventKind::Open { fd });
         }
         Ok(fd)
     }
@@ -126,7 +130,7 @@ impl LibcIo for DefaultLibc {
         let e = p.remove_fd(fd)?;
         e.fs.close(e.handle).map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Close { fd });
+            p.probe_emit(t0, e.path_id, EventKind::Close { fd });
         }
         Ok(())
     }
@@ -146,7 +150,7 @@ impl LibcIo for DefaultLibc {
         *pos += n;
         drop(pos);
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Read { fd, offset, len: n });
+            p.probe_emit(t0, e.path_id, EventKind::Read { fd, offset, len: n });
         }
         Ok(n)
     }
@@ -169,7 +173,7 @@ impl LibcIo for DefaultLibc {
             e.fs.read_at(e.handle, offset, len, buf)
                 .map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Read { fd, offset, len: n });
+            p.probe_emit(t0, e.path_id, EventKind::Read { fd, offset, len: n });
         }
         Ok(n)
     }
@@ -190,7 +194,7 @@ impl LibcIo for DefaultLibc {
         *pos += n;
         drop(pos);
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Write { fd, offset, len: n });
+            p.probe_emit(t0, e.path_id, EventKind::Write { fd, offset, len: n });
         }
         Ok(n)
     }
@@ -204,7 +208,7 @@ impl LibcIo for DefaultLibc {
         }
         let n = e.fs.write_at(e.handle, offset, data).map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Write { fd, offset, len: n });
+            p.probe_emit(t0, e.path_id, EventKind::Write { fd, offset, len: n });
         }
         Ok(n)
     }
@@ -228,7 +232,7 @@ impl LibcIo for DefaultLibc {
         let to = *pos;
         drop(pos);
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Seek { fd, to });
+            p.probe_emit(t0, e.path_id, EventKind::Seek { fd, to });
         }
         Ok(to)
     }
@@ -241,7 +245,7 @@ impl LibcIo for DefaultLibc {
         let fs = p.stack().resolve(target).map_err(Errno::from)?;
         let md = fs.stat(target).map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, Arc::from(path), EventKind::Stat);
+            p.probe_emit(t0, probe::intern(path), EventKind::Stat);
         }
         Ok(md)
     }
@@ -252,7 +256,7 @@ impl LibcIo for DefaultLibc {
         let e = p.fd_entry(fd)?;
         let md = e.fs.fstat(e.handle).map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Fstat { fd });
+            p.probe_emit(t0, e.path_id, EventKind::Fstat { fd });
         }
         Ok(md)
     }
@@ -263,7 +267,7 @@ impl LibcIo for DefaultLibc {
         let e = p.fd_entry(fd)?;
         e.fs.fsync(e.handle).map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, e.path.clone(), EventKind::Fsync { fd });
+            p.probe_emit(t0, e.path_id, EventKind::Fsync { fd });
         }
         Ok(())
     }
@@ -293,7 +297,7 @@ impl LibcIo for DefaultLibc {
             return Err(Errno::EINVAL);
         }
         let e = p.fd_entry(fd)?;
-        let path = e.path.clone();
+        let path_id = e.path_id;
         let map = p.alloc_map(MapEntry {
             fd_entry: e,
             offset,
@@ -302,7 +306,7 @@ impl LibcIo for DefaultLibc {
         if let Some(t0) = t0 {
             p.probe_emit(
                 t0,
-                path,
+                path_id,
                 EventKind::Mmap {
                     map,
                     fd,
@@ -324,7 +328,7 @@ impl LibcIo for DefaultLibc {
             .fsync(m.fd_entry.handle)
             .map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, m.fd_entry.path.clone(), EventKind::Munmap { map });
+            p.probe_emit(t0, m.fd_entry.path_id, EventKind::Munmap { map });
         }
         Ok(())
     }
@@ -338,7 +342,7 @@ impl LibcIo for DefaultLibc {
             .fsync(m.fd_entry.handle)
             .map_err(Errno::from)?;
         if let Some(t0) = t0 {
-            p.probe_emit(t0, m.fd_entry.path.clone(), EventKind::Msync { map });
+            p.probe_emit(t0, m.fd_entry.path_id, EventKind::Msync { map });
         }
         Ok(())
     }
@@ -422,11 +426,9 @@ impl DefaultStdio {
         Ok(())
     }
 
-    /// Path of the descriptor backing a stream (for probe events).
-    fn stream_path(&self, p: &Process, fd: Fd) -> Arc<str> {
-        p.fd_entry(fd)
-            .map(|e| e.path.clone())
-            .unwrap_or_else(|_| Arc::from(""))
+    /// Interned path of the descriptor backing a stream (for probe events).
+    fn stream_path(&self, p: &Process, fd: Fd) -> PathId {
+        p.fd_entry(fd).map(|e| e.path_id).unwrap_or(PathId::EMPTY)
     }
 }
 
@@ -462,7 +464,7 @@ impl LibcStdio for DefaultStdio {
         stream.pos = append_pos;
         let s = p.alloc_stream(stream);
         if let Some(t0) = t0 {
-            p.probe_emit(t0, Arc::from(path), EventKind::StdioOpen { stream: s });
+            p.probe_emit(t0, probe::intern(path), EventKind::StdioOpen { stream: s });
         }
         Ok(s)
     }

@@ -13,13 +13,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use probe::{EventKind, IoEvent, ProbeBus};
+use probe::{EventKind, IoEvent, PathId, ProbeBus};
 use simrt::SimTime;
 use storage_sim::{FileSystem, FsHandle, Metadata, OpenOptions, StorageStack, WritePayload};
 
 use crate::errno::{Errno, PosixResult};
 use crate::libc::{DefaultLibc, DefaultStdio, FileStream};
-use crate::symtab::Got;
+use crate::symtab::{Got, PosixSym, StdioSym};
 
 /// A POSIX file descriptor.
 pub type Fd = i32;
@@ -42,6 +42,9 @@ pub struct MapEntry {
 
 /// Page size used for fault-granular mapped access.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Lowest descriptor handed out by the fd table (0-2 model std streams).
+pub const FIRST_FD: Fd = 3;
 
 /// `lseek`/`fseek` origin.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,9 +106,12 @@ impl OpenFlags {
 
 /// An entry in the fd table.
 pub struct FdEntry {
-    /// Path the descriptor was opened with (shared so probe events can
-    /// reference it without copying the string per operation).
+    /// Path the descriptor was opened with (shared for string consumers;
+    /// probe events carry [`FdEntry::path_id`] instead).
     pub path: Arc<str>,
+    /// Interned id of `path`, cached at open so the per-operation emission
+    /// path never touches the interner or an `Arc` refcount.
+    pub path_id: PathId,
     /// Filesystem serving it.
     pub fs: Arc<dyn FileSystem>,
     /// Filesystem handle.
@@ -124,7 +130,10 @@ pub struct Process {
     /// shared job spine need the pid to key per-descriptor state.
     pid: u32,
     got: Got,
-    fds: Mutex<HashMap<Fd, Arc<FdEntry>>>,
+    /// Fd table, indexed by `fd - FIRST_FD`. Descriptors are allocated
+    /// sequentially and never reused (matching the monotone `next_fd` the
+    /// HashMap version had), so resolution is a shared-lock slot load.
+    fds: RwLock<Vec<Option<Arc<FdEntry>>>>,
     next_fd: AtomicI32,
     pub(crate) streams: Mutex<HashMap<StreamId, Arc<Mutex<FileStream>>>>,
     next_stream: AtomicU64,
@@ -155,8 +164,8 @@ impl Process {
             stack,
             pid: NEXT_PID.fetch_add(1, Ordering::Relaxed),
             got: Got::new(libc, stdio),
-            fds: Mutex::new(HashMap::new()),
-            next_fd: AtomicI32::new(3), // 0-2 reserved for std streams
+            fds: RwLock::new(Vec::new()),
+            next_fd: AtomicI32::new(FIRST_FD), // 0-2 reserved for std streams
             streams: Mutex::new(HashMap::new()),
             next_stream: AtomicU64::new(1),
             maps: Mutex::new(HashMap::new()),
@@ -224,8 +233,11 @@ impl Process {
     }
 
     /// Emit one event for an operation that started at `t0`. Must only be
-    /// called with a `t0` obtained from [`Process::probe_t0`].
-    pub(crate) fn probe_emit(&self, t0: SimTime, target: Arc<str>, kind: EventKind) {
+    /// called with a `t0` obtained from [`Process::probe_t0`]. The target
+    /// is an interned id (cached in the [`FdEntry`] at open time), so
+    /// building the event allocates nothing and touches no refcounts.
+    #[inline]
+    pub(crate) fn probe_emit(&self, t0: SimTime, target: PathId, kind: EventKind) {
         let t1 = match simrt::try_now() {
             Some(t) => t,
             None => return,
@@ -267,23 +279,43 @@ impl Process {
     /// Install an fd entry, returning the new descriptor.
     pub fn alloc_fd(&self, entry: FdEntry) -> Fd {
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.fds.lock().insert(fd, Arc::new(entry));
+        let idx = (fd - FIRST_FD) as usize;
+        let mut fds = self.fds.write();
+        if fds.len() <= idx {
+            fds.resize_with(idx + 1, || None);
+        }
+        fds[idx] = Some(Arc::new(entry));
         fd
     }
 
-    /// Resolve an fd.
+    /// Resolve an fd: a shared-lock indexed load, no hashing.
+    #[inline]
     pub fn fd_entry(&self, fd: Fd) -> PosixResult<Arc<FdEntry>> {
-        self.fds.lock().get(&fd).cloned().ok_or(Errno::EBADF)
+        if fd < FIRST_FD {
+            return Err(Errno::EBADF);
+        }
+        self.fds
+            .read()
+            .get((fd - FIRST_FD) as usize)
+            .and_then(|slot| slot.clone())
+            .ok_or(Errno::EBADF)
     }
 
     /// Remove an fd.
     pub fn remove_fd(&self, fd: Fd) -> PosixResult<Arc<FdEntry>> {
-        self.fds.lock().remove(&fd).ok_or(Errno::EBADF)
+        if fd < FIRST_FD {
+            return Err(Errno::EBADF);
+        }
+        self.fds
+            .write()
+            .get_mut((fd - FIRST_FD) as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(Errno::EBADF)
     }
 
     /// Number of open descriptors.
     pub fn open_fds(&self) -> usize {
-        self.fds.lock().len()
+        self.fds.read().iter().filter(|s| s.is_some()).count()
     }
 
     pub(crate) fn alloc_stream(&self, stream: FileStream) -> StreamId {
@@ -344,20 +376,22 @@ impl Process {
 
     /// `open(2)`.
     pub fn open(self: &Arc<Self>, path: &str, flags: OpenFlags) -> PosixResult<Fd> {
-        self.got.posix_sym("open").open(self, path, flags)
+        self.got.posix(PosixSym::Open).open(self, path, flags)
     }
 
     /// `close(2)`.
     pub fn close(self: &Arc<Self>, fd: Fd) -> PosixResult<()> {
-        self.got.posix_sym("close").close(self, fd)
+        self.got.posix(PosixSym::Close).close(self, fd)
     }
 
     /// `read(2)` at the current file position.
+    #[inline]
     pub fn read(self: &Arc<Self>, fd: Fd, len: u64, buf: Option<&mut [u8]>) -> PosixResult<u64> {
-        self.got.posix_sym("read").read(self, fd, len, buf)
+        self.got.posix_ref(PosixSym::Read).read(self, fd, len, buf)
     }
 
     /// `pread(2)`.
+    #[inline]
     pub fn pread(
         self: &Arc<Self>,
         fd: Fd,
@@ -366,68 +400,75 @@ impl Process {
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
         self.got
-            .posix_sym("pread")
+            .posix_ref(PosixSym::Pread)
             .pread(self, fd, offset, len, buf)
     }
 
     /// `write(2)` at the current file position.
+    #[inline]
     pub fn write(self: &Arc<Self>, fd: Fd, data: WritePayload<'_>) -> PosixResult<u64> {
-        self.got.posix_sym("write").write(self, fd, data)
+        self.got.posix_ref(PosixSym::Write).write(self, fd, data)
     }
 
     /// `pwrite(2)`.
+    #[inline]
     pub fn pwrite(
         self: &Arc<Self>,
         fd: Fd,
         offset: u64,
         data: WritePayload<'_>,
     ) -> PosixResult<u64> {
-        self.got.posix_sym("pwrite").pwrite(self, fd, offset, data)
+        self.got
+            .posix_ref(PosixSym::Pwrite)
+            .pwrite(self, fd, offset, data)
     }
 
     /// `lseek(2)`; returns the resulting offset.
+    #[inline]
     pub fn lseek(self: &Arc<Self>, fd: Fd, offset: i64, whence: Whence) -> PosixResult<u64> {
-        self.got.posix_sym("lseek").lseek(self, fd, offset, whence)
+        self.got
+            .posix_ref(PosixSym::Lseek)
+            .lseek(self, fd, offset, whence)
     }
 
     /// `stat(2)`.
     pub fn stat(self: &Arc<Self>, path: &str) -> PosixResult<Metadata> {
-        self.got.posix_sym("stat").stat(self, path)
+        self.got.posix(PosixSym::Stat).stat(self, path)
     }
 
     /// `fstat(2)`.
     pub fn fstat(self: &Arc<Self>, fd: Fd) -> PosixResult<Metadata> {
-        self.got.posix_sym("fstat").fstat(self, fd)
+        self.got.posix_ref(PosixSym::Fstat).fstat(self, fd)
     }
 
     /// `fsync(2)`.
     pub fn fsync(self: &Arc<Self>, fd: Fd) -> PosixResult<()> {
-        self.got.posix_sym("fsync").fsync(self, fd)
+        self.got.posix_ref(PosixSym::Fsync).fsync(self, fd)
     }
 
     /// `unlink(2)`.
     pub fn unlink(self: &Arc<Self>, path: &str) -> PosixResult<()> {
-        self.got.posix_sym("unlink").unlink(self, path)
+        self.got.posix(PosixSym::Unlink).unlink(self, path)
     }
 
     /// `rename(2)`.
     pub fn rename(self: &Arc<Self>, from: &str, to: &str) -> PosixResult<()> {
-        self.got.posix_sym("rename").rename(self, from, to)
+        self.got.posix(PosixSym::Rename).rename(self, from, to)
     }
 
     /// `mmap(2)` (GOT-dispatched: instrumentation sees the call).
     pub fn mmap(self: &Arc<Self>, fd: Fd, offset: u64, len: u64) -> PosixResult<MapId> {
-        self.got.posix_sym("mmap").mmap(self, fd, offset, len)
+        self.got.posix(PosixSym::Mmap).mmap(self, fd, offset, len)
     }
 
     /// `munmap(2)` (GOT-dispatched).
     pub fn munmap(self: &Arc<Self>, map: MapId) -> PosixResult<()> {
-        self.got.posix_sym("munmap").munmap(self, map)
+        self.got.posix(PosixSym::Munmap).munmap(self, map)
     }
 
     /// `msync(2)` (GOT-dispatched).
     pub fn msync(self: &Arc<Self>, map: MapId) -> PosixResult<()> {
-        self.got.posix_sym("msync").msync(self, map)
+        self.got.posix(PosixSym::Msync).msync(self, map)
     }
 
     /// Read mapped memory: a **page fault**, not a syscall — it does NOT
@@ -452,7 +493,7 @@ impl Process {
         if let Some(t0) = t0 {
             self.probe_emit(
                 t0,
-                e.path.clone(),
+                e.path_id,
                 EventKind::MmapFault {
                     map,
                     offset: start,
@@ -483,7 +524,7 @@ impl Process {
         if let Some(t0) = t0 {
             self.probe_emit(
                 t0,
-                e.path.clone(),
+                e.path_id,
                 EventKind::MmapFault {
                     map,
                     offset: m.offset + offset,
@@ -499,36 +540,40 @@ impl Process {
 
     /// `fopen(3)`. Modes: `"r"`, `"w"`, `"a"`.
     pub fn fopen(self: &Arc<Self>, path: &str, mode: &str) -> PosixResult<StreamId> {
-        self.got.stdio_sym("fopen").fopen(self, path, mode)
+        self.got.stdio(StdioSym::Fopen).fopen(self, path, mode)
     }
 
     /// `fclose(3)`.
     pub fn fclose(self: &Arc<Self>, s: StreamId) -> PosixResult<()> {
-        self.got.stdio_sym("fclose").fclose(self, s)
+        self.got.stdio(StdioSym::Fclose).fclose(self, s)
     }
 
     /// `fread(3)`.
+    #[inline]
     pub fn fread(
         self: &Arc<Self>,
         s: StreamId,
         len: u64,
         buf: Option<&mut [u8]>,
     ) -> PosixResult<u64> {
-        self.got.stdio_sym("fread").fread(self, s, len, buf)
+        self.got.stdio_ref(StdioSym::Fread).fread(self, s, len, buf)
     }
 
     /// `fwrite(3)`.
+    #[inline]
     pub fn fwrite(self: &Arc<Self>, s: StreamId, data: WritePayload<'_>) -> PosixResult<u64> {
-        self.got.stdio_sym("fwrite").fwrite(self, s, data)
+        self.got.stdio_ref(StdioSym::Fwrite).fwrite(self, s, data)
     }
 
     /// `fflush(3)`.
     pub fn fflush(self: &Arc<Self>, s: StreamId) -> PosixResult<()> {
-        self.got.stdio_sym("fflush").fflush(self, s)
+        self.got.stdio_ref(StdioSym::Fflush).fflush(self, s)
     }
 
     /// `fseek(3)`; returns the resulting offset.
     pub fn fseek(self: &Arc<Self>, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64> {
-        self.got.stdio_sym("fseek").fseek(self, s, offset, whence)
+        self.got
+            .stdio_ref(StdioSym::Fseek)
+            .fseek(self, s, offset, whence)
     }
 }

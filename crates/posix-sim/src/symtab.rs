@@ -8,18 +8,20 @@
 //! original function after recording. Patching is reversible and must be
 //! idempotence-safe.
 //!
-//! Here the GOT is a table from symbol name to a dispatch object. Each
-//! *symbol* is patched individually (as in the real GOT): redirecting
-//! `read` does not affect `pread`. STDIO symbols dispatch to a separate
-//! trait because in glibc `fread`'s internal descriptor I/O does not go
-//! back through the application's PLT — interposing `read` does **not**
-//! capture `fread` traffic, which is exactly why Darshan has a distinct
-//! STDIO module; the simulation preserves that behaviour.
+//! Here the GOT is a fixed table indexed by symbol ([`PosixSym`],
+//! [`StdioSym`]) — a real GOT is slot-indexed too; the name-keyed patch
+//! API ([`Got::patch_posix`] etc.) is the `dlsym`-style cold path used at
+//! attach/detach time, while per-call dispatch is an enum-indexed array
+//! load. Each *symbol* is patched individually (as in the real GOT):
+//! redirecting `read` does not affect `pread`. STDIO symbols dispatch to a
+//! separate trait because in glibc `fread`'s internal descriptor I/O does
+//! not go back through the application's PLT — interposing `read` does
+//! **not** capture `fread` traffic, which is exactly why Darshan has a
+//! distinct STDIO module; the simulation preserves that behaviour.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use storage_sim::{Metadata, WritePayload};
 
 use crate::errno::{Errno, PosixResult};
@@ -82,14 +84,111 @@ pub trait LibcStdio: Send + Sync {
     fn fseek(&self, p: &Process, s: StreamId, offset: i64, whence: Whence) -> PosixResult<u64>;
 }
 
-/// Interposable POSIX symbol names.
-pub const POSIX_SYMBOLS: &[&str] = &[
-    "open", "close", "read", "pread", "write", "pwrite", "lseek", "stat", "fstat", "fsync",
-    "unlink", "rename", "mmap", "munmap", "msync",
-];
+macro_rules! symbol_enum {
+    ($(#[$doc:meta])* $name:ident, $names:ident, $count:ident: $(($variant:ident, $sym:literal)),+ $(,)?) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        #[repr(usize)]
+        pub enum $name {
+            $($variant),+
+        }
 
-/// Interposable STDIO symbol names.
-pub const STDIO_SYMBOLS: &[&str] = &["fopen", "fclose", "fread", "fwrite", "fflush", "fseek"];
+        /// Number of interposable symbols of this layer.
+        pub const $count: usize = [$($sym),+].len();
+
+        /// Interposable symbol names, in GOT slot order.
+        pub const $names: &[&str] = &[$($sym),+];
+
+        impl $name {
+            /// Every symbol, in GOT slot order.
+            pub const ALL: [$name; $count] = [$($name::$variant),+];
+
+            /// The libc symbol name.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $sym),+
+                }
+            }
+
+            /// Slot-order index (what a relocated GOT offset would be).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Resolve a symbol name to its slot, `None` for foreign names.
+            pub fn from_name(sym: &str) -> Option<$name> {
+                match sym {
+                    $($sym => Some($name::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+symbol_enum!(
+    /// An interposable POSIX symbol (a slot in the emulated GOT).
+    PosixSym, POSIX_SYMBOLS, POSIX_SYMBOL_COUNT:
+    (Open, "open"),
+    (Close, "close"),
+    (Read, "read"),
+    (Pread, "pread"),
+    (Write, "write"),
+    (Pwrite, "pwrite"),
+    (Lseek, "lseek"),
+    (Stat, "stat"),
+    (Fstat, "fstat"),
+    (Fsync, "fsync"),
+    (Unlink, "unlink"),
+    (Rename, "rename"),
+    (Mmap, "mmap"),
+    (Munmap, "munmap"),
+    (Msync, "msync"),
+);
+
+symbol_enum!(
+    /// An interposable STDIO symbol (a slot in the emulated GOT).
+    StdioSym, STDIO_SYMBOLS, STDIO_SYMBOL_COUNT:
+    (Fopen, "fopen"),
+    (Fclose, "fclose"),
+    (Fread, "fread"),
+    (Fwrite, "fwrite"),
+    (Fflush, "fflush"),
+    (Fseek, "fseek"),
+);
+
+/// A borrowed POSIX binding: the GOT's shared lock held across one
+/// dispatched call (see [`Got::posix_ref`]).
+pub struct PosixBinding<'a> {
+    guard: RwLockReadGuard<'a, [Arc<dyn LibcIo>; POSIX_SYMBOL_COUNT]>,
+    idx: usize,
+}
+
+impl std::ops::Deref for PosixBinding<'_> {
+    type Target = Arc<dyn LibcIo>;
+
+    #[inline]
+    fn deref(&self) -> &Arc<dyn LibcIo> {
+        &self.guard[self.idx]
+    }
+}
+
+/// A borrowed STDIO binding; see [`Got::stdio_ref`].
+pub struct StdioBinding<'a> {
+    guard: RwLockReadGuard<'a, [Arc<dyn LibcStdio>; STDIO_SYMBOL_COUNT]>,
+    idx: usize,
+}
+
+impl std::ops::Deref for StdioBinding<'_> {
+    type Target = Arc<dyn LibcStdio>;
+
+    #[inline]
+    fn deref(&self) -> &Arc<dyn LibcStdio> {
+        &self.guard[self.idx]
+    }
+}
 
 /// Errors from GOT manipulation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,10 +206,12 @@ impl std::fmt::Display for GotError {
 }
 
 /// The per-process symbol table. Every I/O call made by the simulated
-/// application dispatches through it, exactly like PLT→GOT resolution.
+/// application dispatches through it, exactly like PLT→GOT resolution:
+/// an indexed slot load ([`Got::posix`]/[`Got::stdio`]), not a string
+/// lookup.
 pub struct Got {
-    posix: RwLock<HashMap<&'static str, Arc<dyn LibcIo>>>,
-    stdio: RwLock<HashMap<&'static str, Arc<dyn LibcStdio>>>,
+    posix: RwLock<[Arc<dyn LibcIo>; POSIX_SYMBOL_COUNT]>,
+    stdio: RwLock<[Arc<dyn LibcStdio>; STDIO_SYMBOL_COUNT]>,
     /// Pristine bindings kept for `restore_all` (what `dlclose` +
     /// relocation would restore).
     default_posix: Arc<dyn LibcIo>,
@@ -121,39 +222,62 @@ impl Got {
     /// Build a table with every symbol bound to the default ("libc")
     /// implementations.
     pub fn new(default_posix: Arc<dyn LibcIo>, default_stdio: Arc<dyn LibcStdio>) -> Self {
-        let mut posix = HashMap::new();
-        for &s in POSIX_SYMBOLS {
-            posix.insert(s, default_posix.clone());
-        }
-        let mut stdio = HashMap::new();
-        for &s in STDIO_SYMBOLS {
-            stdio.insert(s, default_stdio.clone());
-        }
         Got {
-            posix: RwLock::new(posix),
-            stdio: RwLock::new(stdio),
+            posix: RwLock::new(std::array::from_fn(|_| default_posix.clone())),
+            stdio: RwLock::new(std::array::from_fn(|_| default_stdio.clone())),
             default_posix,
             default_stdio,
         }
     }
 
     /// Resolve a POSIX symbol's current binding (the dispatch step of an
-    /// application call).
-    pub fn posix_sym(&self, sym: &str) -> Arc<dyn LibcIo> {
-        self.posix
-            .read()
-            .get(sym)
-            .unwrap_or_else(|| panic!("unresolved POSIX symbol '{sym}'"))
-            .clone()
+    /// application call): one shared-lock slot load.
+    #[inline]
+    pub fn posix(&self, sym: PosixSym) -> Arc<dyn LibcIo> {
+        self.posix.read()[sym.index()].clone()
     }
 
     /// Resolve an STDIO symbol's current binding.
+    #[inline]
+    pub fn stdio(&self, sym: StdioSym) -> Arc<dyn LibcStdio> {
+        self.stdio.read()[sym.index()].clone()
+    }
+
+    /// Borrow a POSIX symbol's current binding without cloning the `Arc`
+    /// (saves two reference-count updates on every dispatch). The shared
+    /// lock is held for the duration of the call, which only delays a
+    /// concurrent `patch`/`restore` — bindings never call back into the
+    /// GOT patch path.
+    #[inline]
+    pub fn posix_ref(&self, sym: PosixSym) -> PosixBinding<'_> {
+        PosixBinding {
+            guard: self.posix.read(),
+            idx: sym.index(),
+        }
+    }
+
+    /// Borrow an STDIO symbol's current binding; see [`Got::posix_ref`].
+    #[inline]
+    pub fn stdio_ref(&self, sym: StdioSym) -> StdioBinding<'_> {
+        StdioBinding {
+            guard: self.stdio.read(),
+            idx: sym.index(),
+        }
+    }
+
+    /// Resolve a POSIX symbol by name (cold path; panics on foreign names,
+    /// like an unrelocatable PLT entry would).
+    pub fn posix_sym(&self, sym: &str) -> Arc<dyn LibcIo> {
+        let s =
+            PosixSym::from_name(sym).unwrap_or_else(|| panic!("unresolved POSIX symbol '{sym}'"));
+        self.posix(s)
+    }
+
+    /// Resolve an STDIO symbol by name (cold path).
     pub fn stdio_sym(&self, sym: &str) -> Arc<dyn LibcStdio> {
-        self.stdio
-            .read()
-            .get(sym)
-            .unwrap_or_else(|| panic!("unresolved STDIO symbol '{sym}'"))
-            .clone()
+        let s =
+            StdioSym::from_name(sym).unwrap_or_else(|| panic!("unresolved STDIO symbol '{sym}'"));
+        self.stdio(s)
     }
 
     /// Scan the table: all symbol names and whether each is currently
@@ -163,16 +287,16 @@ impl Got {
         let mut out = Vec::new();
         {
             let t = self.posix.read();
-            for &s in POSIX_SYMBOLS {
-                let patched = !Arc::ptr_eq(&t[s], &self.default_posix);
-                out.push((s.to_string(), patched));
+            for s in PosixSym::ALL {
+                let patched = !Arc::ptr_eq(&t[s.index()], &self.default_posix);
+                out.push((s.name().to_string(), patched));
             }
         }
         {
             let t = self.stdio.read();
-            for &s in STDIO_SYMBOLS {
-                let patched = !Arc::ptr_eq(&t[s], &self.default_stdio);
-                out.push((s.to_string(), patched));
+            for s in StdioSym::ALL {
+                let patched = !Arc::ptr_eq(&t[s.index()], &self.default_stdio);
+                out.push((s.name().to_string(), patched));
             }
         }
         out
@@ -185,13 +309,9 @@ impl Got {
         sym: &str,
         new: Arc<dyn LibcIo>,
     ) -> Result<Arc<dyn LibcIo>, GotError> {
+        let s = PosixSym::from_name(sym).ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
         let mut t = self.posix.write();
-        let key = POSIX_SYMBOLS
-            .iter()
-            .find(|s| **s == sym)
-            .ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
-        let old = t.insert(key, new).expect("table is fully populated");
-        Ok(old)
+        Ok(std::mem::replace(&mut t[s.index()], new))
     }
 
     /// Redirect an STDIO symbol, returning the previous binding.
@@ -200,13 +320,9 @@ impl Got {
         sym: &str,
         new: Arc<dyn LibcStdio>,
     ) -> Result<Arc<dyn LibcStdio>, GotError> {
+        let s = StdioSym::from_name(sym).ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
         let mut t = self.stdio.write();
-        let key = STDIO_SYMBOLS
-            .iter()
-            .find(|s| **s == sym)
-            .ok_or_else(|| GotError::UnknownSymbol(sym.to_string()))?;
-        let old = t.insert(key, new).expect("table is fully populated");
-        Ok(old)
+        Ok(std::mem::replace(&mut t[s.index()], new))
     }
 
     /// Restore a POSIX symbol to a given binding (detach).
@@ -222,13 +338,13 @@ impl Got {
     /// Restore every symbol to the pristine default bindings.
     pub fn restore_all(&self) {
         let mut t = self.posix.write();
-        for &s in POSIX_SYMBOLS {
-            t.insert(s, self.default_posix.clone());
+        for slot in t.iter_mut() {
+            *slot = self.default_posix.clone();
         }
         drop(t);
         let mut t = self.stdio.write();
-        for &s in STDIO_SYMBOLS {
-            t.insert(s, self.default_stdio.clone());
+        for slot in t.iter_mut() {
+            *slot = self.default_stdio.clone();
         }
     }
 
@@ -251,10 +367,10 @@ impl Got {
     /// True if `sym` currently resolves to the pristine default binding
     /// (POSIX or STDIO alike).
     pub fn resolves_to_default(&self, sym: &str) -> bool {
-        if POSIX_SYMBOLS.contains(&sym) {
-            Arc::ptr_eq(&self.posix.read()[sym], &self.default_posix)
-        } else if STDIO_SYMBOLS.contains(&sym) {
-            Arc::ptr_eq(&self.stdio.read()[sym], &self.default_stdio)
+        if let Some(s) = PosixSym::from_name(sym) {
+            Arc::ptr_eq(&self.posix.read()[s.index()], &self.default_posix)
+        } else if let Some(s) = StdioSym::from_name(sym) {
+            Arc::ptr_eq(&self.stdio.read()[s.index()], &self.default_stdio)
         } else {
             false
         }

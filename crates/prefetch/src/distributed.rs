@@ -150,7 +150,9 @@ impl ProbeSink for RankHeatSink {
             if !matches!(ev.kind, EventKind::Open { .. }) {
                 continue;
             }
-            if !ev.target.starts_with(self.src_prefix.as_str()) {
+            // Opens are rare; resolve the interned target only here.
+            let resolved = ev.target.resolve();
+            if !resolved.starts_with(self.src_prefix.as_str()) {
                 continue;
             }
             self.shared.observed_opens.fetch_add(1, Ordering::Relaxed);
@@ -158,7 +160,7 @@ impl ProbeSink for RankHeatSink {
                 .shared
                 .heat
                 .lock()
-                .entry(ev.target.to_string())
+                .entry(resolved.to_string())
                 .or_insert(0) += 1;
             poked = true;
         }

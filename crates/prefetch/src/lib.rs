@@ -224,11 +224,14 @@ impl ProbeSink for HeatSink {
             if !matches!(ev.kind, EventKind::Open { .. }) {
                 continue;
             }
-            if !ev.target.starts_with(self.src_prefix.as_str()) {
+            // Opens are rare relative to reads/writes; resolving the
+            // interned target here keeps the per-event path id-only.
+            let resolved = ev.target.resolve();
+            if !resolved.starts_with(self.src_prefix.as_str()) {
                 continue;
             }
             self.shared.observed_opens.fetch_add(1, Ordering::Relaxed);
-            let path = ev.target.to_string();
+            let path = resolved.to_string();
             let mut learn = self.shared.learn.lock();
             *learn.heat.entry(path.clone()).or_insert(0) += 1;
             if let Some(&i) = learn.pos.get(&path) {

@@ -1,0 +1,205 @@
+//! Global string interner for event targets and sync-object labels.
+//!
+//! Emission hot paths must not allocate or touch atomics per event, so an
+//! [`IoEvent`](crate::IoEvent) carries a [`PathId`] — a copyable `u32`
+//! ticket — instead of an `Arc<str>`. The id is minted once per distinct
+//! string by [`intern`] (descriptor tables cache it at `open` time, so the
+//! per-operation path never calls the interner at all) and resolved back to
+//! the shared `Arc<str>` by [`PathId::resolve`] at sink-fold or snapshot
+//! time.
+//!
+//! ## Structure
+//!
+//! * **id → string** is an append-only chunked table: a fixed spine of
+//!   [`OnceLock`] chunks with doubling capacities. Resolution is wait-free —
+//!   two `OnceLock::get`s and an `Arc` clone; no lock is ever taken, so
+//!   sink folds running inside the scheduler's switch path can resolve
+//!   freely.
+//! * **string → id** is a `RwLock<HashMap>` consulted only by [`intern`].
+//!   The read path (string already interned) takes the shared lock once; a
+//!   miss upgrades to the exclusive lock, installs the table slot, then
+//!   publishes the map entry, so an id is only ever observable after its
+//!   slot resolves.
+//!
+//! The table is global and lives for the process: interned strings are
+//! file paths, sync-object labels and profiler span names — working sets
+//! that are bounded by the simulated workload's file population, not by
+//! its operation count.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// An interned string: a copyable ticket for an `Arc<str>` in the global
+/// names table. `PathId`s are totally ordered by interning order and hash
+/// as a plain `u32`, which makes them cheap keys for per-file maps in
+/// spine consumers (`iosan`, the Darshan fold).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+/// Capacity of chunk 0; chunk `k` holds `CHUNK0 << k` entries.
+const CHUNK0: usize = 1024;
+/// Chunk count. Total capacity `CHUNK0 * (2^CHUNKS - 1)` exceeds
+/// `u32::MAX`, so every representable id has a slot.
+const CHUNKS: usize = 23;
+
+type Chunk = Box<[OnceLock<Arc<str>>]>;
+
+struct Interner {
+    /// string → id, plus the next id to mint (== map.len()).
+    map: RwLock<HashMap<Arc<str>, u32>>,
+    /// id → string, chunked append-only spine (lock-free readers).
+    table: [OnceLock<Chunk>; CHUNKS],
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let it = Interner {
+            map: RwLock::new(HashMap::new()),
+            table: [const { OnceLock::new() }; CHUNKS],
+        };
+        // Seed id 0 = "" so `PathId::EMPTY` always resolves.
+        let empty: Arc<str> = Arc::from("");
+        install(&it, 0, empty.clone());
+        it.map.write().insert(empty, 0);
+        it
+    })
+}
+
+/// (chunk, index-within-chunk) of an id.
+#[inline]
+fn locate(id: u32) -> (usize, usize) {
+    let id = id as usize;
+    let k = ((id / CHUNK0) + 1).ilog2() as usize;
+    let base = ((1usize << k) - 1) * CHUNK0;
+    (k, id - base)
+}
+
+fn install(it: &Interner, id: u32, s: Arc<str>) {
+    let (k, i) = locate(id);
+    let chunk = it.table[k].get_or_init(|| {
+        std::iter::repeat_with(OnceLock::new)
+            .take(CHUNK0 << k)
+            .collect()
+    });
+    chunk[i].set(s).expect("fresh interner slot set twice");
+}
+
+impl PathId {
+    /// The id of the empty string (pre-seeded, always resolvable).
+    pub const EMPTY: PathId = PathId(0);
+
+    /// The shared string this id was minted for.
+    ///
+    /// Wait-free: no lock is taken, so this is safe from sink folds and
+    /// scheduler hooks. Panics on an id that was never returned by
+    /// [`intern`] (there is no way to obtain one without unsafe casts).
+    pub fn resolve(self) -> Arc<str> {
+        let (k, i) = locate(self.0);
+        let it = interner();
+        it.table[k]
+            .get()
+            .and_then(|chunk| chunk[i].get())
+            .expect("PathId not minted by intern()")
+            .clone()
+    }
+
+    /// The raw id (stable for the lifetime of the process).
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PathId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+/// Intern `s`, returning its stable [`PathId`]. Idempotent: the same
+/// string always yields the same id. The hit path takes one shared-lock
+/// hash lookup; the miss path (once per distinct string) allocates the
+/// shared `Arc<str>` and its table slot.
+pub fn intern(s: &str) -> PathId {
+    let it = interner();
+    if let Some(&id) = it.map.read().get(s) {
+        return PathId(id);
+    }
+    intern_slow(it, Arc::from(s))
+}
+
+/// Intern an already-shared string without copying it on the miss path.
+pub fn intern_arc(s: &Arc<str>) -> PathId {
+    let it = interner();
+    if let Some(&id) = it.map.read().get(&**s) {
+        return PathId(id);
+    }
+    intern_slow(it, Arc::clone(s))
+}
+
+#[cold]
+fn intern_slow(it: &Interner, s: Arc<str>) -> PathId {
+    let mut w = it.map.write();
+    if let Some(&id) = w.get(&*s) {
+        return PathId(id);
+    }
+    let id = u32::try_from(w.len()).expect("interner exhausted u32 id space");
+    // Install the table slot before publishing the map entry: an id must
+    // never be observable before it resolves.
+    install(it, id, Arc::clone(&s));
+    w.insert(s, id);
+    PathId(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let a = intern("/data/shard-000");
+        let b = intern("/data/shard-000");
+        let c = intern("/data/shard-001");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(&*a.resolve(), "/data/shard-000");
+        assert_eq!(&*c.resolve(), "/data/shard-001");
+    }
+
+    #[test]
+    fn empty_is_preseeded() {
+        assert_eq!(&*PathId::EMPTY.resolve(), "");
+        assert_eq!(intern(""), PathId::EMPTY);
+    }
+
+    #[test]
+    fn intern_arc_shares_the_allocation() {
+        let s: Arc<str> = Arc::from("/unique/intern-arc-test");
+        let id = intern_arc(&s);
+        assert!(Arc::ptr_eq(&id.resolve(), &s) || *id.resolve() == *s);
+        assert_eq!(intern("/unique/intern-arc-test"), id);
+    }
+
+    #[test]
+    fn locate_covers_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1023), (0, 1023));
+        assert_eq!(locate(1024), (1, 0));
+        assert_eq!(locate(3071), (1, 2047));
+        assert_eq!(locate(3072), (2, 0));
+        let (k, i) = locate(u32::MAX);
+        assert!(k < CHUNKS);
+        assert!(i < CHUNK0 << k);
+    }
+
+    #[test]
+    fn many_distinct_strings_cross_chunks() {
+        let base = "/bulk/intern-chunk-test/";
+        let ids: Vec<PathId> = (0..2500).map(|i| intern(&format!("{base}{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(&*id.resolve(), &format!("{base}{i}"));
+        }
+    }
+}

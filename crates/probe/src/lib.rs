@@ -2,20 +2,26 @@
 //! syscall layer and every instrumentation consumer.
 //!
 //! The terminal libc/stdio bindings in `posix-sim` emit exactly one
-//! [`IoEvent`] per completed operation into a **per-sim-thread append-only
-//! buffer** — a plain `Vec` push, no lock shared with any consumer. Buffers
-//! are drained at deterministic points only:
+//! [`IoEvent`] per completed operation into a **per-sim-thread ring
+//! buffer** — a masked slot write, no allocation, no lock shared with any
+//! consumer. Event targets are interned [`PathId`]s (see [`intern`]), so
+//! an event is `Copy`-cheap to construct: no `Arc` refcount traffic on
+//! the hot path. Rings are drained in batches at deterministic points
+//! only:
 //!
 //! * whenever the simulated thread actually context-switches (simrt's
 //!   switch hook — fast-path virtual-time advances do *not* flush),
 //! * when a carrier task finishes,
 //! * explicitly via [`flush_current_thread`] at extraction points
-//!   (Darshan snapshot/totals, profiler start/stop, detach).
+//!   (Darshan snapshot/totals, profiler start/stop, detach),
+//! * inline, when a ring fills before any of the above (a thread emitting
+//!   more than [`RING_CAPACITY`] events between switches) — the full ring
+//!   is delivered immediately so emission is lossless and memory-bounded.
 //!
 //! Because simrt runs exactly one simulated thread at any moment and every
 //! descheduling point flushes, events are delivered to sinks in op-completion
 //! order — the same order the old inline per-consumer bookkeeping observed —
-//! and all *parked* threads always have empty buffers.
+//! and all *parked* threads always have empty rings.
 //!
 //! # Sink rules
 //!
@@ -23,15 +29,21 @@
 //! not call [`simrt::sleep`], [`simrt::block`] or [`simrt::yield_now`]
 //! (a wake delivered to a Running task is lost, so sleeping here can deadlock
 //! a primitive that registered a waiter before blocking). Charge simulated
-//! overhead at the emission site instead.
+//! overhead at the emission site instead. Sinks that need the event's path
+//! resolve it with [`PathId::resolve`] — wait-free, safe from the switch
+//! path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
+
+pub use intern::{intern, intern_arc, PathId};
+
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use simrt::{SimTime, SyncEvent, SyncObserver, SyncOp, TaskId};
 
@@ -181,8 +193,8 @@ pub enum EventKind {
     /// A host-side profiler annotation span (TraceMe). `target` carries the
     /// span name; `label` the "thread (tid)" line it belongs to.
     TraceSpan {
-        /// Timeline line label, `"{task_name} ({task_id})"`.
-        label: Arc<str>,
+        /// Timeline line label, `"{task_name} ({task_id})"` (interned).
+        label: PathId,
         /// Extra key/value annotations attached to the span.
         stats: Vec<(String, String)>,
     },
@@ -215,8 +227,10 @@ pub struct IoEvent {
     pub t1: SimTime,
     /// Application-issued or stdio-internal.
     pub origin: Origin,
-    /// Path the operation targets (span name for [`EventKind::TraceSpan`]).
-    pub target: Arc<str>,
+    /// Interned path the operation targets (span name for
+    /// [`EventKind::TraceSpan`]). Resolve to the string with
+    /// [`PathId::resolve`] at fold/snapshot time; never on the hot path.
+    pub target: PathId,
     /// Operation payload.
     pub kind: EventKind,
 }
@@ -235,12 +249,16 @@ pub trait ProbeSink: Send + Sync {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SinkId(u64);
 
+/// Immutable sink snapshot; swapped wholesale on (un)register so a flush
+/// is one `Arc` clone, never a `Vec` allocation.
+type SinkList = Arc<Vec<(SinkId, Arc<dyn ProbeSink>)>>;
+
 struct BusInner {
-    sinks: RwLock<Vec<(SinkId, Arc<dyn ProbeSink>)>>,
+    sinks: RwLock<SinkList>,
     /// Cached `sinks.len()`, so the emission fast path is one relaxed load.
     active: AtomicUsize,
     next_id: Mutex<u64>,
-    /// Live [`ProbeBus`] handles over this spine. Thread-local buffers hold
+    /// Live [`ProbeBus`] handles over this spine. Thread-local rings hold
     /// only the `Arc<BusInner>`, not a handle — when this drops to zero the
     /// bus is *defunct*: nobody can register, unregister or extract from it
     /// again, so any events still buffered for it are dead and must be
@@ -255,7 +273,20 @@ impl BusInner {
     }
 }
 
-/// The per-process event spine. Emission appends to a thread-local buffer
+/// Deliver one batch to every sink of `bus`. The sink list is an immutable
+/// snapshot behind an `Arc`, so this takes a read lock for the duration of
+/// one pointer clone and allocates nothing.
+fn deliver(bus: &BusInner, events: &[IoEvent]) {
+    if events.is_empty() {
+        return;
+    }
+    let sinks: SinkList = Arc::clone(&bus.sinks.read());
+    for (_, sink) in sinks.iter() {
+        sink.on_events(events);
+    }
+}
+
+/// The per-process event spine. Emission appends to a thread-local ring
 /// tagged with this bus; no consumer lock is touched until a flush point.
 ///
 /// Each simulated [`Process`](../posix_sim/struct.Process.html) owns its own
@@ -267,7 +298,7 @@ pub struct ProbeBus {
 
 impl Clone for ProbeBus {
     /// Cloning is cheap and shares the underlying spine: clones see the
-    /// same sinks and feed the same buffers.
+    /// same sinks and feed the same rings.
     fn clone(&self) -> Self {
         self.inner.handles.fetch_add(1, Ordering::AcqRel);
         ProbeBus {
@@ -295,7 +326,7 @@ impl ProbeBus {
         simrt::set_context_switch_hook(flush_current_thread);
         ProbeBus {
             inner: Arc::new(BusInner {
-                sinks: RwLock::new(Vec::new()),
+                sinks: RwLock::new(Arc::new(Vec::new())),
                 active: AtomicUsize::new(0),
                 next_id: Mutex::new(0),
                 handles: AtomicUsize::new(1),
@@ -327,53 +358,160 @@ impl ProbeBus {
             SinkId(*n)
         };
         let mut sinks = self.inner.sinks.write();
-        sinks.push((id, sink));
-        self.inner.active.store(sinks.len(), Ordering::Relaxed);
+        let mut next = Vec::with_capacity(sinks.len() + 1);
+        next.extend(sinks.iter().cloned());
+        next.push((id, sink));
+        self.inner.active.store(next.len(), Ordering::Relaxed);
+        *sinks = Arc::new(next);
         id
     }
 
-    /// Unregister a sink, first flushing the current thread's buffer so the
+    /// Unregister a sink, first flushing the current thread's ring so the
     /// departing sink receives every event emitted before this call. (All
     /// parked threads flushed when they descheduled, so nothing else is
     /// pending.)
     pub fn unregister(&self, id: SinkId) {
         flush_current_thread();
         let mut sinks = self.inner.sinks.write();
-        sinks.retain(|(sid, _)| *sid != id);
-        self.inner.active.store(sinks.len(), Ordering::Relaxed);
+        let next: Vec<_> = sinks
+            .iter()
+            .filter(|(sid, _)| *sid != id)
+            .cloned()
+            .collect();
+        self.inner.active.store(next.len(), Ordering::Relaxed);
+        *sinks = Arc::new(next);
     }
 
-    /// Append one event to the current thread's buffer for this bus.
-    /// No-op when no sink is registered.
+    /// Append one event to the current thread's ring for this bus.
+    /// No-op when no sink is registered. If the ring is full (more than
+    /// [`RING_CAPACITY`] events since the last flush point) the whole ring
+    /// is delivered inline — lossless, bounded memory.
     #[inline]
     pub fn emit(&self, event: IoEvent) {
         if !self.is_active() {
             return;
         }
-        BUFFERS.with(|b| {
-            let mut bufs = b.borrow_mut();
-            // Opportunistically drop entries of defunct buses so a thread
-            // that outlives many simulations does not accumulate them.
-            bufs.retain(|(bus, _)| !bus.is_defunct());
-            for (bus, buf) in bufs.iter_mut() {
-                if Arc::ptr_eq(bus, &self.inner) {
-                    buf.push(event);
-                    return;
-                }
+        let overflow = RINGS.with(|r| {
+            let mut reg = r.borrow_mut();
+            let ring = reg.ring_for(&self.inner);
+            if ring.is_full() {
+                Some(event)
+            } else {
+                ring.push(event);
+                None
             }
-            bufs.push((Arc::clone(&self.inner), vec![event]));
         });
+        if let Some(event) = overflow {
+            self.emit_overflow(event);
+        }
+    }
+
+    /// Ring-full slow path: drain this bus's ring, append the overflowing
+    /// event (it is the newest, so op-completion order is preserved) and
+    /// deliver the batch inline. The `RefCell` borrow is released before
+    /// any sink runs, so sinks may themselves emit — their events land in
+    /// the now-empty ring and flush at the next flush point.
+    #[cold]
+    fn emit_overflow(&self, event: IoEvent) {
+        let mut batch = RINGS.with(|r| {
+            let mut reg = r.borrow_mut();
+            let ring = reg.ring_for(&self.inner);
+            let mut out = Vec::with_capacity(ring.len() + 1);
+            ring.drain_into(&mut out);
+            out
+        });
+        batch.push(event);
+        deliver(&self.inner, &batch);
+    }
+}
+
+/// Events a sim thread can buffer between flush points before the ring
+/// delivers itself inline. Power of two: slot indexing is a mask, not a
+/// division.
+pub const RING_CAPACITY: usize = 1024;
+const RING_MASK: usize = RING_CAPACITY - 1;
+
+/// Fixed-capacity single-threaded ring. `head`/`tail` are free-running
+/// counters masked into the slot array; `tail - head` is the live length.
+struct Ring {
+    slots: Box<[Option<IoEvent>]>,
+    head: usize,
+    tail: usize,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            slots: std::iter::repeat_with(|| None)
+                .take(RING_CAPACITY)
+                .collect(),
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.tail.wrapping_sub(self.head)
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len() == RING_CAPACITY
+    }
+
+    #[inline]
+    fn push(&mut self, event: IoEvent) {
+        debug_assert!(!self.is_full());
+        self.slots[self.tail & RING_MASK] = Some(event);
+        self.tail = self.tail.wrapping_add(1);
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<IoEvent>) {
+        while self.head != self.tail {
+            out.push(
+                self.slots[self.head & RING_MASK]
+                    .take()
+                    .expect("occupied ring slot"),
+            );
+            self.head = self.head.wrapping_add(1);
+        }
+    }
+}
+
+/// Per-OS-thread (bus → ring) registry. Usually one entry (a process's own
+/// bus), two when a shared job spine mirrors events. Defunct-bus cleanup
+/// happens at flush points only, never per event.
+#[derive(Default)]
+struct Registry {
+    entries: Vec<(Arc<BusInner>, Ring)>,
+}
+
+impl Registry {
+    /// The ring for `bus`, created on first use. A linear `Arc::ptr_eq`
+    /// scan over one or two entries beats any hash.
+    #[inline]
+    fn ring_for(&mut self, bus: &Arc<BusInner>) -> &mut Ring {
+        let idx = self
+            .entries
+            .iter()
+            .position(|(b, _)| Arc::ptr_eq(b, bus))
+            .unwrap_or_else(|| {
+                self.entries.push((Arc::clone(bus), Ring::new()));
+                self.entries.len() - 1
+            });
+        &mut self.entries[idx].1
     }
 }
 
 thread_local! {
-    /// (bus, pending events) pairs for this OS thread. Usually one entry.
-    static BUFFERS: RefCell<Vec<(Arc<BusInner>, Vec<IoEvent>)>> = const { RefCell::new(Vec::new()) };
+    /// (bus, ring) pairs for this OS thread.
+    static RINGS: RefCell<Registry> = RefCell::new(Registry::default());
     /// Re-entrancy guard: a sink fold must not trigger a nested flush.
     static FLUSHING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
-/// Drain every pending buffer on the calling OS thread into the sinks of its
+/// Drain every pending ring on the calling OS thread into the sinks of its
 /// bus. Installed as simrt's context-switch hook; also called explicitly at
 /// extraction points (snapshot, totals, detach, profiler start/stop) so the
 /// stream is complete there even without an intervening switch.
@@ -382,41 +520,35 @@ pub fn flush_current_thread() {
         return;
     }
     FLUSHING.with(|f| f.set(true));
-    // Loop until the buffers stay empty: a sink fold may itself emit (e.g. a
+    // Loop until the rings stay empty: a sink fold may itself emit (e.g. a
     // sink notifying a daemon produces a Signal sync event on this thread),
     // and those events must be delivered *now*, before the next simulated
     // thread runs, to preserve the global execution-order guarantee. Bounded
     // so a pathological always-emitting sink cannot spin forever.
     for _round in 0..8 {
         // Move the pending batches out first so an emitting sink cannot
-        // observe a borrowed RefCell. Buffers whose bus is defunct — every
+        // observe a borrowed RefCell. Rings whose bus is defunct — every
         // `ProbeBus` handle dropped, e.g. a previous `Sim`'s process bus —
         // are discarded wholesale here: delivering them would carry a dead
         // simulation's events into whatever runs next on this host thread.
-        let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = BUFFERS.with(|b| {
-            let mut bufs = b.borrow_mut();
-            bufs.retain(|(bus, _)| !bus.is_defunct());
-            if bufs.iter().all(|(_, buf)| buf.is_empty()) {
-                return Vec::new();
+        let pending: Vec<(Arc<BusInner>, Vec<IoEvent>)> = RINGS.with(|r| {
+            let mut reg = r.borrow_mut();
+            reg.entries.retain(|(bus, _)| !bus.is_defunct());
+            let mut out = Vec::new();
+            for (bus, ring) in reg.entries.iter_mut() {
+                if ring.len() > 0 {
+                    let mut batch = Vec::with_capacity(ring.len());
+                    ring.drain_into(&mut batch);
+                    out.push((Arc::clone(bus), batch));
+                }
             }
-            bufs.iter_mut()
-                .filter(|(_, buf)| !buf.is_empty())
-                .map(|(bus, buf)| (Arc::clone(bus), std::mem::take(buf)))
-                .collect()
+            out
         });
         if pending.is_empty() {
             break;
         }
         for (bus, events) in pending {
-            let sinks: Vec<Arc<dyn ProbeSink>> = bus
-                .sinks
-                .read()
-                .iter()
-                .map(|(_, s)| Arc::clone(s))
-                .collect();
-            for sink in sinks {
-                sink.on_events(&events);
-            }
+            deliver(&bus, &events);
         }
     }
     FLUSHING.with(|f| f.set(false));
@@ -425,7 +557,7 @@ pub fn flush_current_thread() {
 /// Bridges `simrt` synchronization events onto a [`ProbeBus`] as
 /// [`EventKind::Sync`] events, interleaved with the I/O stream in execution
 /// order (the observer runs on the emitting task's carrier thread, and the
-/// per-thread buffers drain at every context switch).
+/// per-thread rings drain at every context switch).
 ///
 /// Install with [`SyncBridge::install`]; remember to
 /// [`simrt::Sim::clear_sync_observer`] when analysis ends.
@@ -449,13 +581,16 @@ impl SyncBridge {
 
 impl SyncObserver for SyncBridge {
     fn on_sync(&self, ev: &SyncEvent) {
+        if !self.bus.is_active() {
+            return;
+        }
         self.bus.emit(IoEvent {
             task: ev.task,
             pid: 0,
             t0: ev.time,
             t1: ev.time,
             origin: Origin::App,
-            target: Arc::clone(&ev.label),
+            target: intern_arc(&ev.label),
             kind: EventKind::Sync {
                 op: ev.op,
                 obj: ev.obj,
@@ -539,10 +674,6 @@ impl ProbeSink for CountingSink {
     }
 }
 
-/// Keep a module-level handle so `ProbeBus::new` can install the hook once.
-#[allow(dead_code)]
-static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,7 +686,7 @@ mod tests {
             t0: SimTime::ZERO,
             t1: SimTime::ZERO + Duration::from_nanos(10),
             origin: Origin::App,
-            target: Arc::from("/f"),
+            target: intern("/f"),
             kind,
         }
     }
@@ -589,7 +720,7 @@ mod tests {
         flush_current_thread();
         assert_eq!(sink.len(), 2);
         flush_current_thread();
-        assert_eq!(sink.len(), 2, "flush is idempotent on an empty buffer");
+        assert_eq!(sink.len(), 2, "flush is idempotent on an empty ring");
     }
 
     #[test]
@@ -621,6 +752,85 @@ mod tests {
     }
 
     #[test]
+    fn ring_full_flushes_inline_lossless_in_order() {
+        // Regression: emitting more than RING_CAPACITY events between
+        // context switches must flush inline — not drop events, not grow
+        // without bound.
+        let bus = ProbeBus::new();
+        let sink = Arc::new(CollectingSink::new());
+        bus.register(sink.clone());
+        let n = RING_CAPACITY * 3 + 17;
+        for i in 0..n {
+            bus.emit(ev(EventKind::Read {
+                fd: 3,
+                offset: i as u64,
+                len: 1,
+            }));
+        }
+        assert!(
+            sink.len() >= RING_CAPACITY * 3,
+            "full rings were delivered inline, not accumulated"
+        );
+        flush_current_thread();
+        let events = sink.snapshot();
+        assert_eq!(events.len(), n, "lossless across inline flushes");
+        for (i, e) in events.iter().enumerate() {
+            match e.kind {
+                EventKind::Read { offset, .. } => assert_eq!(offset, i as u64),
+                ref k => panic!("unexpected kind {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sink_emitting_during_inline_overflow_flush_is_not_lost() {
+        // A sink that emits back onto the bus while an overflow batch is
+        // being delivered: its events land in the (now empty) ring and
+        // arrive at the next flush point.
+        struct Echo {
+            bus: ProbeBus,
+            echoed: std::sync::atomic::AtomicBool,
+            seen: AtomicUsize,
+        }
+        impl ProbeSink for Echo {
+            fn on_events(&self, events: &[IoEvent]) {
+                self.seen.fetch_add(events.len(), Ordering::Relaxed);
+                if !self.echoed.swap(true, Ordering::Relaxed) {
+                    self.bus.emit(IoEvent {
+                        task: TaskId(9),
+                        pid: 0,
+                        t0: SimTime::ZERO,
+                        t1: SimTime::ZERO,
+                        origin: Origin::App,
+                        target: intern("/echo"),
+                        kind: EventKind::Stat,
+                    });
+                }
+            }
+        }
+        let bus = ProbeBus::new();
+        let echo = Arc::new(Echo {
+            bus: bus.clone(),
+            echoed: std::sync::atomic::AtomicBool::new(false),
+            seen: AtomicUsize::new(0),
+        });
+        bus.register(echo.clone());
+        for i in 0..=RING_CAPACITY {
+            bus.emit(ev(EventKind::Read {
+                fd: 3,
+                offset: i as u64,
+                len: 1,
+            }));
+        }
+        flush_current_thread();
+        assert_eq!(
+            echo.seen.load(Ordering::Relaxed),
+            RING_CAPACITY + 2,
+            "all original events plus the echoed one arrive"
+        );
+    }
+
+    #[test]
     fn sync_bridge_interleaves_sync_events_with_io() {
         let sim = simrt::Sim::new();
         let bus = ProbeBus::new();
@@ -637,7 +847,7 @@ mod tests {
                     t0: simrt::now(),
                     t1: simrt::now(),
                     origin: Origin::App,
-                    target: Arc::from("/data"),
+                    target: intern("/data"),
                     kind: EventKind::Write {
                         fd: 3,
                         offset: 0,
@@ -729,7 +939,7 @@ mod tests {
             // Host-side emission after the run, never flushed: exactly the
             // stale residue that used to leak into the next simulation.
             bus1.emit(ev(EventKind::Close { fd: 3 }));
-        } // every handle to bus1 is gone; the buffer entry survives
+        } // every handle to bus1 is gone; the ring entry survives
         let sim2 = simrt::Sim::new();
         let bus2 = ProbeBus::new();
         let sink2 = Arc::new(CollectingSink::new());
@@ -747,7 +957,7 @@ mod tests {
         assert_eq!(
             sink1.len(),
             1,
-            "the dead bus's stale buffer must not drain into sim 2's run"
+            "the dead bus's stale ring must not drain into sim 2's run"
         );
         assert_eq!(sink2.len(), 1);
         assert!(

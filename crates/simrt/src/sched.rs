@@ -162,7 +162,7 @@ pub fn emit_sync(op: SyncOp, obj: u64, label: &Arc<str>) {
         let Some(obs) = inner.sync_observer.read().clone() else {
             return;
         };
-        let time = inner.state.lock().now;
+        let time = SimTime::from_nanos(inner.clock.load(Ordering::Relaxed));
         obs.on_sync(&SyncEvent {
             task: *tid,
             time,
@@ -431,6 +431,13 @@ pub(crate) struct SimInner {
     /// Cheap pre-check so [`emit_sync`] costs one relaxed load when no
     /// observer is registered (the common case).
     sync_active: AtomicBool,
+    /// Mirror of `state.now` in nanoseconds, refreshed at every point the
+    /// clock advances (dispatch, sleep fast path). Lets [`now`]/[`try_now`]
+    /// on the running simulated thread read the clock without taking the
+    /// scheduler lock: the store always happens-before the running task's
+    /// reads (the dispatch handshake goes through the state mutex/condvar),
+    /// and nothing can advance the clock while that task runs.
+    clock: AtomicU64,
 }
 
 impl SimInner {
@@ -606,7 +613,14 @@ fn pump(inner: &Arc<SimInner>, st: &mut PlMutexGuard<'_, SchedState>) -> bool {
         if st.poison.is_some() {
             return false;
         }
-        let mut machine = match SimInner::dispatch_next(st) {
+        let dispatched = SimInner::dispatch_next(st);
+        if !matches!(dispatched, Dispatch::Idle) {
+            // Publish the (possibly advanced) clock before the dispatched
+            // task can observe it; the mutex/condvar handshake orders the
+            // store ahead of the task's relaxed reads.
+            inner.clock.store(st.now.as_nanos(), Ordering::Relaxed);
+        }
+        let mut machine = match dispatched {
             Dispatch::Carrier => return true,
             Dispatch::Idle => return false,
             Dispatch::Event(m) => m,
@@ -723,6 +737,21 @@ fn with_current<R>(f: impl FnOnce(&Arc<SimInner>, TaskId) -> R) -> R {
     f(&inner, tid)
 }
 
+/// Like [`with_current`] but runs `f` *inside* the thread-local borrow,
+/// skipping the `Arc` refcount round-trip. Only valid when `f` cannot
+/// re-enter the scheduler (no pump, no event-task dispatch): the pump swaps
+/// `CURRENT` via `borrow_mut` and would panic under this outstanding borrow.
+#[inline]
+fn with_current_borrowed<R>(f: impl FnOnce(&Arc<SimInner>, TaskId) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (inner, tid) = b
+            .as_ref()
+            .expect("not on a simulated thread: call from within Sim::spawn");
+        f(inner, *tid)
+    })
+}
+
 /// True if the calling OS thread carries a simulated thread (or is mid-poll
 /// of an event task).
 pub fn on_sim_thread() -> bool {
@@ -774,6 +803,7 @@ impl Sim {
                 cv: Condvar::new(),
                 sync_observer: RwLock::new(None),
                 sync_active: AtomicBool::new(false),
+                clock: AtomicU64::new(0),
             }),
         }
     }
@@ -1172,20 +1202,30 @@ fn join_sim_side(inner: &Arc<SimInner>, tid: TaskId) {
 // Free functions usable from within simulated threads.
 // ---------------------------------------------------------------------------
 
-/// Current virtual time (from within a simulated thread).
+/// Current virtual time (from within a simulated thread). Lock-free: reads
+/// the scheduler's published clock mirror, which cannot move while the
+/// calling task is the one running.
+#[inline]
 pub fn now() -> SimTime {
-    with_current(|inner, _| inner.state.lock().now)
+    with_current_borrowed(|inner, _| SimTime::from_nanos(inner.clock.load(Ordering::Relaxed)))
 }
 
 /// Current virtual time, or `None` when called off a simulated thread
 /// (e.g. during host-side construction before the simulation starts).
+/// Lock-free, like [`now`].
+#[inline]
 pub fn try_now() -> Option<SimTime> {
-    CURRENT.with(|c| c.borrow().as_ref().map(|(inner, _)| inner.state.lock().now))
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(inner, _)| SimTime::from_nanos(inner.clock.load(Ordering::Relaxed)))
+    })
 }
 
 /// The calling simulated thread's id.
+#[inline]
 pub fn current_task() -> TaskId {
-    with_current(|_, tid| tid)
+    with_current_borrowed(|_, tid| tid)
 }
 
 /// The calling simulated thread's name.
@@ -1207,30 +1247,35 @@ pub fn current_task_name() -> String {
 /// Fast path: when the sleeper would still be the earliest runnable task at
 /// its wake time, the clock simply jumps forward without a carrier switch.
 pub fn sleep(d: Duration) {
-    with_current(|inner, tid| {
-        let wake = {
-            let mut st = inner.state.lock();
-            SimInner::poison_check(&st);
-            forbid_event_inline(&st, tid, "sleep()");
-            debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
-            let wake = st.now + d;
-            // Fast path: nothing else can legally run before `wake`. A peeked
-            // entry with wake time strictly earlier must run first; an equal
-            // wake time also runs first because its sequence number is older.
-            let must_switch = match st.heap.peek() {
-                Some(top) => top.wake <= wake,
-                None => false,
-            };
-            if !must_switch {
-                st.now = wake;
-                st.stats.fast_advances += 1;
-                return;
-            }
-            wake
+    // Fast path resolved entirely under the thread-local borrow: no Arc
+    // refcount traffic, no switch hook, no pump. Safe because nothing here
+    // re-enters the scheduler.
+    let wake = with_current_borrowed(|inner, tid| {
+        let mut st = inner.state.lock();
+        SimInner::poison_check(&st);
+        forbid_event_inline(&st, tid, "sleep()");
+        debug_assert_eq!(st.running, Some(tid), "sleeping thread must be running");
+        let wake = st.now + d;
+        // Fast path: nothing else can legally run before `wake`. A peeked
+        // entry with wake time strictly earlier must run first; an equal
+        // wake time also runs first because its sequence number is older.
+        let must_switch = match st.heap.peek() {
+            Some(top) => top.wake <= wake,
+            None => false,
         };
-        // A genuine handover: let instrumentation drain its buffers while we
-        // are still the sole running thread and no scheduler lock is held.
-        run_switch_hook();
+        if !must_switch {
+            st.now = wake;
+            inner.clock.store(wake.as_nanos(), Ordering::Relaxed);
+            st.stats.fast_advances += 1;
+            return None;
+        }
+        Some(wake)
+    });
+    let Some(wake) = wake else { return };
+    // A genuine handover: let instrumentation drain its buffers while we
+    // are still the sole running thread and no scheduler lock is held.
+    run_switch_hook();
+    with_current(|inner, tid| {
         let mut st = inner.state.lock();
         SimInner::poison_check(&st);
         // Slow path: hand over and wait for our turn. Unconditionally valid

@@ -31,6 +31,85 @@ pub struct Run {
     pub hit: bool,
 }
 
+/// Result of [`PageCache::plan_read`]: either a single run — the common
+/// cold-miss / warm-hit case, carried inline with no heap allocation — or
+/// a list for reads that straddle residency boundaries. Dereferences to
+/// `[Run]` and iterates by value, so callers treat both shapes alike.
+#[derive(Clone, Debug)]
+pub enum ReadPlan {
+    /// The whole request is one run (all-hit or all-miss).
+    One(Run),
+    /// The request fragments into multiple runs.
+    Many(Vec<Run>),
+}
+
+impl std::ops::Deref for ReadPlan {
+    type Target = [Run];
+
+    #[inline]
+    fn deref(&self) -> &[Run] {
+        match self {
+            ReadPlan::One(r) => std::slice::from_ref(r),
+            ReadPlan::Many(v) => v,
+        }
+    }
+}
+
+impl IntoIterator for ReadPlan {
+    type Item = Run;
+    type IntoIter = ReadPlanIter;
+
+    #[inline]
+    fn into_iter(self) -> ReadPlanIter {
+        match self {
+            ReadPlan::One(r) => ReadPlanIter::One(Some(r).into_iter()),
+            ReadPlan::Many(v) => ReadPlanIter::Many(v.into_iter()),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ReadPlan {
+    type Item = &'a Run;
+    type IntoIter = std::slice::Iter<'a, Run>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// By-value iterator over a [`ReadPlan`].
+pub enum ReadPlanIter {
+    /// Iterating a single-run plan.
+    One(std::option::IntoIter<Run>),
+    /// Iterating a fragmented plan.
+    Many(std::vec::IntoIter<Run>),
+}
+
+impl Iterator for ReadPlanIter {
+    type Item = Run;
+
+    #[inline]
+    fn next(&mut self) -> Option<Run> {
+        match self {
+            ReadPlanIter::One(i) => i.next(),
+            ReadPlanIter::Many(i) => i.next(),
+        }
+    }
+}
+
+impl PartialEq for ReadPlan {
+    fn eq(&self, other: &ReadPlan) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Vec<Run>> for ReadPlan {
+    fn eq(&self, other: &Vec<Run>) -> bool {
+        **self == other[..]
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Interval {
     end: u64,
@@ -50,6 +129,13 @@ struct CacheState {
     lru: BTreeSet<(u64, CacheKey, u64)>,
     used: u64,
     tick: u64,
+    /// The clean interval currently holding the maximum tick, if known.
+    /// A warm read that hits this interval again is already most-recently
+    /// used, so its LRU refresh would not change eviction order and is
+    /// skipped — the dominant pattern (streaming through one file) then
+    /// costs zero ordered-index operations per hit. Cleared by any
+    /// mutation that could crown a different interval.
+    mru: Option<(CacheKey, u64)>,
 }
 
 /// Statistics, primarily for tests and reports.
@@ -79,6 +165,7 @@ impl PageCache {
                 lru: BTreeSet::new(),
                 used: 0,
                 tick: 0,
+                mru: None,
             }),
             capacity,
             stats: CacheStats::default(),
@@ -106,12 +193,85 @@ impl PageCache {
 
     /// Split `[offset, offset+len)` of `key` into hit/miss runs, refreshing
     /// LRU position of touched intervals. Does not insert anything.
-    pub fn plan_read(&self, key: CacheKey, offset: u64, len: u64) -> Vec<Run> {
+    ///
+    /// The two dominant shapes — no resident overlap (cold) and a single
+    /// interval covering the whole request (warm) — return
+    /// [`ReadPlan::One`] without touching the heap; only reads that
+    /// straddle residency boundaries allocate.
+    pub fn plan_read(&self, key: CacheKey, offset: u64, len: u64) -> ReadPlan {
+        if len == 0 {
+            return ReadPlan::Many(Vec::new());
+        }
         let mut st = self.st.lock();
         st.tick += 1;
         let tick = st.tick;
-        let mut runs = Vec::new();
         let end = offset + len;
+
+        // Allocation-free fast paths: zero overlapping intervals, or one
+        // interval covering the entire request.
+        enum Fast {
+            Cold,
+            Warm { start: u64, tick: u64, dirty: bool },
+            Slow,
+        }
+        let fast = match st.files.get(&key) {
+            None => Fast::Cold,
+            Some(fi) => {
+                let mut it = fi
+                    .map
+                    .range(..end)
+                    .rev()
+                    .take_while(|(_, iv)| iv.end > offset);
+                match it.next() {
+                    None => Fast::Cold,
+                    Some((&s, iv)) => {
+                        let (iv_end, iv_tick, iv_dirty) = (iv.end, iv.tick, iv.dirty);
+                        if s <= offset && iv_end >= end && it.next().is_none() {
+                            Fast::Warm {
+                                start: s,
+                                tick: iv_tick,
+                                dirty: iv_dirty,
+                            }
+                        } else {
+                            Fast::Slow
+                        }
+                    }
+                }
+            }
+        };
+        match fast {
+            Fast::Cold => {
+                self.stats.miss_bytes.fetch_add(len, Ordering::Relaxed);
+                return ReadPlan::One(Run {
+                    offset,
+                    len,
+                    hit: false,
+                });
+            }
+            Fast::Warm {
+                start,
+                tick: old_tick,
+                dirty,
+            } => {
+                if !dirty && st.mru != Some((key, start)) {
+                    if let Some(iv) = st.files.get_mut(&key).and_then(|fi| fi.map.get_mut(&start)) {
+                        iv.tick = tick;
+                    }
+                    st.lru.remove(&(old_tick, key, start));
+                    st.lru.insert((tick, key, start));
+                    st.mru = Some((key, start));
+                }
+                self.stats.hit_bytes.fetch_add(len, Ordering::Relaxed);
+                return ReadPlan::One(Run {
+                    offset,
+                    len,
+                    hit: true,
+                });
+            }
+            Fast::Slow => {}
+        }
+
+        let mut runs = Vec::new();
         let mut cur = offset;
 
         // Collect overlapping intervals first to avoid borrow conflicts.
@@ -179,9 +339,14 @@ impl PageCache {
                     let _ = iv;
                 }
             }
+            let mut any = false;
             for (old_tick, s) in refreshed {
                 st.lru.remove(&(old_tick, key, s));
                 st.lru.insert((tick, key, s));
+                any = true;
+            }
+            if any {
+                st.mru = None;
             }
         }
 
@@ -192,7 +357,7 @@ impl PageCache {
                 self.stats.miss_bytes.fetch_add(r.len, Ordering::Relaxed);
             }
         }
-        runs
+        ReadPlan::Many(runs)
     }
 
     /// Insert `[offset, offset+len)` of `key` as resident. `dirty` pins the
@@ -278,6 +443,7 @@ impl PageCache {
         }
         st.used += delta;
         // Re-index clean pieces.
+        st.mru = if dirty { None } else { Some((key, new_start)) };
         if !dirty {
             st.lru.insert((tick, key, new_start));
         }
@@ -293,6 +459,9 @@ impl PageCache {
                 break; // everything left is dirty/pinned
             };
             st.lru.remove(&(t, k, s));
+            if st.mru == Some((k, s)) {
+                st.mru = None;
+            }
             if let Some(fi) = st.files.get_mut(&k) {
                 if let Some(iv) = fi.map.remove(&s) {
                     let n = iv.end - s;
@@ -321,8 +490,13 @@ impl PageCache {
                 }
             }
         }
+        let mut any = false;
         for s in to_clean {
             st.lru.insert((tick, key, s));
+            any = true;
+        }
+        if any {
+            st.mru = None;
         }
         out
     }
@@ -330,6 +504,9 @@ impl PageCache {
     /// Drop all ranges of one file (e.g. on unlink).
     pub fn invalidate(&self, key: CacheKey) {
         let mut st = self.st.lock();
+        if st.mru.map(|(k, _)| k) == Some(key) {
+            st.mru = None;
+        }
         if let Some(fi) = st.files.remove(&key) {
             for (s, iv) in fi.map {
                 st.used -= iv.end - s;
@@ -346,6 +523,7 @@ impl PageCache {
         let mut st = self.st.lock();
         let st = &mut *st;
         st.lru.clear();
+        st.mru = None;
         for (_, fi) in st.files.iter_mut() {
             fi.map.retain(|s, iv| {
                 if iv.dirty {

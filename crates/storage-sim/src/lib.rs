@@ -21,7 +21,7 @@ pub mod local;
 pub mod lustre;
 pub mod stack;
 
-pub use cache::PageCache;
+pub use cache::{PageCache, ReadPlan, Run};
 pub use device::{CounterSnapshot, Device, DeviceError, DeviceFault, DeviceSpec, Dir, Positioning};
 pub use fs::{FileSystem, FsError, FsHandle, FsResult, Metadata, OpenOptions, WritePayload};
 pub use local::{LocalFs, LocalFsParams};

@@ -143,9 +143,9 @@ impl TraceMeRecorder {
                 t0: ev.start,
                 t1: ev.end,
                 origin: Origin::App,
-                target: Arc::from(ev.name.as_str()),
+                target: probe::intern(&ev.name),
                 kind: EventKind::TraceSpan {
-                    label: Arc::from(line.as_str()),
+                    label: probe::intern(&line),
                     stats: ev.stats,
                 },
             });

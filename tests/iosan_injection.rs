@@ -194,7 +194,7 @@ fn synthetic(task: u64, target: &str, kind: EventKind) -> IoEvent {
         t0: SimTime::ZERO,
         t1: SimTime::ZERO,
         origin: Origin::App,
-        target: Arc::from(target),
+        target: probe::intern(target),
         kind,
     }
 }
