@@ -282,6 +282,7 @@ mod tests {
             files: vec![],
             sanitizer: None,
             scheduler: None,
+            explore: None,
         }
     }
 
@@ -309,6 +310,7 @@ mod tests {
             files,
             sanitizer: None,
             scheduler: None,
+            explore: None,
         }
     }
 

@@ -115,6 +115,7 @@ impl RankSession {
             files: per_file(&self.diff),
             sanitizer: None,
             scheduler: None,
+            explore: None,
         }
     }
 }
@@ -236,6 +237,7 @@ pub fn reduce_job_sessions(sessions: &[RankSession]) -> JobReport {
         files: per_file(&job_diff),
         sanitizer: None,
         scheduler: None,
+        explore: None,
     };
     JobReport {
         world_size: sessions.len() as u32,

@@ -29,6 +29,12 @@ pub struct TfDarshanReport {
     #[serde(default)]
     #[serde(skip_serializing_if = "Option::is_none")]
     pub scheduler: Option<SchedStatsReport>,
+    /// Summary of a schedule-space exploration run (`crates/explore`), when
+    /// the workload was model-checked rather than profiled once (absent
+    /// otherwise; old reports deserialize with `None`).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub explore: Option<ExploreSummary>,
 }
 
 /// Serializable mirror of [`simrt::SchedStats`]: what the discrete-event
@@ -55,6 +61,19 @@ pub struct SchedStatsReport {
     pub peak_live_tasks: u64,
     /// Lazy compactions of the run calendar.
     pub heap_compactions: u64,
+    /// Decision points where an installed `SchedulePolicy` was consulted
+    /// (0 for uncontrolled runs; old reports deserialize with 0).
+    #[serde(default)]
+    pub decision_points: u64,
+    /// Schedules executed by an exploration harness (aggregated).
+    #[serde(default)]
+    pub schedules_run: u64,
+    /// Schedules skipped by partial-order reduction.
+    #[serde(default)]
+    pub schedules_pruned: u64,
+    /// Maximum non-FIFO picks any explored schedule used.
+    #[serde(default)]
+    pub max_preemptions_used: u64,
 }
 
 impl From<simrt::SchedStats> for SchedStatsReport {
@@ -68,8 +87,36 @@ impl From<simrt::SchedStats> for SchedStatsReport {
             peak_heap_depth: s.peak_heap_depth as u64,
             peak_live_tasks: s.peak_live_tasks as u64,
             heap_compactions: s.heap_compactions,
+            decision_points: s.decision_points,
+            schedules_run: s.schedules_run,
+            schedules_pruned: s.schedules_pruned,
+            max_preemptions_used: s.max_preemptions_used,
         }
     }
+}
+
+/// Summary of one `explore::check` model-checking run, embedded in the job
+/// report next to the sanitizer summary. The full per-finding detail
+/// (replay tokens, deduplicated findings) lives in the `ExploreReport` the
+/// explore crate returns; this is the at-a-glance view.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreSummary {
+    /// Schedules actually executed.
+    pub schedules_run: u64,
+    /// Schedules skipped by partial-order reduction.
+    pub schedules_pruned: u64,
+    /// Decision points seen across all executed schedules.
+    pub decision_points: u64,
+    /// Maximum non-FIFO picks any executed schedule used.
+    pub max_preemptions_used: u64,
+    /// Distinct findings after fingerprint deduplication.
+    pub distinct_findings: u64,
+    /// Executed schedules on which at least one finding fired.
+    pub schedules_with_findings: u64,
+    /// True when the schedule budget ran out with unexplored branches left.
+    pub budget_exhausted: bool,
+    /// Sorted, deduplicated category names of the distinct findings.
+    pub categories: Vec<String>,
 }
 
 impl TfDarshanReport {
@@ -191,6 +238,40 @@ impl TfDarshanReport {
                 "run calendar: peak depth {} | compactions {}",
                 s.peak_heap_depth, s.heap_compactions
             );
+            if s.decision_points > 0 || s.schedules_run > 0 {
+                let _ = writeln!(
+                    out,
+                    "exploration: {} decision point(s) | {} schedule(s) run | {} pruned | max preemptions {}",
+                    s.decision_points, s.schedules_run, s.schedules_pruned, s.max_preemptions_used
+                );
+            }
+        }
+        if let Some(e) = &self.explore {
+            let _ = writeln!(out, "\n-- schedule exploration --");
+            let _ = writeln!(
+                out,
+                "{} schedule(s) run, {} pruned | {} decision point(s) | max preemptions {}{}",
+                e.schedules_run,
+                e.schedules_pruned,
+                e.decision_points,
+                e.max_preemptions_used,
+                if e.budget_exhausted {
+                    " | budget exhausted"
+                } else {
+                    ""
+                }
+            );
+            if e.distinct_findings == 0 {
+                let _ = writeln!(out, "verdict: clean on every explored schedule");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "verdict: {} distinct finding(s) [{}] on {} schedule(s)",
+                    e.distinct_findings,
+                    e.categories.join(", "),
+                    e.schedules_with_findings
+                );
+            }
         }
         out
     }
@@ -362,6 +443,7 @@ mod tests {
             files: vec![],
             sanitizer: None,
             scheduler: None,
+            explore: None,
         }
     }
 
@@ -415,11 +497,16 @@ mod tests {
             peak_heap_depth: 2_004,
             peak_live_tasks: 2_004,
             heap_compactions: 1,
+            ..Default::default()
         });
         let text = r.render_ascii();
         assert!(text.contains("-- scheduler --"));
         assert!(text.contains("tasks: 4 carrier + 2000 event (peak live 2004)"));
         assert!(text.contains("peak depth 2004 | compactions 1"));
+        assert!(
+            !text.contains("exploration:"),
+            "exploration line absent when all counters are zero"
+        );
         let back = TfDarshanReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back.scheduler, r.scheduler);
         // Reports written before the scheduler stats existed still parse.
@@ -428,6 +515,51 @@ mod tests {
             .unwrap()
             .scheduler
             .is_none());
+        // Reports written before the exploration counters were added to the
+        // scheduler block still parse, with the new fields defaulting to 0.
+        let pre_explore = r.to_json().replace("\"decision_points\": 0,", "");
+        let back = TfDarshanReport::from_json(&pre_explore).unwrap();
+        assert_eq!(back.scheduler.unwrap().decision_points, 0);
+    }
+
+    #[test]
+    fn explore_section_renders_and_roundtrips() {
+        let mut r = sample();
+        assert!(!r.render_ascii().contains("-- schedule exploration --"));
+        assert!(!r.to_json().contains("explore"), "absent when None");
+        r.explore = Some(ExploreSummary {
+            schedules_run: 37,
+            schedules_pruned: 12,
+            decision_points: 210,
+            max_preemptions_used: 2,
+            distinct_findings: 1,
+            schedules_with_findings: 4,
+            budget_exhausted: false,
+            categories: vec!["data-race".into()],
+        });
+        let text = r.render_ascii();
+        assert!(text.contains("-- schedule exploration --"));
+        assert!(text.contains("37 schedule(s) run, 12 pruned"));
+        assert!(text.contains("verdict: 1 distinct finding(s) [data-race] on 4 schedule(s)"));
+        let back = TfDarshanReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.explore, r.explore);
+        // Scheduler exploration counters render when nonzero.
+        r.scheduler = Some(SchedStatsReport {
+            decision_points: 210,
+            schedules_run: 37,
+            schedules_pruned: 12,
+            max_preemptions_used: 2,
+            ..Default::default()
+        });
+        assert!(r
+            .render_ascii()
+            .contains("exploration: 210 decision point(s) | 37 schedule(s) run | 12 pruned"));
+        // A clean exploration says so.
+        r.explore.as_mut().unwrap().distinct_findings = 0;
+        r.explore.as_mut().unwrap().categories.clear();
+        assert!(r
+            .render_ascii()
+            .contains("verdict: clean on every explored schedule"));
     }
 
     #[test]

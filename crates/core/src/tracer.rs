@@ -71,6 +71,7 @@ impl Tracer for DarshanTracer {
             files,
             sanitizer: None,
             scheduler: None,
+            explore: None,
         };
 
         // Statistics plane: one summary event carrying the headline stats.

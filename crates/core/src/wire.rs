@@ -95,6 +95,7 @@ mod tests {
                 files: vec![],
                 sanitizer: None,
                 scheduler: None,
+                explore: None,
             },
         }
     }

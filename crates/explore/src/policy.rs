@@ -1,0 +1,114 @@
+//! The controllable scheduler oracle: forces a decision prefix, fills the
+//! tail (FIFO for DFS, seeded pseudo-random for random walk), and records
+//! the full trace plus the event-stream watermark at every decision — the
+//! raw material for backtracking and partial-order reduction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simrt::{DecisionPoint, SchedulePolicy};
+
+/// One recorded decision: what the scheduler could have run, what was run,
+/// and how far the global event stream had progressed when the choice was
+/// made (used to locate each candidate's *next* operations for pruning).
+#[derive(Clone, Debug)]
+pub(crate) struct DecisionRec {
+    /// Candidate task ids, in FIFO (sequence) order.
+    pub tasks: Vec<u64>,
+    /// Index chosen (0 = FIFO).
+    pub chosen: u32,
+    /// Events delivered to the recording sink before this decision.
+    pub watermark: usize,
+}
+
+/// How to resolve decisions past the forced prefix.
+pub(crate) enum Tail {
+    /// FIFO (index 0) — used by DFS: a prefix plus FIFO tail is one
+    /// canonical schedule per tree node.
+    Fifo,
+    /// Seeded splitmix64 stream — used by the random walk.
+    Random(Mutex<u64>),
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The policy installed for every explored schedule.
+pub(crate) struct RecordingPolicy {
+    prefix: Vec<u32>,
+    tail: Tail,
+    /// Shared with the recording sink: events delivered so far.
+    delivered: Arc<AtomicUsize>,
+    trace: Mutex<Vec<DecisionRec>>,
+    /// Hard cap on recorded decisions (runaway-schedule guard); past it
+    /// the policy answers FIFO and stops recording.
+    max_decisions: usize,
+}
+
+impl RecordingPolicy {
+    pub(crate) fn new(
+        prefix: Vec<u32>,
+        tail: Tail,
+        delivered: Arc<AtomicUsize>,
+        max_decisions: usize,
+    ) -> Arc<Self> {
+        Arc::new(RecordingPolicy {
+            prefix,
+            tail,
+            delivered,
+            trace: Mutex::new(Vec::new()),
+            max_decisions,
+        })
+    }
+
+    /// The recorded trace (call after the run).
+    pub(crate) fn take_trace(&self) -> Vec<DecisionRec> {
+        std::mem::take(&mut self.trace.lock())
+    }
+}
+
+impl SchedulePolicy for RecordingPolicy {
+    fn choose(&self, point: &DecisionPoint<'_>) -> usize {
+        let n = point.candidates.len();
+        let mut trace = self.trace.lock();
+        let k = trace.len();
+        if k >= self.max_decisions {
+            return 0;
+        }
+        let chosen = if k < self.prefix.len() {
+            (self.prefix[k] as usize).min(n - 1)
+        } else {
+            match &self.tail {
+                Tail::Fifo => 0,
+                Tail::Random(state) => (splitmix64(&mut state.lock()) as usize) % n,
+            }
+        };
+        trace.push(DecisionRec {
+            tasks: point.candidates.iter().map(|c| c.task.0).collect(),
+            chosen: chosen as u32,
+            watermark: self.delivered.load(Ordering::SeqCst),
+        });
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

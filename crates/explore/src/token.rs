@@ -1,0 +1,173 @@
+//! Replay tokens: a schedule, serialized as its decision trace.
+//!
+//! A schedule is fully determined by the sequence of choices made at
+//! decision points (everything else in the simulation is deterministic), so
+//! a `Vec<u32>` of candidate indices is a complete, machine-independent
+//! reproducer. Index 0 is always the FIFO choice, which means a token is
+//! implicitly padded with zeros: decisions past the end of the trace fall
+//! back to FIFO, and trailing zeros can be dropped without changing the
+//! schedule — the property trace shrinking exploits.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Current replay token format version.
+pub const TOKEN_VERSION: u32 = 1;
+
+/// A serializable decision trace: the one-line reproducer for a schedule.
+///
+/// Two equivalent wire forms exist: JSON (via serde, for embedding in
+/// reports) and the compact display form `rt1:0.2.1` (version, colon,
+/// dot-separated candidate indices) that fits in a commit message or CI
+/// log line. `FromStr` parses the compact form back.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReplayToken {
+    /// Format version ([`TOKEN_VERSION`]).
+    pub version: u32,
+    /// Candidate index chosen at each decision point, in order. Decisions
+    /// beyond the end of the vector are FIFO (index 0).
+    pub decisions: Vec<u32>,
+}
+
+impl ReplayToken {
+    /// Token for the given decision trace.
+    pub fn new(decisions: Vec<u32>) -> Self {
+        ReplayToken {
+            version: TOKEN_VERSION,
+            decisions,
+        }
+    }
+
+    /// The default-FIFO schedule: no forced decisions at all.
+    pub fn fifo() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// Number of non-FIFO choices in the trace (the "preemption" count the
+    /// DFS bound limits).
+    pub fn preemptions(&self) -> u32 {
+        self.decisions.iter().filter(|&&d| d != 0).count() as u32
+    }
+
+    /// Canonical form: trailing zeros dropped (they are implied by the
+    /// FIFO fallback past the end of the trace).
+    pub fn canonical(&self) -> Self {
+        let mut decisions = self.decisions.clone();
+        while decisions.last() == Some(&0) {
+            decisions.pop();
+        }
+        ReplayToken {
+            version: self.version,
+            decisions,
+        }
+    }
+}
+
+impl fmt::Display for ReplayToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rt{}:", self.version)?;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing the compact `rt1:…` form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTokenError(pub String);
+
+impl fmt::Display for ParseTokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid replay token: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTokenError {}
+
+impl FromStr for ReplayToken {
+    type Err = ParseTokenError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix("rt")
+            .ok_or_else(|| ParseTokenError(format!("missing 'rt' prefix in {s:?}")))?;
+        let (ver, body) = rest
+            .split_once(':')
+            .ok_or_else(|| ParseTokenError(format!("missing ':' in {s:?}")))?;
+        let version: u32 = ver
+            .parse()
+            .map_err(|_| ParseTokenError(format!("bad version in {s:?}")))?;
+        if version != TOKEN_VERSION {
+            return Err(ParseTokenError(format!(
+                "unsupported version {version} (expected {TOKEN_VERSION})"
+            )));
+        }
+        let decisions = if body.is_empty() {
+            Vec::new()
+        } else {
+            body.split('.')
+                .map(|p| {
+                    p.parse::<u32>()
+                        .map_err(|_| ParseTokenError(format!("bad decision {p:?} in {s:?}")))
+                })
+                .collect::<Result<Vec<u32>, _>>()?
+        };
+        Ok(ReplayToken { version, decisions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for t in [
+            ReplayToken::fifo(),
+            ReplayToken::new(vec![0, 2, 1]),
+            ReplayToken::new(vec![7]),
+        ] {
+            let s = t.to_string();
+            assert_eq!(s.parse::<ReplayToken>().unwrap(), t, "{s}");
+        }
+        assert_eq!(ReplayToken::fifo().to_string(), "rt1:");
+        assert_eq!(ReplayToken::new(vec![0, 2, 1]).to_string(), "rt1:0.2.1");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = ReplayToken::new(vec![1, 0, 3]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ReplayToken = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn canonical_strips_trailing_zeros_only() {
+        assert_eq!(
+            ReplayToken::new(vec![0, 1, 0, 0]).canonical(),
+            ReplayToken::new(vec![0, 1])
+        );
+        assert_eq!(
+            ReplayToken::new(vec![0, 0]).canonical(),
+            ReplayToken::fifo()
+        );
+        assert_eq!(ReplayToken::new(vec![2]).preemptions(), 1);
+        assert_eq!(ReplayToken::new(vec![0, 0]).preemptions(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<ReplayToken>().is_err());
+        assert!("rt:".parse::<ReplayToken>().is_err());
+        assert!("rt2:1".parse::<ReplayToken>().is_err());
+        assert!("rt1:x".parse::<ReplayToken>().is_err());
+        assert!("1.2.3".parse::<ReplayToken>().is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Happens-before index over a raw probe event stream.
+//!
+//! A second, standalone consumer of the same vector-clock semantics the
+//! sanitizer applies while folding ([`crate::IoSanitizer`]): given a
+//! recorded event stream, [`HbIndex`] answers "is event *a* ordered before
+//! event *b* by synchronization edges?" for any pair. The `explore` model
+//! checker uses this for sleep-set-style partial-order reduction — a
+//! candidate swap of two operations that the clocks already order (or that
+//! touch disjoint state) cannot produce a new behaviour, so the schedule
+//! enumerating it is pruned.
+//!
+//! The index snapshots the emitting task's full clock at every event, which
+//! is O(events × tasks) memory — fine for exploration workloads (hundreds
+//! of events), deliberately not used on the main sanitizer path (which
+//! keeps the O(tasks) epoch representation).
+
+use std::collections::BTreeMap;
+
+use probe::{EventKind, IoEvent};
+use simrt::SyncOp;
+
+use crate::vc::VectorClock;
+
+/// Per-event happens-before oracle built from one schedule's event stream.
+pub struct HbIndex {
+    /// Per event: the emitting task and a snapshot of that task's clock
+    /// *after* folding the event's own edge.
+    clocks: Vec<(u64, VectorClock)>,
+}
+
+impl HbIndex {
+    /// Build the index by folding the stream once, applying exactly the
+    /// edges the sanitizer applies: Release/Signal snapshot-then-tick,
+    /// Acquire/Wait join, Spawn seeds the child, Join joins the child's
+    /// final clock.
+    pub fn from_events(events: &[IoEvent]) -> Self {
+        let mut task_clocks: BTreeMap<u64, VectorClock> = BTreeMap::new();
+        let mut rel_clocks: BTreeMap<u64, VectorClock> = BTreeMap::new();
+        let mut sig_clocks: BTreeMap<u64, VectorClock> = BTreeMap::new();
+        let mut finish_clocks: BTreeMap<u64, VectorClock> = BTreeMap::new();
+        // Same initialization as the sanitizer: a task's clock starts with
+        // its own component at 1, so a fresh task's epoch is never trivially
+        // contained in another task's (all-zero) view.
+        fn clock(map: &mut BTreeMap<u64, VectorClock>, task: u64) -> &mut VectorClock {
+            map.entry(task).or_insert_with(|| {
+                let mut c = VectorClock::new();
+                c.tick(task);
+                c
+            })
+        }
+        let mut clocks = Vec::with_capacity(events.len());
+        for ev in events {
+            let task = ev.task.0;
+            if let EventKind::Sync { op, obj } = &ev.kind {
+                let (op, obj) = (*op, *obj);
+                match op {
+                    SyncOp::Acquire => {
+                        if let Some(rel) = rel_clocks.get(&obj).cloned() {
+                            clock(&mut task_clocks, task).join(&rel);
+                        }
+                    }
+                    SyncOp::Release => {
+                        let snap = clock(&mut task_clocks, task).clone();
+                        rel_clocks.entry(obj).or_default().join(&snap);
+                        clock(&mut task_clocks, task).tick(task);
+                    }
+                    SyncOp::Signal => {
+                        let snap = clock(&mut task_clocks, task).clone();
+                        sig_clocks.entry(obj).or_default().join(&snap);
+                        clock(&mut task_clocks, task).tick(task);
+                    }
+                    SyncOp::Wait => {
+                        if let Some(sig) = sig_clocks.get(&obj).cloned() {
+                            clock(&mut task_clocks, task).join(&sig);
+                        }
+                    }
+                    SyncOp::Spawn => {
+                        let snap = clock(&mut task_clocks, task).clone();
+                        clock(&mut task_clocks, obj).join(&snap);
+                        clock(&mut task_clocks, task).tick(task);
+                    }
+                    SyncOp::Join => {
+                        if let Some(fin) = finish_clocks.get(&obj).cloned() {
+                            clock(&mut task_clocks, task).join(&fin);
+                        }
+                    }
+                    SyncOp::Finish => {
+                        let snap = clock(&mut task_clocks, task).clone();
+                        finish_clocks.insert(task, snap);
+                    }
+                }
+            }
+            clocks.push((task, clock(&mut task_clocks, task).clone()));
+        }
+        HbIndex { clocks }
+    }
+
+    /// Number of indexed events.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the stream was empty.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// True iff event `a` happens-before event `b` (standard epoch test:
+    /// `a`'s own component at `a` is contained in `b`'s clock). Same-task
+    /// events are always ordered by program order. Indices are positions in
+    /// the stream the index was built from; out-of-range panics.
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        let (task_a, ref clock_a) = self.clocks[a];
+        let (task_b, ref clock_b) = self.clocks[b];
+        if task_a == task_b {
+            return a <= b;
+        }
+        clock_a.get(task_a) <= clock_b.get(task_a) && a < b
+    }
+
+    /// True iff the pair is ordered in either direction.
+    pub fn ordered_either(&self, a: usize, b: usize) -> bool {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.ordered(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probe::{intern, Origin};
+    use simrt::{SimTime, TaskId};
+
+    fn ev(task: u64, kind: EventKind) -> IoEvent {
+        IoEvent {
+            task: TaskId(task),
+            pid: 0,
+            t0: SimTime::ZERO,
+            t1: SimTime::ZERO,
+            origin: Origin::App,
+            target: intern("x"),
+            kind,
+        }
+    }
+
+    fn sync(task: u64, op: SyncOp, obj: u64) -> IoEvent {
+        ev(task, EventKind::Sync { op, obj })
+    }
+
+    fn write(task: u64) -> IoEvent {
+        ev(
+            task,
+            EventKind::Write {
+                fd: 3,
+                offset: 0,
+                len: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn release_acquire_orders_cross_task_accesses() {
+        // t1 writes, releases lock 9; t2 acquires lock 9, writes.
+        let stream = vec![
+            write(1),                    // 0
+            sync(1, SyncOp::Release, 9), // 1
+            sync(2, SyncOp::Acquire, 9), // 2
+            write(2),                    // 3
+        ];
+        let hb = HbIndex::from_events(&stream);
+        assert!(hb.ordered(0, 3), "write-release-acquire-write is ordered");
+        assert!(hb.ordered_either(0, 3));
+        assert!(!hb.ordered(3, 0));
+    }
+
+    #[test]
+    fn unsynchronized_cross_task_accesses_are_unordered() {
+        let stream = vec![write(1), write(2)];
+        let hb = HbIndex::from_events(&stream);
+        assert!(!hb.ordered_either(0, 1));
+    }
+
+    #[test]
+    fn accesses_after_release_are_not_covered() {
+        // t1 releases, then writes; t2 acquires. t1's later write is NOT
+        // ordered before t2's access — the edge covers only pre-release ops.
+        let stream = vec![
+            sync(1, SyncOp::Release, 9), // 0
+            write(1),                    // 1
+            sync(2, SyncOp::Acquire, 9), // 2
+            write(2),                    // 3
+        ];
+        let hb = HbIndex::from_events(&stream);
+        assert!(!hb.ordered_either(1, 3));
+    }
+
+    #[test]
+    fn program_order_within_a_task() {
+        let stream = vec![write(1), write(1)];
+        let hb = HbIndex::from_events(&stream);
+        assert!(hb.ordered(0, 1));
+        assert!(!hb.ordered(1, 0));
+    }
+}

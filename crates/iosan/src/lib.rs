@@ -33,9 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hb;
 mod report;
 mod vc;
 
+pub use hb::HbIndex;
 pub use report::{Category, Finding, SanitizerReport, SanitizerSummary, Segment, Severity};
 pub use vc::VectorClock;
 
@@ -401,15 +403,23 @@ impl Inner {
     }
 
     /// Lock-order cycle detection over the acquired-while-holding graph.
+    /// Every traversal order here is sorted — roots, children, and the
+    /// color/reported bookkeeping — so the chosen witness cycle and its
+    /// event ids are identical across runs (see
+    /// `lock_cycle_witnesses_are_stable_across_runs`).
     fn detect_lock_cycles(&mut self) {
         let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for &(a, b) in self.lock_edges.keys() {
             adj.entry(a).or_default().push(b);
         }
+        for children in adj.values_mut() {
+            children.sort_unstable();
+            children.dedup();
+        }
         // Iterative DFS with colors; report each cycle once by its sorted
         // node set.
-        let mut reported: HashSet<Vec<u64>> = HashSet::new();
-        let mut color: HashMap<u64, u8> = HashMap::new(); // 0 white 1 grey 2 black
+        let mut reported: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut color: BTreeMap<u64, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
         for &start in adj.keys() {
             if color.get(&start).copied().unwrap_or(0) != 0 {
                 continue;
@@ -477,8 +487,10 @@ impl Inner {
 
     fn finalize(&mut self) -> SanitizerReport {
         // FD leaks: opener finished with the fd open, and nobody ever
-        // closed it before the run ended.
-        let leaks: Vec<(i32, PathId, u64, u64, u64)> = self
+        // closed it before the run ended. `fds` is a HashMap, so sort the
+        // survivors by open event id — execution order — to keep finding
+        // order (and thus the report) deterministic across runs.
+        let mut leaks: Vec<(i32, PathId, u64, u64, u64)> = self
             .fds
             .iter()
             .filter_map(|((_pid, fd), st)| match (st.closed, st.opener_finish) {
@@ -486,6 +498,7 @@ impl Inner {
                 _ => None,
             })
             .collect();
+        leaks.sort_unstable_by_key(|&(fd, _, _, open_event, _)| (open_event, fd));
         for (fd, path, opener, open_event, fin) in leaks {
             self.findings.push(Finding {
                 severity: Severity::Warning,
@@ -905,5 +918,105 @@ mod tests {
         assert_eq!(s.findings, 1);
         assert_eq!(s.errors, 1);
         assert_eq!(s.categories, vec!["data-race".to_string()]);
+    }
+
+    /// Acquire `b` while holding `a`, then release both: one a→b edge.
+    fn nested(task: u64, a: u64, b: u64) -> Vec<IoEvent> {
+        vec![
+            sync(task, SyncOp::Acquire, a),
+            sync(task, SyncOp::Acquire, b),
+            sync(task, SyncOp::Release, b),
+            sync(task, SyncOp::Release, a),
+        ]
+    }
+
+    /// Regression test for the determinism of lock-order cycle prediction:
+    /// with two overlapping cycles in the held→acquired graph, the chosen
+    /// witness cycles, their order, and their witness event ids must be
+    /// identical on every run over the same stream (the DFS iterates only
+    /// sorted structures — no HashMap order anywhere in the walk).
+    #[test]
+    fn lock_cycle_witnesses_are_stable_across_runs() {
+        let mut stream = Vec::new();
+        stream.extend(nested(1, 1, 2)); // 1→2
+        stream.extend(nested(2, 2, 1)); // 2→1: cycle {1,2}
+        stream.extend(nested(3, 2, 3)); // 2→3
+        stream.extend(nested(4, 3, 2)); // 3→2: cycle {2,3}
+        let run = || {
+            let san = IoSanitizer::new();
+            san.on_events(&stream);
+            san.finalize_report()
+        };
+        let a = run();
+        let b = run();
+        let cycles_a = a.of_category(Category::LockOrderCycle);
+        assert_eq!(
+            cycles_a.len(),
+            2,
+            "both cycles predicted: {}",
+            a.render_ascii()
+        );
+        // Byte-identical reports run to run: same cycles, same order, same
+        // witness event ids.
+        assert_eq!(a.to_json(), b.to_json());
+        // And the witnesses are the expected first-edge event ids, not
+        // whatever a hash order happened to visit.
+        for f in &cycles_a {
+            assert!(!f.witnesses.is_empty(), "cycle carries edge witnesses");
+        }
+        assert_eq!(
+            cycles_a[0].fingerprint(),
+            b.of_category(Category::LockOrderCycle)[0].fingerprint()
+        );
+    }
+
+    /// FD leak findings come out sorted by open event id (execution order),
+    /// not HashMap order.
+    #[test]
+    fn fd_leak_findings_are_ordered_by_open_event() {
+        let run = || {
+            let san = IoSanitizer::new();
+            san.on_events(&[
+                ev(1, EventKind::Open { fd: 9 }),
+                ev(1, EventKind::Open { fd: 3 }),
+                ev(1, EventKind::Open { fd: 7 }),
+                sync(1, SyncOp::Finish, 1),
+            ]);
+            san.finalize_report()
+        };
+        let a = run();
+        let leaks = a.of_category(Category::FdLeak);
+        assert_eq!(leaks.len(), 3);
+        let fds: Vec<u64> = leaks.iter().map(|f| f.witnesses[0]).collect();
+        let mut sorted = fds.clone();
+        sorted.sort_unstable();
+        assert_eq!(fds, sorted, "leaks ordered by open event id");
+        assert!(leaks[0].message.contains("fd 9"));
+        assert!(leaks[1].message.contains("fd 3"));
+        assert!(leaks[2].message.contains("fd 7"));
+        assert_eq!(a.to_json(), run().to_json(), "stable across runs");
+    }
+
+    /// The fingerprint identifies a finding across schedules: shifting
+    /// every event id (a different interleaving exposing the same bug)
+    /// leaves it unchanged; changing the access shape does not.
+    #[test]
+    fn fingerprints_are_schedule_independent() {
+        let race = |prefix: Vec<IoEvent>, offset: u64| {
+            let san = IoSanitizer::new();
+            let mut stream = prefix;
+            stream.push(write(1, 3, offset, 100));
+            stream.push(write(2, 4, offset + 50, 100));
+            san.on_events(&stream);
+            let r = san.finalize_report();
+            r.of_category(Category::DataRace)[0].fingerprint()
+        };
+        // An unrelated leading event shifts all witness ids but must not
+        // change the identity of the race.
+        let plain = race(vec![], 0);
+        let shifted = race(vec![sync(9, SyncOp::Signal, 42)], 0);
+        assert_eq!(plain, shifted);
+        // A genuinely different race shape gets a different identity.
+        assert_ne!(plain, race(vec![], 4096));
     }
 }

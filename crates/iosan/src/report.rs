@@ -35,6 +35,12 @@ pub enum Category {
     SymtabImbalance,
     /// Non-application-origin bytes folded into App-only statistics.
     OriginLeak,
+    /// A schedule reached a state with live tasks and nothing runnable.
+    /// Never produced by a single sanitized run (the scheduler panics with
+    /// the wait-for graph instead); the `explore` model checker converts
+    /// that panic into a finding so a deadlocking interleaving is reported
+    /// and replayable like any other verdict.
+    Deadlock,
 }
 
 impl Category {
@@ -48,6 +54,7 @@ impl Category {
             Category::LockOrderCycle => "lock-order-cycle",
             Category::SymtabImbalance => "symtab-imbalance",
             Category::OriginLeak => "origin-leak",
+            Category::Deadlock => "deadlock",
         }
     }
 }
@@ -88,6 +95,56 @@ pub struct Finding {
     pub segments: Vec<Segment>,
     /// Event ids in the analyzed stream that witness the finding.
     pub witnesses: Vec<u64>,
+}
+
+impl Finding {
+    /// Schedule-independent identity of the finding: an FNV-1a hash over
+    /// the category, file, involved tasks and segment shapes — but *not*
+    /// over event ids, witnesses or timestamps, which depend on the
+    /// interleaving that exposed the bug. Exploration harnesses use this
+    /// to deduplicate the same underlying defect across many schedules
+    /// and to check that replaying a [shrunk] trace reproduces the same
+    /// finding.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.category.name().as_bytes());
+        eat(&[0xff]);
+        eat(self.file.as_bytes());
+        eat(&[0xff]);
+        let mut tasks = self.tasks.clone();
+        tasks.sort_unstable();
+        for t in tasks {
+            eat(&t.to_le_bytes());
+        }
+        eat(&[0xff]);
+        let mut segs: Vec<(u64, u64, u64, bool)> = self
+            .segments
+            .iter()
+            .map(|s| (s.task, s.offset, s.len, s.write))
+            .collect();
+        segs.sort_unstable();
+        for (task, offset, len, write) in segs {
+            eat(&task.to_le_bytes());
+            eat(&offset.to_le_bytes());
+            eat(&len.to_le_bytes());
+            eat(&[write as u8]);
+        }
+        if self.tasks.is_empty() && self.segments.is_empty() {
+            // Lock cycles / symtab findings have no file or segment shape;
+            // the message (lock names, symbol list) is their identity.
+            eat(&[0xff]);
+            eat(self.message.as_bytes());
+        }
+        h
+    }
 }
 
 /// Full output of one sanitized run.

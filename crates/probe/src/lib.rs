@@ -212,7 +212,9 @@ pub enum EventKind {
 }
 
 /// One completed instrumented operation: who, when, on what, and what kind.
-#[derive(Clone, Debug)]
+/// `Eq` compares every field; replay harnesses (the `explore` crate) use it
+/// to assert two schedules produced byte-identical event streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IoEvent {
     /// Simulated thread that performed the operation.
     pub task: TaskId,
@@ -552,6 +554,24 @@ pub fn flush_current_thread() {
         }
     }
     FLUSHING.with(|f| f.set(false));
+}
+
+/// Drop every pending ring on the calling OS thread **without delivering**.
+/// Schedule-exploration harnesses call this between schedules: a replayed
+/// run must start from an empty instrumentation backplane, and events a
+/// previous schedule buffered but never flushed (e.g. because it deadlocked
+/// and was abandoned mid-run) must not leak into the next schedule's
+/// stream. A no-op outside exploration — normal teardown already discards
+/// defunct-bus rings at the next flush.
+pub fn discard_thread_rings() {
+    RINGS.with(|r| {
+        let mut reg = r.borrow_mut();
+        for (_, ring) in reg.entries.iter_mut() {
+            let mut dropped = Vec::new();
+            ring.drain_into(&mut dropped);
+        }
+        reg.entries.clear();
+    });
 }
 
 /// Bridges `simrt` synchronization events onto a [`ProbeBus`] as

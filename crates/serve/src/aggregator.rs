@@ -337,6 +337,8 @@ impl JobAggregate {
             files,
             sanitizer,
             scheduler: self.scheduler,
+            // Exploration runs offline, never over the live diff stream.
+            explore: None,
         }
     }
 }

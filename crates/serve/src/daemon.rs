@@ -233,6 +233,8 @@ impl ServeDaemon {
             threads.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     service.pump();
+                    // Host daemon thread ticking in real time, not sim code.
+                    // simlint: allow(host-sleep)
                     std::thread::sleep(interval);
                 }
             }));

@@ -56,7 +56,7 @@ mod time;
 pub use sched::{
     block, current_task, current_task_name, emit_sync, new_sync_obj_id, now, on_sim_thread,
     set_context_switch_hook, set_wait_context, sleep, sleep_until, try_now, wake, yield_now,
-    EventCx, EventHandle, EventPoll, EventTask, JoinHandle, SchedStats, Sim, SyncEvent,
-    SyncObserver, SyncOp, TaskId, WakeReason,
+    Candidate, DecisionPoint, EventCx, EventHandle, EventPoll, EventTask, JoinHandle, SchedStats,
+    SchedulePolicy, Sim, SyncEvent, SyncObserver, SyncOp, TaskId, WakeReason,
 };
 pub use time::{dur, SimTime};

@@ -137,6 +137,43 @@ pub trait SyncObserver: Send + Sync {
     fn on_sync(&self, ev: &SyncEvent);
 }
 
+/// One runnable task offered to a [`SchedulePolicy`] at a decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The runnable task.
+    pub task: TaskId,
+    /// True when the task would wake by timeout (a timed block whose
+    /// deadline fired) rather than by an explicit notify.
+    pub timeout: bool,
+}
+
+/// A scheduling decision point: more than one task is runnable at the same
+/// virtual instant. `candidates` is ordered by calendar sequence — index 0
+/// is the task the default FIFO tie-break would run, so a policy that
+/// always answers `0` reproduces the uncontrolled schedule exactly.
+#[derive(Debug)]
+pub struct DecisionPoint<'a> {
+    /// The virtual instant being dispatched.
+    pub now: SimTime,
+    /// The runnable tasks, in FIFO (sequence) order. Always ≥ 2 entries.
+    pub candidates: &'a [Candidate],
+}
+
+/// A pluggable scheduler oracle, consulted at every point where more than
+/// one task is runnable at the same virtual instant ([`Sim::set_schedule_policy`]).
+/// This is the hook the `explore` model checker drives to enumerate
+/// interleavings; with no policy installed the scheduler takes the FIFO
+/// fast path and behaves byte-identically to an uncontrolled run.
+///
+/// `choose` runs **with the scheduler state lock held**: it must be pure —
+/// no scheduler calls (spawn/sleep/now/wake), no sync primitives, no
+/// blocking — and should return quickly. Out-of-range indices are clamped
+/// to the last candidate.
+pub trait SchedulePolicy: Send + Sync {
+    /// Pick which candidate to dispatch, by index into `point.candidates`.
+    fn choose(&self, point: &DecisionPoint<'_>) -> usize;
+}
+
 /// Allocate a process-wide unique id for a synchronization object.
 /// Allocation order is deterministic within a simulation because only one
 /// simulated thread runs at a time.
@@ -392,6 +429,19 @@ pub struct SchedStats {
     pub peak_live_tasks: usize,
     /// Lazy compactions of the run calendar (stale fraction exceeded ½).
     pub heap_compactions: u64,
+    /// Decision points: dispatches where >1 task was runnable at the same
+    /// virtual instant and an installed [`SchedulePolicy`] was consulted.
+    /// Always 0 without a policy (the FIFO fast path does not look).
+    pub decision_points: u64,
+    /// Schedules executed by an exploration harness. A single `Sim` never
+    /// fills this; the `explore` crate aggregates it across runs so the
+    /// report and the ascii overview share one source of truth.
+    pub schedules_run: u64,
+    /// Schedules skipped by partial-order reduction during exploration.
+    pub schedules_pruned: u64,
+    /// Maximum number of non-FIFO picks (preemptions) any explored
+    /// schedule used.
+    pub max_preemptions_used: u64,
 }
 
 struct SchedState {
@@ -431,6 +481,11 @@ pub(crate) struct SimInner {
     /// Cheap pre-check so [`emit_sync`] costs one relaxed load when no
     /// observer is registered (the common case).
     sync_active: AtomicBool,
+    /// Scheduling oracle for equal-instant dispatch ([`Sim::set_schedule_policy`]).
+    schedule_policy: RwLock<Option<Arc<dyn SchedulePolicy>>>,
+    /// Cheap pre-check so `dispatch_next` costs one relaxed load when no
+    /// policy is installed (the common case — byte-identical FIFO).
+    policy_active: AtomicBool,
     /// Mirror of `state.now` in nanoseconds, refreshed at every point the
     /// clock advances (dispatch, sleep fast path). Lets [`now`]/[`try_now`]
     /// on the running simulated thread read the clock without taking the
@@ -502,16 +557,28 @@ impl SimInner {
     }
 
     /// Pop the next valid entry and make its task Running. Caller must hold
-    /// the lock; `running` must be `None`.
-    fn dispatch_next(st: &mut SchedState) -> Dispatch {
+    /// the lock; `running` must be `None`. With a [`SchedulePolicy`]
+    /// installed, every set of dispatchable entries sharing the earliest
+    /// instant becomes a decision point and the policy picks the winner;
+    /// otherwise the FIFO (wake, seq) pop order decides, exactly as before.
+    fn dispatch_next(inner: &SimInner, st: &mut SchedState) -> Dispatch {
         debug_assert!(st.running.is_none());
         while let Some(e) = st.heap.pop() {
-            let Some(info) = st.tasks.get_mut(&e.tid) else {
+            let Some(info) = st.tasks.get(&e.tid) else {
                 continue;
             };
             if info.gen != e.gen {
                 continue; // stale tombstone
             }
+            if matches!(info.state, TaskState::Running | TaskState::Finished) {
+                continue;
+            }
+            let e = if inner.policy_active.load(Ordering::Relaxed) {
+                Self::choose_at_instant(inner, st, e)
+            } else {
+                e
+            };
+            let info = st.tasks.get_mut(&e.tid).expect("validated above");
             match info.state {
                 TaskState::Ready => {
                     info.state = TaskState::Running;
@@ -522,7 +589,7 @@ impl SimInner {
                     info.state = TaskState::Running;
                     info.wake_reason = WakeReason::Timeout;
                 }
-                TaskState::Running | TaskState::Finished => continue,
+                TaskState::Running | TaskState::Finished => unreachable!("validated above"),
             }
             info.gen += 1;
             info.has_entry = false;
@@ -546,6 +613,56 @@ impl SimInner {
             }
         }
         Dispatch::Idle
+    }
+
+    /// With a [`SchedulePolicy`] installed: collect every other
+    /// dispatchable entry at the same virtual instant as `first` (pop
+    /// order = sequence order = FIFO, so candidate index 0 is the default
+    /// choice), consult the policy when there is a genuine choice, and
+    /// push the losers back untouched — same generation and sequence, so
+    /// their FIFO priority is preserved for the next decision and the
+    /// calendar accounting (`has_entry`/`valid_entries`) is unchanged.
+    fn choose_at_instant(inner: &SimInner, st: &mut SchedState, first: Entry) -> Entry {
+        let mut cands: Vec<Entry> = vec![first];
+        while let Some(top) = st.heap.peek() {
+            if top.wake != cands[0].wake {
+                break;
+            }
+            let e = st.heap.pop().expect("peeked above");
+            let Some(info) = st.tasks.get(&e.tid) else {
+                continue;
+            };
+            if info.gen != e.gen || matches!(info.state, TaskState::Running | TaskState::Finished) {
+                continue; // stale tombstone: drop, as the pop loop would
+            }
+            cands.push(e);
+        }
+        if cands.len() == 1 {
+            return cands.pop().expect("one candidate");
+        }
+        st.stats.decision_points += 1;
+        let idx = match inner.schedule_policy.read().clone() {
+            Some(policy) => {
+                let view: Vec<Candidate> = cands
+                    .iter()
+                    .map(|e| Candidate {
+                        task: e.tid,
+                        timeout: matches!(st.tasks[&e.tid].state, TaskState::Blocked),
+                    })
+                    .collect();
+                let point = DecisionPoint {
+                    now: cands[0].wake,
+                    candidates: &view,
+                };
+                policy.choose(&point).min(cands.len() - 1)
+            }
+            None => 0, // raced clear: fall back to FIFO
+        };
+        let chosen = cands.swap_remove(idx);
+        for e in cands {
+            st.heap.push(e);
+        }
+        chosen
     }
 
     /// Detect deadlock: simulation started, nothing running, nothing
@@ -613,7 +730,7 @@ fn pump(inner: &Arc<SimInner>, st: &mut PlMutexGuard<'_, SchedState>) -> bool {
         if st.poison.is_some() {
             return false;
         }
-        let dispatched = SimInner::dispatch_next(st);
+        let dispatched = SimInner::dispatch_next(inner, st);
         if !matches!(dispatched, Dispatch::Idle) {
             // Publish the (possibly advanced) clock before the dispatched
             // task can observe it; the mutex/condvar handshake orders the
@@ -803,6 +920,8 @@ impl Sim {
                 cv: Condvar::new(),
                 sync_observer: RwLock::new(None),
                 sync_active: AtomicBool::new(false),
+                schedule_policy: RwLock::new(None),
+                policy_active: AtomicBool::new(false),
                 clock: AtomicU64::new(0),
             }),
         }
@@ -820,6 +939,21 @@ impl Sim {
     pub fn clear_sync_observer(&self) {
         self.inner.sync_active.store(false, Ordering::Relaxed);
         *self.inner.sync_observer.write() = None;
+    }
+
+    /// Install a [`SchedulePolicy`], turning every equal-instant dispatch
+    /// into a decision point the policy resolves. Replaces any previous
+    /// policy. Install before [`Sim::run`]; the policy is consulted with
+    /// the scheduler lock held and must not call back into the sim.
+    pub fn set_schedule_policy(&self, policy: Arc<dyn SchedulePolicy>) {
+        *self.inner.schedule_policy.write() = Some(policy);
+        self.inner.policy_active.store(true, Ordering::Relaxed);
+    }
+
+    /// Remove the installed policy, restoring the FIFO fast path.
+    pub fn clear_schedule_policy(&self) {
+        self.inner.policy_active.store(false, Ordering::Relaxed);
+        *self.inner.schedule_policy.write() = None;
     }
 
     /// Spawn a carrier task: a simulated thread carried by a real OS thread,
@@ -1967,5 +2101,60 @@ mod tests {
             assert!(now().as_nanos() >= 4_000_000);
         });
         sim.run();
+    }
+
+    /// Record the order tasks run in for a two-writer equal-instant rendezvous.
+    fn race_order(policy: Option<Arc<dyn SchedulePolicy>>) -> (Vec<&'static str>, SchedStats) {
+        let sim = Sim::new();
+        if let Some(p) = policy {
+            sim.set_schedule_policy(p);
+        }
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for name in ["a", "b", "c"] {
+            let order = order.clone();
+            sim.spawn(name, move || {
+                sleep(Duration::from_millis(1)); // all three wake at t=1ms
+                order.lock().push(name);
+            });
+        }
+        sim.run();
+        let o = order.lock().clone();
+        (o, sim.stats())
+    }
+
+    /// Pick `choice` at the t=1ms rendezvous, FIFO everywhere else (the
+    /// spawn instant t=0 is a decision point too; keeping it FIFO keeps
+    /// the calendar sequence order predictable for the assertion).
+    struct PickAtRendezvous(usize);
+    impl SchedulePolicy for PickAtRendezvous {
+        fn choose(&self, point: &DecisionPoint<'_>) -> usize {
+            if point.now.as_nanos() == 1_000_000 {
+                self.0
+            } else {
+                0
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_policy_reorders_equal_instant_wakes() {
+        let (fifo, st) = race_order(None);
+        assert_eq!(fifo, vec!["a", "b", "c"]);
+        assert_eq!(st.decision_points, 0, "no policy: FIFO fast path");
+
+        let (same, st) = race_order(Some(Arc::new(PickAtRendezvous(0))));
+        assert_eq!(same, fifo, "index-0 policy reproduces FIFO exactly");
+        assert!(st.decision_points >= 2, "policy consulted at t=0 and t=1ms");
+
+        // Picking the last candidate at every 1ms decision reverses the
+        // order; the non-chosen entries keep their FIFO priority.
+        let (rev, _) = race_order(Some(Arc::new(PickAtRendezvous(usize::MAX - 1))));
+        assert_eq!(rev, vec!["c", "b", "a"], "losers keep FIFO priority");
+    }
+
+    #[test]
+    fn schedule_policy_out_of_range_choice_is_clamped() {
+        let (order, _) = race_order(Some(Arc::new(PickAtRendezvous(usize::MAX))));
+        assert_eq!(order, vec!["c", "b", "a"]);
     }
 }

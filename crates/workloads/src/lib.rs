@@ -13,6 +13,7 @@ pub mod dataset;
 pub mod distributed_ablation;
 pub mod distributed_gate;
 pub mod experiments;
+pub mod explore_gate;
 pub mod iosan_gate;
 pub mod lmdb;
 pub mod models;

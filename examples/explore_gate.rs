@@ -1,0 +1,51 @@
+//! The exploration gate: schedule-space model checking in CI, exit 1 on
+//! failure.
+//!
+//! Entry one carries a seeded order-dependent data race that the FIFO
+//! schedule — i.e. a plain `iosan` run — can never observe. The gate
+//! demands that bounded DFS exploration finds it, that greedy shrinking
+//! yields a minimal replay token, and that replaying the token twice
+//! reproduces the finding with byte-identical canonical event streams.
+//! Entry two is the cured workload, which must stay clean on *every*
+//! explored schedule.
+//!
+//! ```text
+//! cargo run --release --example explore_gate
+//! ```
+
+use tf_darshan::explore::{replay, ReplayToken};
+use tf_darshan::workloads::explore_gate;
+
+fn main() {
+    // `explore_gate replay rt1:1` re-executes one schedule of the seeded
+    // workload from a replay token and prints its verdicts.
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "replay" {
+        let token: ReplayToken = args[2].parse().expect("valid replay token");
+        let out = replay(explore_gate::racy_workload, &token);
+        println!("replayed {} ({} events)", out.token, out.events.len());
+        print!("{}", out.report.render_ascii());
+        std::process::exit(i32::from(!out.report.findings.is_empty()));
+    }
+
+    let results = explore_gate::run_gate();
+    for r in &results {
+        if let Some(f) = r.report.findings.first() {
+            println!(
+                "{}: finding '{}' reproducible with: cargo run --example explore_gate -- replay {}",
+                r.name,
+                f.finding.category.name(),
+                f.token
+            );
+        }
+        println!(
+            "{}: explore summary: {}",
+            r.name,
+            serde_json::to_string(&r.report.summary()).expect("summary serializes")
+        );
+    }
+    println!("\n{}", explore_gate::render(&results));
+    if !explore_gate::gate_passes(&results) {
+        std::process::exit(1);
+    }
+}

@@ -46,6 +46,7 @@ fn main() {
     }
 
     // Give the TCP path a beat to drain, then scrape like an operator.
+    // simlint: allow(host-sleep)
     std::thread::sleep(std::time::Duration::from_millis(100));
     let (_, metrics) = daemon.get("/metrics").expect("scrape");
     println!("\n$ curl /metrics (per-job families)");

@@ -2,6 +2,7 @@
 #![forbid(unsafe_code)]
 pub use darshan_sim as darshan;
 pub use dstat_sim as dstat;
+pub use explore;
 pub use iosan;
 pub use mpi_sim as mpi;
 pub use posix_sim as posix;

@@ -93,6 +93,7 @@ fn single_process_report() -> TfDarshanReport {
             files: per_file(&d),
             sanitizer: None,
             scheduler: None,
+            explore: None,
         });
     });
     sim.run();

@@ -1,0 +1,182 @@
+//! Replay-token determinism properties for the `explore` model checker.
+//!
+//! For arbitrary small task sets and arbitrary decision traces, a token
+//! that survives a serialize → deserialize round trip must replay to a
+//! byte-identical canonical probe event stream and identical sanitizer
+//! finding fingerprints, every time. This is the contract that makes a
+//! token pasted from a CI log a real reproducer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use tf_darshan::explore::{canonicalize, replay, ReplayToken};
+use tf_darshan::posix::{OpenFlags, Process};
+use tf_darshan::probe::ProbeBus;
+use tf_darshan::simrt::Sim;
+use tf_darshan::storage::{
+    Device, DeviceSpec, FileSystem, LocalFs, LocalFsParams, PageCache, StorageStack, WritePayload,
+};
+
+/// One operation a generated task performs.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `pwrite` of `len` bytes at `offset` into file `file`, optionally
+    /// under the shared lock.
+    Write {
+        file: u8,
+        offset: u64,
+        len: u64,
+        locked: bool,
+    },
+    /// `pread` of `len` bytes at `offset` from file `file`.
+    Read { file: u8, offset: u64, len: u64 },
+    /// Advance virtual time (creates decision points when tasks collide).
+    Sleep { micros: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct TaskSpec {
+    ops: Vec<Op>,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2, 0u64..3, 1u64..3, any::<bool>()).prop_map(|(file, off, len, locked)| {
+            Op::Write {
+                file,
+                offset: off * 4096,
+                len: len * 4096,
+                locked,
+            }
+        }),
+        (0u8..2, 0u64..3, 1u64..3).prop_map(|(file, off, len)| Op::Read {
+            file,
+            offset: off * 4096,
+            len: len * 4096,
+        }),
+        (1u64..4).prop_map(|ms| Op::Sleep { micros: ms * 500 }),
+    ]
+}
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<TaskSpec>> {
+    prop::collection::vec(
+        prop::collection::vec(op_strategy(), 1..4).prop_map(|ops| TaskSpec { ops }),
+        2..4,
+    )
+}
+
+fn decisions_strategy() -> impl Strategy<Value = Vec<u32>> {
+    // Out-of-range indices are legal: the policy clamps to the last
+    // candidate, and the property must hold regardless.
+    prop::collection::vec(0u32..4, 0..6)
+}
+
+/// Build the workload closure for one generated task set.
+fn workload(tasks: Vec<TaskSpec>) -> impl Fn(&Sim) -> ProbeBus {
+    move |sim: &Sim| {
+        let fs = LocalFs::new(
+            Device::new(DeviceSpec::sata_ssd("ssd0")),
+            Arc::new(PageCache::new(1 << 30)),
+            LocalFsParams::default(),
+        );
+        let stack = StorageStack::new();
+        stack.mount("/data", fs as Arc<dyn FileSystem>);
+        let p = Process::new(stack);
+        let bus = p.probe().clone();
+        let lock = Arc::new(tf_darshan::simrt::sync::Mutex::named((), Some("shared")));
+        for (i, spec) in tasks.iter().cloned().enumerate() {
+            let (p, lock) = (p.clone(), lock.clone());
+            sim.spawn(format!("t{i}"), move || {
+                // Rendezvous so every task is runnable at the same instant.
+                tf_darshan::simrt::sleep(Duration::from_millis(1));
+                let flags = OpenFlags {
+                    read: true,
+                    write: true,
+                    create: true,
+                    ..Default::default()
+                };
+                let fds = [
+                    p.open("/data/f0", flags).unwrap(),
+                    p.open("/data/f1", flags).unwrap(),
+                ];
+                for op in &spec.ops {
+                    match *op {
+                        Op::Write {
+                            file,
+                            offset,
+                            len,
+                            locked,
+                        } => {
+                            let fd = fds[file as usize];
+                            if locked {
+                                let _g = lock.lock();
+                                p.pwrite(fd, offset, WritePayload::Synthetic(len)).unwrap();
+                            } else {
+                                p.pwrite(fd, offset, WritePayload::Synthetic(len)).unwrap();
+                            }
+                        }
+                        Op::Read { file, offset, len } => {
+                            // Short reads past EOF are fine; errors are not
+                            // expected but must not abort the schedule.
+                            let _ = p.pread(fds[file as usize], offset, len, None);
+                        }
+                        Op::Sleep { micros } => {
+                            tf_darshan::simrt::sleep(Duration::from_micros(micros));
+                        }
+                    }
+                }
+                for fd in fds {
+                    p.close(fd).unwrap();
+                }
+            });
+        }
+        bus
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// serialize → deserialize → replay twice ⇒ identical canonical event
+    /// streams and identical finding fingerprints, also identical to a
+    /// replay of the original (never-serialized) token.
+    #[test]
+    fn replay_token_roundtrip_is_byte_identical(
+        tasks in tasks_strategy(),
+        decisions in decisions_strategy(),
+    ) {
+        let token = ReplayToken::new(decisions);
+
+        // Wire round trips: compact display form and JSON.
+        let compact: ReplayToken = token.to_string().parse().unwrap();
+        prop_assert_eq!(&compact, &token);
+        let json = serde_json::to_string(&token).unwrap();
+        let parsed: ReplayToken = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&parsed, &token);
+
+        let w = workload(tasks);
+        let r0 = replay(&w, &token);
+        let r1 = replay(&w, &parsed);
+        let r2 = replay(&w, &parsed);
+
+        prop_assert_eq!(canonicalize(&r0.events), canonicalize(&r1.events));
+        prop_assert_eq!(canonicalize(&r1.events), canonicalize(&r2.events));
+        prop_assert_eq!(&r0.fingerprints, &r1.fingerprints);
+        prop_assert_eq!(&r1.fingerprints, &r2.fingerprints);
+        prop_assert_eq!(r1.token, r2.token);
+    }
+
+    /// The FIFO token (no forced decisions) is the plain sanitized run:
+    /// replaying it twice is deterministic too.
+    #[test]
+    fn fifo_replay_is_deterministic(tasks in tasks_strategy()) {
+        let w = workload(tasks);
+        let a = replay(&w, &ReplayToken::fifo());
+        let b = replay(&w, &ReplayToken::fifo());
+        prop_assert_eq!(canonicalize(&a.events), canonicalize(&b.events));
+        prop_assert_eq!(&a.fingerprints, &b.fingerprints);
+        prop_assert_eq!(a.report.findings.len(), b.report.findings.len());
+    }
+}

@@ -172,6 +172,10 @@ fn scheduler() -> impl Strategy<Value = Option<SchedStatsReport>> {
                         peak_heap_depth: b,
                         peak_live_tasks: a ^ b,
                         heap_compactions: switches.wrapping_add(b),
+                        decision_points: a.wrapping_add(b),
+                        schedules_run: a ^ switches,
+                        schedules_pruned: b ^ event_polls,
+                        max_preemptions_used: carrier_spawns.wrapping_add(a),
                     })
                 }
             ),
@@ -195,6 +199,7 @@ fn report() -> impl Strategy<Value = TfDarshanReport> {
                 files,
                 sanitizer,
                 scheduler,
+                explore: None,
             },
         )
 }

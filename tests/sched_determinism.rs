@@ -164,22 +164,22 @@ proptest! {
         // spawn order whatever mix of carriers and event tasks `flavors`
         // selects.
         let sim = Sim::new();
-        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
         for i in 0..k {
             let order = order.clone();
             if flavors >> (i % 64) & 1 == 1 {
                 sim.spawn_event(format!("e{i}"), move |_cx: &mut EventCx| {
-                    order.lock().unwrap().push(i);
+                    order.lock().push(i);
                     EventPoll::Done
                 });
             } else {
                 sim.spawn(format!("c{i}"), move || {
-                    order.lock().unwrap().push(i);
+                    order.lock().push(i);
                 });
             }
         }
         sim.run();
-        let got = order.lock().unwrap().clone();
+        let got = order.lock().clone();
         prop_assert_eq!(got, (0..k).collect::<Vec<_>>());
     }
 }
