@@ -9,6 +9,16 @@
 //!
 //! Usage: `cargo run -p bench --bin perf_gate [measured.json] [baseline.json]`
 //!
+//! `--fleet` switches to the fleet-scaling gate: it reads
+//! `results/ablation_fleet_scale.json` (written by `cargo bench -p bench
+//! --bench ablation_fleet_scale`) and enforces the scaling claims —
+//! tree-reduce time growing ≤ 2× from 256 to 1024 ranks, aggregate
+//! bandwidth at 1024 ranks ≥ 0.7× the linear extrapolation from 64, and
+//! the modeled 1024-rank reduce time within tolerance of the
+//! `fleet_reduce_modeled_ns_1024` baseline. These are virtual-time
+//! quantities, so unlike the host-time probe metrics they are
+//! machine-independent and regress only when the model regresses.
+//!
 //! To re-baseline after an intentional change, run the full (non-smoke)
 //! bench on a quiet machine and copy the refreshed metrics into
 //! `results/perf_baseline.json` (see PERF_BASELINE.md).
@@ -45,8 +55,135 @@ fn metric(v: &serde_json::Value, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric metric '{key}'"))
 }
 
+/// Ceiling on tree-reduce time growth over the 4× rank step 256 → 1024
+/// (a flat merge grows 4×; the tree adds two levels).
+const FLEET_REDUCE_GROWTH_LIMIT: f64 = 2.0;
+/// Floor on 1024-rank aggregate bandwidth as a fraction of the linear
+/// extrapolation from 64 ranks.
+const FLEET_LINEAR_FRACTION: f64 = 0.7;
+
+/// The `--fleet` gate over `results/ablation_fleet_scale.json`.
+fn fleet_gate(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let measured_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_path("ablation_fleet_scale.json"));
+    let baseline_path = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_path("perf_baseline.json"));
+    let tolerance = std::env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let (measured, baseline) = match (load(&measured_path), load(&baseline_path)) {
+        (Ok(m), Ok(b)) => (m, b),
+        (m, b) => {
+            for err in [m.err(), b.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf gate (fleet): {} vs baseline {}",
+        measured_path.display(),
+        baseline_path.display()
+    );
+
+    fn check(name: &str, got: f64, limit: f64, upper: bool, unit: &str) -> bool {
+        let ok = if upper { got <= limit } else { got >= limit };
+        println!(
+            "  {name:<32} {got:>10.3} {unit:<6} {} {limit:>10.3}   [{}]",
+            if upper { "limit" } else { "floor" },
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        !ok
+    }
+    let mut failed = false;
+    match metric(&measured, "reduce_growth_256_to_1024") {
+        Ok(g) => {
+            failed |= check(
+                "reduce growth 256 -> 1024",
+                g,
+                FLEET_REDUCE_GROWTH_LIMIT,
+                true,
+                "x",
+            );
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            failed = true;
+        }
+    }
+    match metric(&measured, "bandwidth_1024_vs_linear_64") {
+        Ok(f) => {
+            failed |= check(
+                "bandwidth at 1024 vs linear",
+                f,
+                FLEET_LINEAR_FRACTION,
+                false,
+                "x",
+            );
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            failed = true;
+        }
+    }
+    // The modeled 1024-rank reduce time against the committed baseline:
+    // deterministic virtual time, so any growth is a model regression.
+    let modeled_1024 = measured
+        .get("points")
+        .and_then(|p| p.as_array())
+        .and_then(|pts| {
+            pts.iter()
+                .find(|p| p.get("world_size").and_then(|w| w.as_u64()) == Some(1024))
+        })
+        .and_then(|p| p.get("reduce_modeled_ns"))
+        .and_then(serde_json::Value::as_f64);
+    match (
+        modeled_1024,
+        metric(&baseline, "fleet_reduce_modeled_ns_1024"),
+    ) {
+        (Some(got), Ok(base)) => {
+            failed |= check(
+                "reduce modeled ns at 1024 ranks",
+                got,
+                base * (1.0 + tolerance),
+                true,
+                "ns",
+            );
+        }
+        (got, base) => {
+            if got.is_none() {
+                eprintln!(
+                    "perf_gate: no 1024-rank point in {}",
+                    measured_path.display()
+                );
+            }
+            if let Err(e) = base {
+                eprintln!("perf_gate: {e}");
+            }
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("perf_gate: FAIL — see PERF_BASELINE.md for the re-baselining policy");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: PASS");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--fleet") {
+        args.next();
+        return fleet_gate(args);
+    }
     let measured_path = args
         .next()
         .map(PathBuf::from)

@@ -9,11 +9,13 @@
 //!   bus) plus an attached tf-Darshan session whose DXT segments are
 //!   stamped with the rank;
 //! * [`JobCtx`] — owns N `RankCtx`s over one shared [`StorageStack`] (the
-//!   cluster's parallel filesystem) and one shared **job bus**: every
-//!   rank's probe events are mirrored onto it, so job-wide consumers (the
-//!   sanitizer, job-level dstat) see all ranks' I/O in a single
-//!   op-completion-ordered stream while per-rank consumers keep reading
-//!   the rank's own bus;
+//!   cluster's parallel filesystem) plus rank-group **shard buses**
+//!   ([`DEFAULT_SHARD_RANKS`] ranks each): every rank's probe events are
+//!   mirrored onto its shard so wide jobs stop serializing on one spine;
+//!   consumers that need the strict job-wide op-completion order (the
+//!   sanitizer) get a lazily-attached job-wide bus via
+//!   [`JobCtx::job_bus`], while per-rank consumers keep reading the
+//!   rank's own bus;
 //! * [`JobReport`] — per-rank reports plus the job-level merge, using
 //!   parallel Darshan's shared-file reduction semantics: records of files
 //!   touched by several ranks merge (counters sum, extrema min/max, first
@@ -123,13 +125,26 @@ impl RankSession {
 /// The job view: per-rank reports plus the job-level merge.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobReport {
-    /// Number of ranks that contributed.
+    /// The job's true world size — **not** the number of sessions that
+    /// contributed. A rank that failed to produce a session no longer
+    /// silently shrinks the reported world; it shows up in
+    /// [`JobReport::missing_ranks`] instead.
     pub world_size: u32,
+    /// Ranks in `0..world_size` that contributed no session (crashed
+    /// before `mark_stop`, never attached, …). Empty for a complete job.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub missing_ranks: Vec<u32>,
     /// The job-level report over the merged records and the concatenated
     /// rank-tagged DXT timeline.
     pub job: TfDarshanReport,
     /// Per-rank reports, in rank order.
     pub per_rank: Vec<TfDarshanReport>,
+}
+
+/// Ranks in `0..world_size` with no session in `sessions`.
+pub(crate) fn missing_ranks_of(sessions: &[RankSession], world_size: u32) -> Vec<u32> {
+    let have: std::collections::HashSet<u32> = sessions.iter().map(|s| s.rank).collect();
+    (0..world_size).filter(|r| !have.contains(r)).collect()
 }
 
 /// Merge per-rank sessions into the job view with parallel Darshan's
@@ -140,7 +155,20 @@ pub struct JobReport {
 /// cumulative times sum); a record id unique to one rank passes through
 /// unchanged. The job window spans min-start..max-stop; the job DXT is the
 /// rank-tagged concatenation (kept in end-time order for `world_size > 1`).
+///
+/// This is the historical entry point and derives the world size from the
+/// session count — callers that know the true world size (and want missing
+/// ranks surfaced rather than silently absorbed) use
+/// [`reduce_job_sessions_sized`]; wide jobs use the log-depth
+/// [`crate::job_tree::reduce_job_sessions_tree`], which is byte-identical.
 pub fn reduce_job_sessions(sessions: &[RankSession]) -> JobReport {
+    reduce_job_sessions_sized(sessions, sessions.len() as u32)
+}
+
+/// [`reduce_job_sessions`] with the job's true `world_size` threaded
+/// through: the report carries it verbatim and lists the ranks that
+/// produced no session instead of pretending the world was smaller.
+pub fn reduce_job_sessions_sized(sessions: &[RankSession], world_size: u32) -> JobReport {
     assert!(
         !sessions.is_empty(),
         "job reduction needs at least one rank"
@@ -240,58 +268,97 @@ pub fn reduce_job_sessions(sessions: &[RankSession]) -> JobReport {
         explore: None,
     };
     JobReport {
-        world_size: sessions.len() as u32,
+        world_size,
+        missing_ranks: missing_ranks_of(sessions, world_size),
         job,
         per_rank: sessions.iter().map(|s| s.report()).collect(),
     }
 }
 
-/// N ranks over one shared storage stack, with one shared job bus.
+/// Default ranks per probe-bus shard: one shard per "node" of a typical
+/// cluster generation, and small enough that a shard-local consumer sees
+/// 1/16th of a 1k-rank job's traffic.
+pub const DEFAULT_SHARD_RANKS: usize = 64;
+
+/// N ranks over one shared storage stack, with rank-group **shard buses**
+/// and an on-demand job-wide bus.
+///
+/// Every rank's process mirrors its events onto its shard's [`ProbeBus`]
+/// (ranks `[k·shard_ranks, (k+1)·shard_ranks)` share shard `k`), so
+/// shard-local consumers — per-node dstat attribution, serve's live
+/// gauges — register on one shard and never see (or slow down) the other
+/// shards' sink snapshots. Consumers that need the strict job-wide
+/// op-completion order (the sanitizer's happens-before analysis) call
+/// [`JobCtx::job_bus`], which lazily attaches one more shared spine to
+/// every rank: a job that never asks for it — the fleet-scale default —
+/// pays nothing for it.
 pub struct JobCtx {
     stack: StorageStack,
-    job_bus: ProbeBus,
+    shard_ranks: usize,
+    shards: Vec<ProbeBus>,
+    job_bus: std::sync::OnceLock<ProbeBus>,
     ranks: Vec<RankCtx>,
 }
 
 impl JobCtx {
     /// Create `world_size` ranks, each with its own fresh [`Process`] over
-    /// the shared `stack`, tf-Darshan installed per rank, and the job bus
-    /// attached to every rank's process.
+    /// the shared `stack`, tf-Darshan installed per rank, and the rank's
+    /// shard bus attached to its process ([`DEFAULT_SHARD_RANKS`] ranks
+    /// per shard).
     pub fn new(stack: &StorageStack, world_size: usize, config: &TfDarshanConfig) -> Self {
         assert!(world_size > 0);
         let processes = (0..world_size)
             .map(|_| Process::new(stack.clone()))
             .collect();
-        Self::from_processes(stack.clone(), processes, config)
+        Self::from_processes(stack.clone(), processes, config, DEFAULT_SHARD_RANKS)
+    }
+
+    /// [`JobCtx::new`] with an explicit shard width (ranks per shard bus).
+    pub fn with_shard_ranks(
+        stack: &StorageStack,
+        world_size: usize,
+        config: &TfDarshanConfig,
+        shard_ranks: usize,
+    ) -> Self {
+        assert!(world_size > 0);
+        let processes = (0..world_size)
+            .map(|_| Process::new(stack.clone()))
+            .collect();
+        Self::from_processes(stack.clone(), processes, config, shard_ranks)
     }
 
     /// Wrap an existing [`MpiWorld`]'s rank processes — the path a
     /// distributed training job takes: `mpi-sim` owns the ranks and the
     /// collectives; the job context adds per-rank tf-Darshan sessions and
-    /// the shared job bus on top.
+    /// the shard buses on top.
     pub fn over_world(world: &MpiWorld, config: &TfDarshanConfig) -> Self {
         let processes: Vec<Arc<Process>> = (0..world.size()).map(|r| world.process(r)).collect();
         let stack = processes[0].stack().clone();
-        Self::from_processes(stack, processes, config)
+        Self::from_processes(stack, processes, config, DEFAULT_SHARD_RANKS)
     }
 
     fn from_processes(
         stack: StorageStack,
         processes: Vec<Arc<Process>>,
         config: &TfDarshanConfig,
+        shard_ranks: usize,
     ) -> Self {
-        let job_bus = ProbeBus::new();
+        assert!(shard_ranks > 0, "shards need at least one rank");
+        let shard_count = processes.len().div_ceil(shard_ranks);
+        let shards: Vec<ProbeBus> = (0..shard_count).map(|_| ProbeBus::new()).collect();
         let ranks = processes
             .into_iter()
             .enumerate()
             .map(|(r, p)| {
-                p.attach_shared_spine(&job_bus);
+                p.attach_shared_spine(&shards[r / shard_ranks]);
                 RankCtx::new(r as u32, p, config.clone())
             })
             .collect();
         JobCtx {
             stack,
-            job_bus,
+            shard_ranks,
+            shards,
+            job_bus: std::sync::OnceLock::new(),
             ranks,
         }
     }
@@ -311,12 +378,69 @@ impl JobCtx {
         &self.ranks
     }
 
-    /// The shared job bus: all ranks' I/O events (and, via
+    /// Ranks per shard bus.
+    pub fn shard_ranks(&self) -> usize {
+        self.shard_ranks
+    }
+
+    /// Number of shard buses.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard bus `shard` (events of ranks `shard·shard_ranks ..`).
+    pub fn shard_bus(&self, shard: usize) -> &ProbeBus {
+        &self.shards[shard]
+    }
+
+    /// The shard a rank's events land on.
+    pub fn shard_of_rank(&self, rank: u32) -> usize {
+        rank as usize / self.shard_ranks
+    }
+
+    /// Register one order-insensitive sink on **every shard bus** — the
+    /// merge stage for job-wide consumers that fold commutative counters
+    /// (dstat gauges, serve's live op/byte counters). The sink sees every
+    /// rank's events, each shard's stream in op-completion order, with no
+    /// ordering defined *across* shards — consumers that need the strict
+    /// job-wide order use [`JobCtx::job_bus`] instead. Returns one
+    /// `(shard, sink id)` pair per shard for
+    /// [`JobCtx::detach_shard_merge`].
+    pub fn attach_shard_merge(
+        &self,
+        sink: Arc<dyn probe::ProbeSink>,
+    ) -> Vec<(usize, probe::SinkId)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, bus)| (i, bus.register(sink.clone())))
+            .collect()
+    }
+
+    /// Unregister a sink attached with [`JobCtx::attach_shard_merge`].
+    pub fn detach_shard_merge(&self, ids: &[(usize, probe::SinkId)]) {
+        for (shard, id) in ids {
+            self.shards[*shard].unregister(*id);
+        }
+    }
+
+    /// The job-wide bus: all ranks' I/O events (and, via
     /// `probe::SyncBridge`, the job's sync events) in one
     /// op-completion-ordered stream. Job-wide consumers must read this one
     /// bus — cross-bus ordering is not defined.
+    ///
+    /// Created (and attached to every rank's process as an additional
+    /// shared spine) on first call: ranks only pay the job-wide mirroring
+    /// when something actually consumes it. Call before the events you
+    /// care about are emitted — typically before `sim.run()`.
     pub fn job_bus(&self) -> &ProbeBus {
-        &self.job_bus
+        self.job_bus.get_or_init(|| {
+            let bus = ProbeBus::new();
+            for r in &self.ranks {
+                r.process.attach_shared_spine(&bus);
+            }
+            bus
+        })
     }
 
     /// The shared storage stack (the parallel filesystem).
@@ -326,28 +450,71 @@ impl JobCtx {
 
     /// Begin a job-wide profiling window: every rank attaches (first time)
     /// and takes its start snapshot.
+    ///
+    /// Marking is charged in virtual time (`snapshot_cost_per_record` per
+    /// dirty record, on the calling task), so one caller marking all N
+    /// ranks serializes O(N) snapshot work on its carrier. Fleet-scale
+    /// drivers that already have one task per rank group should mark
+    /// concurrently via [`JobCtx::mark_start_span`] instead.
     pub fn mark_start(&self) -> Result<(), GotError> {
-        for r in &self.ranks {
+        self.mark_start_span(0, self.ranks.len())
+    }
+
+    /// End the job-wide window with per-rank stop snapshots. Same O(N)
+    /// caveat as [`JobCtx::mark_start`]; see [`JobCtx::mark_stop_span`].
+    pub fn mark_stop(&self) {
+        self.mark_stop_span(0, self.ranks.len());
+    }
+
+    /// [`JobCtx::mark_start`] for the rank span `lo..hi` only — in real
+    /// darshan the window marks are collectives where every rank snapshots
+    /// *its own* state concurrently, and this is the simulated shape: each
+    /// node carrier marks the ranks it drives, so the per-rank snapshot
+    /// cost parallelizes over carriers instead of serializing on one.
+    pub fn mark_start_span(&self, lo: usize, hi: usize) -> Result<(), GotError> {
+        for r in &self.ranks[lo..hi] {
             r.wrapper.mark_start()?;
         }
         Ok(())
     }
 
-    /// End the job-wide window with per-rank stop snapshots.
-    pub fn mark_stop(&self) {
-        for r in &self.ranks {
+    /// [`JobCtx::mark_stop`] for the rank span `lo..hi` only.
+    pub fn mark_stop_span(&self, lo: usize, hi: usize) {
+        for r in &self.ranks[lo..hi] {
             r.wrapper.mark_stop();
         }
     }
 
     /// Extract every rank's session and reduce to the job view. `None`
-    /// until a start/stop pair exists on every rank.
+    /// until a start/stop pair exists on every rank. Runs the log-depth
+    /// tree reduction (byte-identical to [`reduce_job_sessions`]).
     pub fn collect(&self) -> Option<JobReport> {
         let sessions: Vec<RankSession> = self.ranks.iter().filter_map(|r| r.session()).collect();
         if sessions.len() != self.ranks.len() {
             return None;
         }
-        Some(reduce_job_sessions(&sessions))
+        let (report, _) = crate::job_tree::reduce_job_sessions_tree(
+            &sessions,
+            self.ranks.len() as u32,
+            &crate::job_tree::TreeReduceConfig::default(),
+        );
+        Some(report)
+    }
+
+    /// [`JobCtx::collect`] that tolerates missing ranks: reduces whatever
+    /// sessions exist (`None` only when no rank has one) and surfaces the
+    /// sessionless ranks in [`JobReport::missing_ranks`].
+    pub fn collect_partial(&self) -> Option<JobReport> {
+        let sessions: Vec<RankSession> = self.ranks.iter().filter_map(|r| r.session()).collect();
+        if sessions.is_empty() {
+            return None;
+        }
+        let (report, _) = crate::job_tree::reduce_job_sessions_tree(
+            &sessions,
+            self.ranks.len() as u32,
+            &crate::job_tree::TreeReduceConfig::default(),
+        );
+        Some(report)
     }
 
     /// Spawn one *event task* per rank as the rank's driver — the scalable
@@ -370,9 +537,19 @@ impl JobCtx {
             .collect()
     }
 
-    /// Detach the job bus from every rank's process (the per-rank buses
-    /// and sessions stay live).
+    /// Detach the job-wide bus (if one was created) from every rank's
+    /// process; the shard buses, per-rank buses and sessions stay live.
     pub fn detach_job_bus(&self) {
+        if let Some(bus) = self.job_bus.get() {
+            for r in &self.ranks {
+                r.process.detach_spine(bus);
+            }
+        }
+    }
+
+    /// Detach every shared spine — shard buses and the job-wide bus — from
+    /// every rank's process (the per-rank buses and sessions stay live).
+    pub fn detach_all_spines(&self) {
         for r in &self.ranks {
             r.process.detach_shared_spine();
         }

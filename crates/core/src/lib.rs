@@ -70,6 +70,7 @@ pub mod advisor;
 pub mod analysis;
 pub mod autotune;
 pub mod job;
+pub mod job_tree;
 pub mod report;
 pub mod staging;
 pub mod tracer;
@@ -81,7 +82,14 @@ pub use analysis::{
     analyze, bandwidth_series, diff, per_file, FileActivity, IoStats, SnapshotDiff, StdioStats,
 };
 pub use autotune::{IoAutoTuner, TuneStep};
-pub use job::{reduce_job_sessions, JobCtx, JobReport, RankCtx, RankSession};
+pub use job::{
+    reduce_job_sessions, reduce_job_sessions_sized, JobCtx, JobReport, RankCtx, RankSession,
+    DEFAULT_SHARD_RANKS,
+};
+pub use job_tree::{
+    reduce_job_sessions_tree, spawn_tree_reduce, TreeReduceConfig, TreeReduceHandle,
+    TreeReduceStats,
+};
 pub use report::{html_escape, overview, SchedStatsReport, TfDarshanReport};
 pub use staging::{
     advise_threshold, apply as apply_staging, plan_by_threshold, plan_within_budget, StagingPlan,

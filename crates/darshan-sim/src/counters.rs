@@ -170,8 +170,22 @@ impl CommonValues {
 
     /// Record one occurrence of `value`.
     pub fn add(&mut self, value: u64) {
+        self.add_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value` at once. Equivalent to calling
+    /// [`CommonValues::add`] `n` times in a row: a run of same-value adds
+    /// triggers at most one eviction (on the insert), and the eviction
+    /// decision depends only on the counts tracked *before* the run — so
+    /// the reduction paths can fold per-rank `(access, count)` slots
+    /// without an O(count) loop and still land on the identical tracker
+    /// state.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         if let Some(c) = self.counts.get_mut(&value) {
-            *c += 1;
+            *c += n;
             return;
         }
         if self.counts.len() >= Self::MAX_TRACKED {
@@ -184,7 +198,7 @@ impl CommonValues {
                 self.counts.remove(&evict);
             }
         }
-        self.counts.insert(value, 1);
+        self.counts.insert(value, n);
     }
 
     /// Top `n` (value, count) pairs, most frequent first (ties: smaller

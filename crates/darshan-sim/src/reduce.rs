@@ -158,6 +158,308 @@ pub fn reduce_job_stdio<R: std::borrow::Borrow<StdioRecord>>(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Pairwise (tree) reduction operators.
+//
+// `merge_posix_records` is a *left fold* in rank order, and two of its
+// ingredients are order-sensitive: f64 cumulative-time sums are not
+// associative, and the common-access tracker has bounded memory with
+// order-dependent eviction. A naive pairwise merge up a reduction tree
+// would therefore drift from the flat fold bit-by-bit. The fold types
+// below split the operator: every *associative* field (integer sums, byte
+// extrema, first-min-nonzero/last-max timestamps, max op times) merges
+// pairwise up the tree, while the order-sensitive remainder — the three
+// cumulative-time floats and the four `(access, count)` slots of each
+// contributor — rides along as a rank-ordered deferred list that the root
+// replays exactly as the flat fold would have. The result is byte-identical
+// to `merge_posix_records` for every tree shape (proptested in
+// `tests/proptests_extensions.rs`).
+// ---------------------------------------------------------------------------
+
+/// The order-sensitive slice of one POSIX contributor: its common-access
+/// slots (replayed into the tracker in rank order at the root) and its
+/// cumulative-time floats (left-folded in rank order at the root).
+#[derive(Clone, Copy, Debug)]
+pub struct PosixDeferred {
+    /// The contributor's `(ACCESSi_ACCESS, ACCESSi_COUNT)` slot pairs.
+    pub accesses: [(i64, i64); 4],
+    /// `[POSIX_F_READ_TIME, POSIX_F_WRITE_TIME, POSIX_F_META_TIME]`.
+    pub times: [f64; 3],
+}
+
+impl PosixDeferred {
+    fn of(r: &PosixRecord) -> Self {
+        PosixDeferred {
+            accesses: [
+                (
+                    r.get(P::POSIX_ACCESS1_ACCESS),
+                    r.get(P::POSIX_ACCESS1_COUNT),
+                ),
+                (
+                    r.get(P::POSIX_ACCESS2_ACCESS),
+                    r.get(P::POSIX_ACCESS2_COUNT),
+                ),
+                (
+                    r.get(P::POSIX_ACCESS3_ACCESS),
+                    r.get(P::POSIX_ACCESS3_COUNT),
+                ),
+                (
+                    r.get(P::POSIX_ACCESS4_ACCESS),
+                    r.get(P::POSIX_ACCESS4_COUNT),
+                ),
+            ],
+            times: [
+                r.fget(PF::POSIX_F_READ_TIME),
+                r.fget(PF::POSIX_F_WRITE_TIME),
+                r.fget(PF::POSIX_F_META_TIME),
+            ],
+        }
+    }
+}
+
+/// A partially reduced POSIX record group, mergeable pairwise up a
+/// reduction tree. `One` is a group a single rank contributed to so far —
+/// kept verbatim so a rank-private file passes through unchanged, exactly
+/// like the flat path's single-record group.
+#[derive(Clone, Debug)]
+pub enum PosixFold {
+    /// Exactly one contributor; passes through unchanged if it stays alone.
+    One(PosixRecord),
+    /// Two or more contributors: associative fields folded in `out`,
+    /// order-sensitive fields deferred in rank order.
+    Many {
+        /// Associative partial: summed counters (access slots excluded),
+        /// byte extrema, timestamp extrema, max op times.
+        out: PosixRecord,
+        /// Rank-ordered order-sensitive contributions.
+        deferred: Vec<PosixDeferred>,
+    },
+}
+
+/// Fold the associative slice of `r` into `out` — the exact statements of
+/// [`merge_posix_records`] minus the access slots and the cumulative-time
+/// sums. Also correct for folding one *partial* into another: every field
+/// it touches holds the same kind of partial value (a sum, a max, a
+/// min-nonzero) in a record and in a partial.
+fn fold_posix_assoc(out: &mut PosixRecord, r: &PosixRecord) {
+    for c in P::ALL {
+        let i = c as usize;
+        if MAX_COUNTERS.contains(&c) {
+            out.counters[i] = out.counters[i].max(r.counters[i]);
+        } else if !is_access_slot(c) {
+            out.counters[i] += r.counters[i];
+        }
+    }
+    for (start, end) in [
+        (
+            PF::POSIX_F_OPEN_START_TIMESTAMP,
+            PF::POSIX_F_OPEN_END_TIMESTAMP,
+        ),
+        (
+            PF::POSIX_F_READ_START_TIMESTAMP,
+            PF::POSIX_F_READ_END_TIMESTAMP,
+        ),
+        (
+            PF::POSIX_F_WRITE_START_TIMESTAMP,
+            PF::POSIX_F_WRITE_END_TIMESTAMP,
+        ),
+        (
+            PF::POSIX_F_CLOSE_START_TIMESTAMP,
+            PF::POSIX_F_CLOSE_END_TIMESTAMP,
+        ),
+    ] {
+        let s = r.fget(start);
+        if s > 0.0 {
+            let cur = out.fget(start);
+            *out.fget_mut(start) = if cur == 0.0 { s } else { cur.min(s) };
+        }
+        let e = r.fget(end);
+        *out.fget_mut(end) = out.fget(end).max(e);
+    }
+    for t in [PF::POSIX_F_MAX_READ_TIME, PF::POSIX_F_MAX_WRITE_TIME] {
+        *out.fget_mut(t) = out.fget(t).max(r.fget(t));
+    }
+}
+
+impl PosixFold {
+    /// A leaf: one rank's record, unreduced.
+    pub fn leaf(r: PosixRecord) -> Self {
+        PosixFold::One(r)
+    }
+
+    /// Contributors folded so far.
+    pub fn contributors(&self) -> usize {
+        match self {
+            PosixFold::One(_) => 1,
+            PosixFold::Many { deferred, .. } => deferred.len(),
+        }
+    }
+
+    fn into_parts(self) -> (PosixRecord, Vec<PosixDeferred>) {
+        match self {
+            PosixFold::One(r) => {
+                let mut out = PosixRecord::new(r.rec_id);
+                fold_posix_assoc(&mut out, &r);
+                (out, vec![PosixDeferred::of(&r)])
+            }
+            PosixFold::Many { out, deferred } => (out, deferred),
+        }
+    }
+
+    /// Merge `right` (the higher-rank half) into `self`. Associative; the
+    /// rank order of the deferred list is preserved by construction.
+    pub fn absorb(self, right: PosixFold) -> Self {
+        let (mut out, mut deferred) = self.into_parts();
+        let (r_out, r_deferred) = right.into_parts();
+        fold_posix_assoc(&mut out, &r_out);
+        deferred.extend(r_deferred);
+        PosixFold::Many { out, deferred }
+    }
+
+    /// Finish the group at the tree root. A lone contributor passes
+    /// through unchanged; otherwise the deferred order-sensitive fields
+    /// are replayed in rank order, reproducing the flat fold bit-for-bit.
+    pub fn finish(self) -> PosixRecord {
+        match self {
+            PosixFold::One(r) => r,
+            PosixFold::Many { mut out, deferred } => {
+                for d in &deferred {
+                    for (a, cnt) in d.accesses {
+                        if cnt > 0 {
+                            out.access_sizes.add_n(a as u64, cnt as u64);
+                        }
+                    }
+                    for (t, v) in [
+                        PF::POSIX_F_READ_TIME,
+                        PF::POSIX_F_WRITE_TIME,
+                        PF::POSIX_F_META_TIME,
+                    ]
+                    .into_iter()
+                    .zip(d.times)
+                    {
+                        *out.fget_mut(t) += v;
+                    }
+                }
+                out.reduce_common_accesses();
+                out
+            }
+        }
+    }
+}
+
+/// STDIO counterpart of [`PosixDeferred`]: the cumulative-time floats.
+#[derive(Clone, Copy, Debug)]
+pub struct StdioDeferred {
+    /// `[STDIO_F_READ_TIME, STDIO_F_WRITE_TIME, STDIO_F_META_TIME]`.
+    pub times: [f64; 3],
+}
+
+/// STDIO counterpart of [`PosixFold`] (no access slots, so only the
+/// cumulative-time sums are deferred).
+#[derive(Clone, Debug)]
+pub enum StdioFold {
+    /// Exactly one contributor.
+    One(StdioRecord),
+    /// Two or more contributors.
+    Many {
+        /// Associative partial.
+        out: StdioRecord,
+        /// Rank-ordered cumulative-time contributions.
+        deferred: Vec<StdioDeferred>,
+    },
+}
+
+fn fold_stdio_assoc(out: &mut StdioRecord, r: &StdioRecord) {
+    for c in S::ALL {
+        let i = c as usize;
+        if STDIO_MAX_COUNTERS.contains(&c) {
+            out.counters[i] = out.counters[i].max(r.counters[i]);
+        } else {
+            out.counters[i] += r.counters[i];
+        }
+    }
+    for (start, end) in [
+        (
+            SF::STDIO_F_OPEN_START_TIMESTAMP,
+            SF::STDIO_F_OPEN_END_TIMESTAMP,
+        ),
+        (
+            SF::STDIO_F_CLOSE_START_TIMESTAMP,
+            SF::STDIO_F_CLOSE_END_TIMESTAMP,
+        ),
+    ] {
+        let s = r.fget(start);
+        if s > 0.0 {
+            let cur = out.fget(start);
+            *out.fget_mut(start) = if cur == 0.0 { s } else { cur.min(s) };
+        }
+        let e = r.fget(end);
+        *out.fget_mut(end) = out.fget(end).max(e);
+    }
+}
+
+impl StdioFold {
+    /// A leaf: one rank's record, unreduced.
+    pub fn leaf(r: StdioRecord) -> Self {
+        StdioFold::One(r)
+    }
+
+    /// Contributors folded so far.
+    pub fn contributors(&self) -> usize {
+        match self {
+            StdioFold::One(_) => 1,
+            StdioFold::Many { deferred, .. } => deferred.len(),
+        }
+    }
+
+    fn into_parts(self) -> (StdioRecord, Vec<StdioDeferred>) {
+        match self {
+            StdioFold::One(r) => {
+                let mut out = StdioRecord::new(r.rec_id);
+                fold_stdio_assoc(&mut out, &r);
+                let times = [
+                    r.fget(SF::STDIO_F_READ_TIME),
+                    r.fget(SF::STDIO_F_WRITE_TIME),
+                    r.fget(SF::STDIO_F_META_TIME),
+                ];
+                (out, vec![StdioDeferred { times }])
+            }
+            StdioFold::Many { out, deferred } => (out, deferred),
+        }
+    }
+
+    /// Merge `right` (the higher-rank half) into `self`.
+    pub fn absorb(self, right: StdioFold) -> Self {
+        let (mut out, mut deferred) = self.into_parts();
+        let (r_out, r_deferred) = right.into_parts();
+        fold_stdio_assoc(&mut out, &r_out);
+        deferred.extend(r_deferred);
+        StdioFold::Many { out, deferred }
+    }
+
+    /// Finish the group at the tree root.
+    pub fn finish(self) -> StdioRecord {
+        match self {
+            StdioFold::One(r) => r,
+            StdioFold::Many { mut out, deferred } => {
+                for d in &deferred {
+                    for (t, v) in [
+                        SF::STDIO_F_READ_TIME,
+                        SF::STDIO_F_WRITE_TIME,
+                        SF::STDIO_F_META_TIME,
+                    ]
+                    .into_iter()
+                    .zip(d.times)
+                    {
+                        *out.fget_mut(t) += v;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
 fn is_access_slot(c: P) -> bool {
     matches!(
         c,

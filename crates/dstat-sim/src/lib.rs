@@ -73,6 +73,13 @@ pub struct DstatSample {
     pub rank_read_bytes: Vec<(u32, u64)>,
     /// Per-rank syscall write bytes during the interval.
     pub rank_write_bytes: Vec<(u32, u64)>,
+    /// Per-shard syscall read bytes during the interval, one `(shard,
+    /// bytes)` pair per spine attached via [`Dstat::attach_shard_spine`].
+    /// Fleet jobs attribute per rank *group* — [`MAX_RANK_COLUMNS`] caps
+    /// the per-rank columns, shard columns stay O(N/64).
+    pub shard_read_bytes: Vec<(u32, u64)>,
+    /// Per-shard syscall write bytes during the interval.
+    pub shard_write_bytes: Vec<(u32, u64)>,
 }
 
 impl DstatSample {
@@ -107,12 +114,36 @@ impl DstatSample {
             .find(|(r, _)| *r == rank)
             .map_or(0, |(_, b)| *b)
     }
+
+    /// This interval's syscall read bytes attributed to shard `shard`
+    /// (zero if that shard's spine is not attached).
+    pub fn shard_read(&self, shard: u32) -> u64 {
+        self.shard_read_bytes
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map_or(0, |(_, b)| *b)
+    }
+
+    /// This interval's syscall write bytes attributed to shard `shard`.
+    pub fn shard_write(&self, shard: u32) -> u64 {
+        self.shard_write_bytes
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map_or(0, |(_, b)| *b)
+    }
 }
 
-/// One attached rank spine: its own accumulator so the sampler can diff
-/// per-rank traffic independently of the aggregate spine.
-struct RankSpine {
-    rank: u32,
+/// Cap on per-rank attribution columns. Past it, [`Dstat::attach_rank_spine`]
+/// refuses (returns `false`): a 4096-rank job would otherwise pay 4096
+/// column diffs per sampling tick and produce unreadably wide samples —
+/// attribute per rank group with [`Dstat::attach_shard_spine`] instead.
+pub const MAX_RANK_COLUMNS: usize = 64;
+
+/// One attached attribution spine (a rank's bus or a shard's bus): its own
+/// accumulator so the sampler can diff its traffic independently of the
+/// aggregate spine. `key` is the rank or shard id.
+struct KeyedSpine {
+    key: u32,
     counters: Arc<SyscallCounters>,
     bus: ProbeBus,
     sink_id: SinkId,
@@ -126,7 +157,8 @@ pub struct Dstat {
     names: Vec<String>,
     syscalls: Arc<SyscallCounters>,
     spine: Mutex<Option<(ProbeBus, SinkId)>>,
-    rank_spines: Arc<Mutex<Vec<RankSpine>>>,
+    rank_spines: Arc<Mutex<Vec<KeyedSpine>>>,
+    shard_spines: Arc<Mutex<Vec<KeyedSpine>>>,
 }
 
 impl Dstat {
@@ -142,12 +174,14 @@ impl Dstat {
         let stop = Arc::new(Event::new());
         let names = devices.iter().map(|d| d.name().to_string()).collect();
         let syscalls: Arc<SyscallCounters> = Arc::new(SyscallCounters::default());
-        let rank_spines: Arc<Mutex<Vec<RankSpine>>> = Arc::new(Mutex::new(Vec::new()));
+        let rank_spines: Arc<Mutex<Vec<KeyedSpine>>> = Arc::new(Mutex::new(Vec::new()));
+        let shard_spines: Arc<Mutex<Vec<KeyedSpine>>> = Arc::new(Mutex::new(Vec::new()));
         {
             let samples = samples.clone();
             let stop = stop.clone();
             let syscalls = syscalls.clone();
             let rank_spines = rank_spines.clone();
+            let shard_spines = shard_spines.clone();
             // Sampler state machine. Each poll is one wakeup of the old
             // carrier loop: a timeout firing means the interval elapsed
             // (take a sample), any other wake re-checks the stop flag. The
@@ -160,6 +194,7 @@ impl Dstat {
             // Per-rank previous totals; a spine attached mid-run starts
             // from zero, so its first column covers everything it saw.
             let mut prev_rank: HashMap<u32, (u64, u64)> = HashMap::new();
+            let mut prev_shard: HashMap<u32, (u64, u64)> = HashMap::new();
             sim.spawn_event("dstat", move |cx: &mut EventCx| {
                 if stop.poll_wait() {
                     return EventPoll::Done;
@@ -181,9 +216,19 @@ impl Dstat {
                     for rs in rank_spines.lock().iter() {
                         let r = rs.counters.read_bytes.load(Ordering::Relaxed);
                         let w = rs.counters.write_bytes.load(Ordering::Relaxed);
-                        let p = prev_rank.entry(rs.rank).or_insert((0, 0));
-                        rank_read_bytes.push((rs.rank, r - p.0));
-                        rank_write_bytes.push((rs.rank, w - p.1));
+                        let p = prev_rank.entry(rs.key).or_insert((0, 0));
+                        rank_read_bytes.push((rs.key, r - p.0));
+                        rank_write_bytes.push((rs.key, w - p.1));
+                        *p = (r, w);
+                    }
+                    let mut shard_read_bytes = Vec::new();
+                    let mut shard_write_bytes = Vec::new();
+                    for ss in shard_spines.lock().iter() {
+                        let r = ss.counters.read_bytes.load(Ordering::Relaxed);
+                        let w = ss.counters.write_bytes.load(Ordering::Relaxed);
+                        let p = prev_shard.entry(ss.key).or_insert((0, 0));
+                        shard_read_bytes.push((ss.key, r - p.0));
+                        shard_write_bytes.push((ss.key, w - p.1));
                         *p = (r, w);
                     }
                     let prev_snap = prev.as_ref().expect("initialized on first poll");
@@ -203,6 +248,8 @@ impl Dstat {
                         sys_write_bytes: sys_w - prev_sys_w,
                         rank_read_bytes,
                         rank_write_bytes,
+                        shard_read_bytes,
+                        shard_write_bytes,
                     };
                     prev = Some(cur);
                     prev_sys_r = sys_r;
@@ -222,6 +269,7 @@ impl Dstat {
             syscalls,
             spine: Mutex::new(None),
             rank_spines,
+            shard_spines,
         }
     }
 
@@ -241,17 +289,44 @@ impl Dstat {
     /// from that rank's own probe bus. Each [`DstatSample`] then carries a
     /// per-rank `(rank, bytes)` column next to the aggregate spine
     /// columns — the distributed analog of dstat's per-CPU breakdown.
-    /// Attach at most one spine per rank; later calls for the same rank
-    /// are ignored.
-    pub fn attach_rank_spine(&self, rank: u32, bus: &ProbeBus) {
+    /// Attach at most one spine per rank; a duplicate rank is ignored.
+    /// Returns `false` (and attaches nothing) once [`MAX_RANK_COLUMNS`]
+    /// ranks are attached — fleet jobs attribute per rank group via
+    /// [`Dstat::attach_shard_spine`] instead.
+    pub fn attach_rank_spine(&self, rank: u32, bus: &ProbeBus) -> bool {
         let mut spines = self.rank_spines.lock();
-        if spines.iter().any(|rs| rs.rank == rank) {
+        if spines.iter().any(|rs| rs.key == rank) {
+            return true;
+        }
+        if spines.len() >= MAX_RANK_COLUMNS {
+            return false;
+        }
+        let counters: Arc<SyscallCounters> = Arc::new(SyscallCounters::default());
+        let sink_id = bus.register(counters.clone());
+        spines.push(KeyedSpine {
+            key: rank,
+            counters,
+            bus: bus.clone(),
+            sink_id,
+        });
+        true
+    }
+
+    /// Additionally attribute syscall-level traffic to rank-group `shard`,
+    /// sampled from the job's shard bus (`JobCtx::shard_bus`). The scalable
+    /// attribution for fleet jobs: a 4096-rank job at 64 ranks/shard costs
+    /// 64 columns, and each column's sink snapshot is shared only with
+    /// that shard's ranks. Uncapped (shard count is already O(N/64));
+    /// duplicate shard ids are ignored.
+    pub fn attach_shard_spine(&self, shard: u32, bus: &ProbeBus) {
+        let mut spines = self.shard_spines.lock();
+        if spines.iter().any(|ss| ss.key == shard) {
             return;
         }
         let counters: Arc<SyscallCounters> = Arc::new(SyscallCounters::default());
         let sink_id = bus.register(counters.clone());
-        spines.push(RankSpine {
-            rank,
+        spines.push(KeyedSpine {
+            key: shard,
             counters,
             bus: bus.clone(),
             sink_id,
@@ -266,6 +341,9 @@ impl Dstat {
         }
         for rs in self.rank_spines.lock().drain(..) {
             rs.bus.unregister(rs.sink_id);
+        }
+        for ss in self.shard_spines.lock().drain(..) {
+            ss.bus.unregister(ss.sink_id);
         }
     }
 
@@ -440,6 +518,73 @@ mod tests {
         // the aggregate stays zero while rank columns carry the split.
         assert_eq!(s.sys_read_bytes, 0);
         assert_eq!(s.rank_read(7), 0, "unattached rank reads as zero");
+    }
+
+    #[test]
+    fn shard_spines_attribute_traffic_per_rank_group() {
+        let sim = Sim::new();
+        let dev = Device::new(DeviceSpec::optane("nvme0"));
+        let dstat = Dstat::spawn(&sim, vec![dev], Duration::from_secs(1));
+        let buses: Vec<ProbeBus> = (0..2).map(|_| ProbeBus::new()).collect();
+        dstat.attach_shard_spine(0, &buses[0]);
+        dstat.attach_shard_spine(1, &buses[1]);
+        dstat.attach_shard_spine(1, &buses[0]); // duplicate id: ignored
+        let stop = dstat.stop.clone();
+        let emit = |bus: &ProbeBus, len: u64| {
+            let t = simrt::now();
+            bus.emit(IoEvent {
+                task: simrt::current_task(),
+                pid: 0,
+                t0: t,
+                t1: t,
+                origin: probe::Origin::App,
+                target: probe::intern("/mnt/shard"),
+                kind: EventKind::Write {
+                    fd: 3,
+                    offset: 0,
+                    len,
+                },
+            });
+        };
+        sim.spawn("workload", move || {
+            // Shard 0's ranks write 2 MiB/interval, shard 1's 1 MiB.
+            for _ in 0..25 {
+                emit(&buses[0], 2 << 20);
+                emit(&buses[1], 1 << 20);
+                simrt::sleep(Duration::from_millis(100));
+            }
+            stop.set();
+        });
+        sim.run();
+        let samples = dstat.samples();
+        assert!(samples.len() >= 2, "got {} samples", samples.len());
+        let s = &samples[0];
+        assert_eq!(s.shard_write(0), 20 << 20);
+        assert_eq!(s.shard_write(1), 10 << 20);
+        assert_eq!(s.shard_read(0), 0);
+        assert_eq!(s.shard_read(9), 0, "unattached shard reads as zero");
+    }
+
+    #[test]
+    fn rank_columns_cap_at_max() {
+        let sim = Sim::new();
+        let dev = Device::new(DeviceSpec::optane("nvme0"));
+        let dstat = Dstat::spawn(&sim, vec![dev], Duration::from_secs(1));
+        let bus = ProbeBus::new();
+        for rank in 0..MAX_RANK_COLUMNS as u32 {
+            assert!(dstat.attach_rank_spine(rank, &bus));
+        }
+        assert!(
+            !dstat.attach_rank_spine(MAX_RANK_COLUMNS as u32, &bus),
+            "column {MAX_RANK_COLUMNS} refused"
+        );
+        assert!(
+            dstat.attach_rank_spine(3, &bus),
+            "re-attaching an existing rank still reports attached"
+        );
+        let stop = dstat.stop.clone();
+        sim.spawn("t", move || stop.set());
+        sim.run();
     }
 
     #[test]

@@ -17,6 +17,47 @@ use simrt::{dur, sleep};
 
 use crate::comm::NetworkModel;
 
+/// Communication shape a [`SumAllreduce`] charges its contributors for.
+///
+/// The fusion *result* is identical for every topology — contributions are
+/// merged element-wise under one lock either way — and so are the
+/// Signal/Wait happens-before edges the wait emits (the sanitizer stays
+/// flavor-blind). Only the per-round virtual-time cost differs: how many
+/// exchange rounds a real implementation of that shape would take.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FusionTopology {
+    /// Classic ring allreduce: `2(n−1)` latency steps, bandwidth-optimal
+    /// volume. Linear in the member count — fine for a handful of peers.
+    #[default]
+    Ring,
+    /// Recursive doubling (butterfly): `⌈log2 n⌉` rounds, each moving the
+    /// full vector. Latency grows with the *log* of the member count —
+    /// the fleet-scale choice.
+    RecursiveDoubling,
+    /// NoPFS-shaped two-level hierarchy: recursive doubling inside each
+    /// node group of `ranks_per_node` members, then recursive doubling
+    /// across the group leaders. `⌈log2 r⌉ + ⌈log2 ⌈n/r⌉⌉` rounds.
+    Hierarchical {
+        /// Members per node group (the per-node fan-in).
+        ranks_per_node: usize,
+    },
+}
+
+impl FusionTopology {
+    /// Exchange rounds a real implementation would take for `n` members.
+    fn rounds(&self, n: f64) -> f64 {
+        match *self {
+            FusionTopology::Ring => 2.0 * (n - 1.0),
+            FusionTopology::RecursiveDoubling => n.log2().ceil(),
+            FusionTopology::Hierarchical { ranks_per_node } => {
+                let r = (ranks_per_node.max(1) as f64).min(n);
+                let nodes = (n / r).ceil();
+                r.log2().ceil() + nodes.log2().ceil()
+            }
+        }
+    }
+}
+
 struct SumState {
     /// Members still participating; a round completes when `arrived == live`.
     live: usize,
@@ -46,16 +87,26 @@ struct SumState {
 #[derive(Clone)]
 pub struct SumAllreduce {
     net: NetworkModel,
+    topology: FusionTopology,
     state: Arc<Mutex<SumState>>,
     cv: Arc<Condvar>,
 }
 
 impl SumAllreduce {
-    /// A collective for `members` participants over interconnect `net`.
+    /// A collective for `members` participants over interconnect `net`,
+    /// with the default [`FusionTopology::Ring`] cost shape.
     pub fn new(net: NetworkModel, members: usize) -> Self {
+        Self::with_topology(net, members, FusionTopology::default())
+    }
+
+    /// [`SumAllreduce::new`] with an explicit cost topology. Fusion
+    /// semantics and happens-before edges are topology-independent; only
+    /// the per-round charge changes.
+    pub fn with_topology(net: NetworkModel, members: usize, topology: FusionTopology) -> Self {
         assert!(members > 0);
         SumAllreduce {
             net,
+            topology,
             state: Arc::new(Mutex::named(
                 SumState {
                     live: members,
@@ -167,19 +218,30 @@ impl SumAllreduce {
         st.result.clone()
     }
 
-    /// Ring-allreduce cost for the fused vector, per contributor.
+    /// The configured cost topology.
+    pub fn topology(&self) -> FusionTopology {
+        self.topology
+    }
+
+    /// Per-contributor cost of fusing `result` across `peers` members
+    /// under the configured topology. Ring moves the bandwidth-optimal
+    /// `2(n−1)/n` of the vector; the log-depth shapes move the full
+    /// vector each round.
     fn cost_of(&self, result: &HashMap<String, u64>, peers: usize) -> std::time::Duration {
         let n = peers as f64;
         if n <= 1.0 {
             return std::time::Duration::ZERO;
         }
         let bytes: usize = result.keys().map(|k| k.len() + 8).sum();
-        let steps = 2.0 * (n - 1.0);
-        let volume = 2.0 * (n - 1.0) / n * bytes as f64;
+        let steps = self.topology.rounds(n);
+        let volume = match self.topology {
+            FusionTopology::Ring => 2.0 * (n - 1.0) / n * bytes as f64,
+            _ => steps * bytes as f64,
+        };
         dur::secs_f64(self.net.latency.as_secs_f64() * steps + volume / self.net.bandwidth)
     }
 
-    /// Charge the ring-allreduce cost inline (carrier contributors).
+    /// Charge the allreduce cost inline (carrier contributors).
     fn charge(&self, result: &HashMap<String, u64>, peers: usize) {
         if !simrt::on_sim_thread() {
             return;
@@ -318,6 +380,78 @@ mod tests {
             assert_eq!(fused["shared"], 1 + 2 + 3);
         }
         assert!(sim.now().as_secs_f64() > 0.0, "cost was charged");
+    }
+
+    #[test]
+    fn leave_during_fusion_tree_topology_ws8() {
+        // Regression (fleet refactor): under the log-depth topology, a
+        // member that leaves mid-round — after some peers contributed,
+        // before the round completed — must neither deadlock the seven
+        // waiters nor corrupt the partial sum. The leaver never
+        // contributes; the fused vector is exactly the seven live
+        // contributions.
+        let sim = Sim::new();
+        let all = SumAllreduce::with_topology(
+            NetworkModel::default(),
+            8,
+            FusionTopology::RecursiveDoubling,
+        );
+        let results = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for rank in 0..7u64 {
+            let all = all.clone();
+            let results = results.clone();
+            sim.spawn(format!("m{rank}"), move || {
+                // Stagger arrivals so the leave lands strictly between the
+                // first and last contribution.
+                simrt::sleep(std::time::Duration::from_millis(rank));
+                let fused = all.allreduce(&map(&[("heat", 1 << rank)]));
+                results.lock().push(fused);
+            });
+        }
+        {
+            let all = all.clone();
+            sim.spawn("leaver", move || {
+                simrt::sleep(std::time::Duration::from_millis(3));
+                all.leave();
+            });
+        }
+        sim.run();
+        let results = results.lock();
+        assert_eq!(results.len(), 7, "no waiter deadlocked");
+        for fused in results.iter() {
+            assert_eq!(fused["heat"], 0x7f, "sum of exactly the 7 live members");
+            assert_eq!(fused.len(), 1);
+        }
+        assert_eq!(all.live(), 7);
+    }
+
+    #[test]
+    fn tree_topology_latency_is_log_depth() {
+        // Same vector, same membership: ring charges 2(n-1) latency steps,
+        // recursive doubling ceil(log2 n) — at n=64 that is 126 vs 6.
+        let run = |topo: FusionTopology| {
+            let sim = Sim::new();
+            let all = SumAllreduce::with_topology(NetworkModel::default(), 64, topo);
+            for rank in 0..64 {
+                let all = all.clone();
+                sim.spawn(format!("m{rank}"), move || {
+                    all.allreduce(&map(&[("h", 1)]));
+                });
+            }
+            sim.run();
+            sim.now().as_secs_f64()
+        };
+        let ring = run(FusionTopology::Ring);
+        let tree = run(FusionTopology::RecursiveDoubling);
+        let hier = run(FusionTopology::Hierarchical { ranks_per_node: 8 });
+        assert!(
+            tree < ring / 4.0,
+            "tree ({tree}) should be far below ring ({ring}) at n=64"
+        );
+        assert!(
+            hier < ring / 4.0,
+            "hierarchical ({hier}) should be far below ring ({ring}) at n=64"
+        );
     }
 
     #[test]

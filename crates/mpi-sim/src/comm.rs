@@ -259,13 +259,16 @@ impl Comm {
         &self.world
     }
 
-    /// `MPI_Barrier`.
+    /// `MPI_Barrier` (dissemination algorithm cost model: `⌈log2 n⌉`
+    /// exchange rounds of one network latency each, so a 1k-rank barrier
+    /// costs 10 rounds, not a flat constant that hides the scale).
     pub fn barrier(&self) {
         let w = &self.world.inner;
         emit_sync(SyncOp::Signal, w.sync_obj, &w.sync_labels.barrier);
         w.barrier.wait();
-        if !w.net.latency.is_zero() {
-            sleep(w.net.latency);
+        let cost = self.barrier_cost();
+        if !cost.is_zero() {
+            sleep(cost);
         }
         w.barrier.wait();
         emit_sync(SyncOp::Wait, w.sync_obj, &w.sync_labels.barrier);
@@ -313,6 +316,17 @@ impl Comm {
         dur::secs_f64((net.latency.as_secs_f64() + bytes as f64 / net.bandwidth) * rounds)
     }
 
+    /// Dissemination barrier: `⌈log2 n⌉` rounds, one latency per round.
+    /// Zero for a single rank.
+    fn barrier_cost(&self) -> Duration {
+        let n = self.size() as f64;
+        if n <= 1.0 {
+            return Duration::ZERO;
+        }
+        let rounds = n.log2().ceil();
+        dur::secs_f64(self.world.inner.net.latency.as_secs_f64() * rounds)
+    }
+
     /// Event-task path for [`Comm::barrier`]: drive with a
     /// [`CollectiveProgress`], mapping [`CollectivePoll::Pending`] to
     /// `EventPoll::Block` and [`CollectivePoll::Charge`] to
@@ -320,8 +334,7 @@ impl Comm {
     /// entries, not 1k parked OS threads. Interoperates with carrier ranks
     /// blocked in the same collective.
     pub fn poll_barrier(&self, progress: &mut CollectiveProgress) -> CollectivePoll {
-        let w = &self.world.inner;
-        let cost = w.net.latency;
+        let cost = self.barrier_cost();
         self.poll_collective(progress, cost, SyncLabelKind::Barrier)
     }
 

@@ -142,12 +142,13 @@ pub struct Process {
     libraries: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
     /// The process's instrumentation backplane (event spine).
     probe: ProbeBus,
-    /// Optional job-level spine shared with the other ranks of an MPI job;
-    /// every event emitted on `probe` is mirrored here so job-wide
-    /// consumers (the sanitizer, job dstat) see all ranks' I/O in one
-    /// op-completion-ordered stream.
-    shared_spine: RwLock<Option<ProbeBus>>,
-    /// Fast-path flag: `shared_spine` is attached.
+    /// Shared spines: buses owned by a job this process is a rank of
+    /// (its rank-group shard bus, optionally a job-wide bus). Every event
+    /// emitted on `probe` is mirrored onto each, so shard-local and
+    /// job-wide consumers see this rank's I/O in one op-completion-ordered
+    /// stream per bus. Attach order is emit order.
+    shared_spines: RwLock<Vec<ProbeBus>>,
+    /// Fast-path flag: at least one shared spine is attached.
     has_shared: AtomicBool,
     /// Kernel-entry overhead charged by the default libc per syscall.
     pub syscall_overhead: Duration,
@@ -172,7 +173,7 @@ impl Process {
             next_map: AtomicU64::new(1),
             libraries: Mutex::new(HashMap::new()),
             probe: ProbeBus::new(),
-            shared_spine: RwLock::new(None),
+            shared_spines: RwLock::new(Vec::new()),
             has_shared: AtomicBool::new(false),
             syscall_overhead: Duration::from_nanos(300),
         })
@@ -190,27 +191,48 @@ impl Process {
         &self.probe
     }
 
-    /// Attach a job-level spine: every event this process emits on its own
-    /// spine is mirrored onto `bus`. Used when the process is one rank of
-    /// an MPI job — all ranks share one job bus, so job-wide consumers get
-    /// every rank's I/O (and the job's sync events) in a single
-    /// op-completion-ordered stream. Per-rank consumers keep reading
-    /// [`Process::probe`] and never see the other ranks.
+    /// Attach a shared spine: every event this process emits on its own
+    /// spine is also mirrored onto `bus`. Used when the process is one
+    /// rank of an MPI job — the job attaches the rank's shard bus (and,
+    /// on demand, a job-wide bus), so shared consumers get this rank's
+    /// I/O (and, via `probe::SyncBridge`, the job's sync events) in a
+    /// single op-completion-ordered stream per bus. Per-rank consumers
+    /// keep reading [`Process::probe`] and never see the other ranks.
+    /// A process can carry several spines; re-attaching the same bus is
+    /// a no-op.
     pub fn attach_shared_spine(&self, bus: &ProbeBus) {
-        *self.shared_spine.write() = Some(bus.clone());
+        let mut spines = self.shared_spines.write();
+        if !spines.iter().any(|b| b.same_bus(bus)) {
+            spines.push(bus.clone());
+        }
         self.has_shared.store(true, Ordering::Release);
     }
 
-    /// Detach the job-level spine attached by
+    /// Detach one shared spine (matched by bus identity), leaving any
+    /// others attached. Idempotent.
+    pub fn detach_spine(&self, bus: &ProbeBus) {
+        let mut spines = self.shared_spines.write();
+        spines.retain(|b| !b.same_bus(bus));
+        if spines.is_empty() {
+            self.has_shared.store(false, Ordering::Release);
+        }
+    }
+
+    /// Detach **every** shared spine attached by
     /// [`Process::attach_shared_spine`]. Idempotent.
     pub fn detach_shared_spine(&self) {
         self.has_shared.store(false, Ordering::Release);
-        *self.shared_spine.write() = None;
+        self.shared_spines.write().clear();
     }
 
-    /// The attached job-level spine, if any.
+    /// The first attached shared spine, if any (attach order).
     pub fn shared_spine(&self) -> Option<ProbeBus> {
-        self.shared_spine.read().clone()
+        self.shared_spines.read().first().cloned()
+    }
+
+    /// All attached shared spines, attach order.
+    pub fn shared_spines(&self) -> Vec<ProbeBus> {
+        self.shared_spines.read().clone()
     }
 
     /// Timestamp an instrumented operation's entry: `Some(now)` when a
@@ -220,11 +242,7 @@ impl Process {
     #[inline]
     pub(crate) fn probe_t0(&self) -> Option<SimTime> {
         let shared_active = self.has_shared.load(Ordering::Acquire)
-            && self
-                .shared_spine
-                .read()
-                .as_ref()
-                .is_some_and(|b| b.is_active());
+            && self.shared_spines.read().iter().any(|b| b.is_active());
         if self.probe.is_active() || shared_active {
             simrt::try_now()
         } else {
@@ -252,8 +270,7 @@ impl Process {
             kind,
         };
         if self.has_shared.load(Ordering::Acquire) {
-            let guard = self.shared_spine.read();
-            if let Some(bus) = guard.as_ref() {
+            for bus in self.shared_spines.read().iter() {
                 if bus.is_active() {
                     bus.emit(ev.clone());
                 }

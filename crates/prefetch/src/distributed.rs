@@ -52,6 +52,13 @@ pub struct DistributedConfig {
     pub base: PrefetchConfig,
     /// Virtual-time period between heat fusions (allreduce rounds).
     pub fuse_interval: Duration,
+    /// Ranks per node for the heat-fusion cost shape. `0` (default) keeps
+    /// the flat ring allreduce; a positive value switches fusion to the
+    /// NoPFS-shaped two-level hierarchy
+    /// ([`mpi_sim::FusionTopology::Hierarchical`]): fuse within each node
+    /// group, then across node leaders — `O(log n)` rounds instead of
+    /// `O(n)`, with identical fused heat and happens-before edges.
+    pub ranks_per_node: usize,
 }
 
 impl DistributedConfig {
@@ -65,6 +72,25 @@ impl DistributedConfig {
                 job_budget_bytes,
             ),
             fuse_interval: Duration::from_millis(50),
+            ranks_per_node: 0,
+        }
+    }
+
+    /// Switch heat fusion to the two-level hierarchical topology with
+    /// `ranks_per_node` members per node group.
+    pub fn hierarchical(mut self, ranks_per_node: usize) -> Self {
+        self.ranks_per_node = ranks_per_node;
+        self
+    }
+
+    /// The fusion topology this config selects.
+    pub fn fusion_topology(&self) -> mpi_sim::FusionTopology {
+        if self.ranks_per_node > 0 {
+            mpi_sim::FusionTopology::Hierarchical {
+                ranks_per_node: self.ranks_per_node,
+            }
+        } else {
+            mpi_sim::FusionTopology::Ring
         }
     }
 }
@@ -196,7 +222,7 @@ impl DistributedPrefetch {
     ) -> Arc<DistributedPrefetch> {
         let n = world.size();
         let stop = Arc::new(AtomicBool::new(false));
-        let fused = SumAllreduce::new(world.net().clone(), n);
+        let fused = SumAllreduce::with_topology(world.net().clone(), n, config.fusion_topology());
         let mut ranks = Vec::with_capacity(n);
         for rank in 0..n {
             let process = world.process(rank);
@@ -534,6 +560,61 @@ mod tests {
             stats.promoted_files - stats.evicted_files,
             stack.staged_files() as u64
         );
+    }
+
+    #[test]
+    fn hierarchical_fusion_stages_identically_to_ring() {
+        // The NoPFS-shaped two-level topology changes only the charged
+        // cost of a fusion round — the fused heat, ownership and staging
+        // decisions are identical to the flat ring.
+        let run = |ranks_per_node: usize| {
+            let stack = tiers();
+            let files: Vec<String> = (0..16)
+                .map(|i| {
+                    let p = format!("/hdd/f{i}");
+                    stack.create_synthetic(&p, 10_000, i).unwrap();
+                    p
+                })
+                .collect();
+            let sim = simrt::Sim::new();
+            let world = MpiWorld::new(&stack, 8, NetworkModel::default());
+            let mut cfg = DistributedConfig {
+                fuse_interval: Duration::from_millis(5),
+                ..DistributedConfig::new("/hdd", "/fast", 200_000)
+            };
+            if ranks_per_node > 0 {
+                cfg = cfg.hierarchical(ranks_per_node);
+            }
+            let daemon = DistributedPrefetch::spawn(&sim, &world, cfg);
+            let d2 = daemon.clone();
+            world.spawn_ranks(&sim, move |comm| {
+                let process = comm.process();
+                for (i, f) in files.iter().enumerate() {
+                    if i % comm.size() != comm.rank() {
+                        continue;
+                    }
+                    let fd = process.open(f, OpenFlags::rdonly()).unwrap();
+                    process.read(fd, 10_000, None).unwrap();
+                    process.close(fd).unwrap();
+                }
+                simrt::sleep(Duration::from_millis(60));
+                if comm.rank() == 0 {
+                    simrt::sleep(Duration::from_millis(100));
+                    d2.stop();
+                }
+            });
+            sim.run();
+            let stats = daemon.job_stats();
+            let mut staged: Vec<String> =
+                stack.staged().into_iter().map(|(path, _)| path).collect();
+            staged.sort();
+            (stats.promoted_files, staged)
+        };
+        let (ring_promoted, ring_staged) = run(0);
+        let (hier_promoted, hier_staged) = run(4);
+        assert!(ring_promoted >= 8, "ring staged: {ring_promoted}");
+        assert_eq!(ring_promoted, hier_promoted, "same staging volume");
+        assert_eq!(ring_staged, hier_staged, "same staged file set");
     }
 
     #[test]

@@ -425,6 +425,28 @@ impl ProbeBus {
         batch.push(event);
         deliver(&self.inner, &batch);
     }
+
+    /// Deliver a pre-built batch straight to this bus's sinks, bypassing
+    /// the per-thread ring. The merge stage for sharded topologies: a
+    /// relay draining several shard buses re-emits each drained batch onto
+    /// a downstream bus with one call. Events arrive in batch order, but
+    /// nothing orders *across* batches from different shards — only
+    /// order-insensitive consumers (commutative counters, gauges) should
+    /// sit downstream; strict happens-before consumers need a bus the
+    /// events were emitted to directly.
+    pub fn deliver_batch(&self, events: &[IoEvent]) {
+        if events.is_empty() || !self.is_active() {
+            return;
+        }
+        deliver(&self.inner, events);
+    }
+
+    /// Whether two handles refer to the same underlying bus (same rings,
+    /// same sink snapshot). Cloned handles compare equal; two buses from
+    /// separate [`ProbeBus::new`] calls never do.
+    pub fn same_bus(&self, other: &ProbeBus) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
 }
 
 /// Events a sim thread can buffer between flush points before the ring

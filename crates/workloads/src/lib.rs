@@ -14,6 +14,7 @@ pub mod distributed_ablation;
 pub mod distributed_gate;
 pub mod experiments;
 pub mod explore_gate;
+pub mod fleet_scale;
 pub mod iosan_gate;
 pub mod lmdb;
 pub mod models;
@@ -26,6 +27,7 @@ pub use dataset::{GeneratedDataset, Scale};
 pub use distributed_ablation::{DistMode, DistributedAblationConfig, DistributedRun};
 pub use distributed_gate::{run_distributed_gate, DistributedGateOutcome};
 pub use experiments::{profiler_options, run, Profiling, RunConfig, RunOutput, Workload};
+pub use fleet_scale::{run_fleet_gate, run_fleet_scale, FleetConfig, FleetOutcome};
 pub use platform::{greendog, kebnekaise, mounts, Machine};
 pub use prefetch_ablation::{AblationConfig, AblationRun, StagingMode};
 pub use sched_scale::{os_threads, run_sched_scale, SchedScaleOutcome};

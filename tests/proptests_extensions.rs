@@ -457,3 +457,196 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tree reduction (PR 10): log-depth reduce ≡ flat reduce, byte for byte
+// ---------------------------------------------------------------------------
+
+use tf_darshan::darshan::reduce::PosixFold;
+use tf_darshan::darshan::PosixFCounter as FP;
+use tf_darshan::tfdarshan::{
+    reduce_job_sessions_sized, reduce_job_sessions_tree, TreeReduceConfig,
+};
+
+/// A record exercising every field class the reduction touches: additive
+/// counters, byte extrema, the four common-access slots (the bounded
+/// histogram whose eviction order makes naive pairwise merging
+/// non-associative), timestamp pairs, and the order-sensitive cumulative
+/// time floats.
+fn arb_fleet_record(id: u64) -> impl Strategy<Value = PosixRecord> {
+    (
+        (1i64..1000, 1i64..1_000_000, 0i64..1_000_000, 1i64..100),
+        prop::collection::vec((1i64..1_000_000, 1i64..50), 0..4),
+        (
+            0.001f64..100.0,
+            0.0f64..2.0,
+            0.0f64..2.0,
+            0.0f64..2.0,
+            0.0f64..0.5,
+        ),
+    )
+        .prop_map(
+            move |((reads, bytes, max_byte, opens), slots, (t0, rt, wt, mt, maxr))| {
+                let mut r = PosixRecord::new(id);
+                *r.get_mut(P::POSIX_OPENS) = opens;
+                *r.get_mut(P::POSIX_READS) = reads;
+                *r.get_mut(P::POSIX_BYTES_READ) = bytes;
+                *r.get_mut(P::POSIX_MAX_BYTE_READ) = max_byte;
+                *r.get_mut(P::POSIX_SEQ_READS) = reads / 2;
+                let slot_c = [
+                    (P::POSIX_ACCESS1_ACCESS, P::POSIX_ACCESS1_COUNT),
+                    (P::POSIX_ACCESS2_ACCESS, P::POSIX_ACCESS2_COUNT),
+                    (P::POSIX_ACCESS3_ACCESS, P::POSIX_ACCESS3_COUNT),
+                    (P::POSIX_ACCESS4_ACCESS, P::POSIX_ACCESS4_COUNT),
+                ];
+                for (i, (sz, cnt)) in slots.iter().enumerate() {
+                    *r.get_mut(slot_c[i].0) = *sz;
+                    *r.get_mut(slot_c[i].1) = *cnt;
+                }
+                *r.fget_mut(FP::POSIX_F_OPEN_START_TIMESTAMP) = t0;
+                *r.fget_mut(FP::POSIX_F_OPEN_END_TIMESTAMP) = t0 + 0.001;
+                *r.fget_mut(FP::POSIX_F_READ_START_TIMESTAMP) = t0 + 0.01;
+                *r.fget_mut(FP::POSIX_F_READ_END_TIMESTAMP) = t0 + 0.01 + rt;
+                *r.fget_mut(FP::POSIX_F_READ_TIME) = rt;
+                *r.fget_mut(FP::POSIX_F_WRITE_TIME) = wt;
+                *r.fget_mut(FP::POSIX_F_META_TIME) = mt;
+                *r.fget_mut(FP::POSIX_F_MAX_READ_TIME) = maxr;
+                r
+            },
+        )
+}
+
+/// Fold `recs` up a balanced binary tree with the pairwise operators.
+fn tree_fold(recs: &[PosixRecord]) -> PosixRecord {
+    fn build(recs: &[PosixRecord]) -> PosixFold {
+        if recs.len() == 1 {
+            PosixFold::leaf(recs[0].clone())
+        } else {
+            let mid = recs.len() / 2;
+            build(&recs[..mid]).absorb(build(&recs[mid..]))
+        }
+    }
+    build(recs).finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pairwise fold operators reproduce the flat group merge byte
+    /// for byte — every integer counter equal, every float counter
+    /// *bitwise* equal (the cumulative-time sums are replayed in rank
+    /// order at the root, so even f64 non-associativity cannot show).
+    #[test]
+    fn pairwise_fold_equals_flat_merge_bitwise(
+        recs in prop::collection::vec(arb_fleet_record(42), 1..9),
+    ) {
+        let flat = merge_posix_records(&recs).unwrap();
+        let tree = tree_fold(&recs);
+        for c in P::ALL {
+            prop_assert_eq!(flat.get(c), tree.get(c), "{} diverged", c.name());
+        }
+        for c in FP::ALL {
+            prop_assert_eq!(
+                flat.fget(c).to_bits(),
+                tree.fget(c).to_bits(),
+                "{} diverged: {} vs {}",
+                c.name(),
+                flat.fget(c),
+                tree.fget(c)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The log-depth job reduction is byte-identical to the flat one —
+    /// identical serialized [`tf_darshan::tfdarshan::JobReport`]s (job
+    /// view, per-rank views, names, DXT-derived analyses, world size,
+    /// missing ranks) — for arbitrary shared/private record mixes at
+    /// world sizes 1..=64, including the ws==1 passthrough.
+    #[test]
+    fn tree_job_reduction_is_byte_identical_to_flat(
+        ws in 1usize..65,
+        shared in arb_fleet_record(42),
+        private in arb_fleet_record(0),
+        dxt_per_rank in prop::collection::vec(arb_dxt(0), 0..6),
+        arity in 2usize..5,
+    ) {
+        let sessions: Vec<RankSession> = (0..ws)
+            .map(|r| {
+                // Every rank touches the shared record (its own mutation of
+                // it); odd ranks also carry a private record; rank-tagged
+                // DXT segments ride along.
+                let mut s = shared.clone();
+                *s.get_mut(P::POSIX_READS) += r as i64;
+                *s.fget_mut(FP::POSIX_F_READ_TIME) += r as f64 * 0.013;
+                let mut recs = vec![s];
+                if r % 2 == 1 {
+                    let mut p = private.clone();
+                    p.rec_id = 1000 + r as u64;
+                    recs.push(p);
+                }
+                let dxt = dxt_per_rank
+                    .iter()
+                    .map(|(rec, seg)| (*rec, DxtSegment { rank: r as u32, ..*seg }))
+                    .collect();
+                session_of(r as u32, recs, dxt)
+            })
+            .collect();
+
+        let flat = reduce_job_sessions_sized(&sessions, ws as u32);
+        let (tree, stats) = reduce_job_sessions_tree(
+            &sessions,
+            ws as u32,
+            &TreeReduceConfig { arity, host_parallel: true },
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&flat).unwrap(),
+            serde_json::to_string(&tree).unwrap(),
+            "tree reduce diverged from flat at ws={} arity={}", ws, arity
+        );
+        prop_assert_eq!(stats.leaves, ws);
+        if ws > 1 {
+            let expected_levels = (ws as f64).log(arity as f64).ceil() as u32;
+            prop_assert!(
+                stats.levels <= expected_levels + 1,
+                "{} levels for ws={} arity={}", stats.levels, ws, arity
+            );
+        }
+    }
+
+    /// Missing ranks surface instead of silently shrinking the world:
+    /// drop a subset of sessions, reduce with the true world size, and
+    /// the report lists exactly the dropped ranks (identically for flat
+    /// and tree).
+    #[test]
+    fn missing_ranks_are_surfaced_not_absorbed(
+        ws in 2usize..17,
+        drop_mask in prop::collection::vec(any::<bool>(), 16),
+        rec in arb_fleet_record(42),
+    ) {
+        // Rank 0 always reports so the session set is never empty.
+        let sessions: Vec<RankSession> = (0..ws)
+            .filter(|r| *r == 0 || !drop_mask[*r])
+            .map(|r| session_of(r as u32, vec![rec.clone()], Vec::new()))
+            .collect();
+        let expected_missing: Vec<u32> = (1..ws as u32)
+            .filter(|r| drop_mask[*r as usize])
+            .collect();
+
+        let flat = reduce_job_sessions_sized(&sessions, ws as u32);
+        let (tree, _) = reduce_job_sessions_tree(
+            &sessions,
+            ws as u32,
+            &TreeReduceConfig::default(),
+        );
+        prop_assert_eq!(flat.world_size, ws as u32);
+        prop_assert_eq!(&flat.missing_ranks, &expected_missing);
+        prop_assert_eq!(
+            serde_json::to_string(&flat).unwrap(),
+            serde_json::to_string(&tree).unwrap()
+        );
+    }
+}
